@@ -1,0 +1,73 @@
+// Command paedp runs the energy-delay analysis: it measures a kernel's
+// time and energy over the configuration grid, scores the model's EDP
+// predictions (the abstract's "within 7%" claim), and reports the measured
+// and model-recommended sweet-spot configurations.
+//
+// Usage:
+//
+//	paedp [-bench ep|ft] [-suite paper|quick] [-cap watts]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pasp/internal/core"
+	"pasp/internal/experiments"
+)
+
+func main() {
+	bench := flag.String("bench", "ft", "kernel: ep or ft")
+	suite := flag.String("suite", "paper", "experiment scale: paper or quick")
+	cap := flag.Float64("cap", 0, "cluster power cap in watts (0 = uncapped)")
+	flag.Parse()
+
+	s, err := experiments.SuiteByName(*suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paedp: %v\n", err)
+		os.Exit(2)
+	}
+
+	var camp *experiments.Campaign
+	switch *bench {
+	case "ep":
+		camp, err = s.MeasureEP()
+	case "ft":
+		camp, err = s.MeasureFT()
+	default:
+		fmt.Fprintf(os.Stderr, "paedp: unknown bench %q\n", *bench)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paedp: %v\n", err)
+		os.Exit(1)
+	}
+
+	res, err := s.EDPFrom(*bench, camp, s.Grid.Ns[1:], s.Grid.MHz)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paedp: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+
+	measured, predicted, err := s.SweetSpotFrom(camp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paedp: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("measured EDP optimum : %v  (%.2f s, %.0f J, EDP %.0f)\n",
+		measured.Config, measured.Seconds, measured.Joules, measured.EDP())
+	fmt.Printf("model recommendation : %v  (predicted %.2f s, %.0f J, EDP %.0f)\n",
+		predicted.Config, predicted.Seconds, predicted.Joules, predicted.EDP())
+
+	if *cap > 0 {
+		capped, err := core.SweetSpot(camp.Meas, core.MaxSpeedup, *cap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paedp: power cap: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fastest under %.0f W : %v  (%.2f s at %.1f W)\n",
+			*cap, capped.Config, capped.Seconds, capped.AvgWatts)
+	}
+}

@@ -1,0 +1,51 @@
+// Command pamodel regenerates the paper's model-evaluation tables: the
+// generalized-Amdahl error grid (Table 1), the platform operating points
+// (Table 2), the SP prediction errors for FT (Table 3), the LU workload
+// decomposition (Table 5), the measured per-level and communication
+// timings (Table 6) and the FP-vs-SP comparison (Table 7).
+//
+// Usage:
+//
+//	pamodel [-suite paper|quick] [-table all|1|2|3|5|6|7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pasp/internal/experiments"
+)
+
+func main() {
+	suite := flag.String("suite", "paper", "experiment scale: paper or quick")
+	which := flag.String("table", "all", "table to regenerate: all, 1, 2, 3, 5, 6 or 7")
+	flag.Parse()
+
+	s, err := experiments.SuiteByName(*suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pamodel: %v\n", err)
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		if *which != "all" && *which != name {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pamodel: table %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	if *which == "all" || *which == "2" {
+		fmt.Println(s.Table2())
+	}
+	run("1", func() (fmt.Stringer, error) { return s.Table1() })
+	run("3", func() (fmt.Stringer, error) { return s.Table3() })
+	run("5", func() (fmt.Stringer, error) { return s.Table5() })
+	run("6", func() (fmt.Stringer, error) { return s.Table6() })
+	run("7", func() (fmt.Stringer, error) { return s.Table7() })
+}

@@ -1,0 +1,177 @@
+// Command pareport runs the complete reproduction — every paper table and
+// figure plus the extension experiments — and emits one self-contained
+// Markdown report with the measured values, suitable for diffing against
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	pareport [-suite paper|quick] [-o report.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pasp/internal/dvfs"
+	"pasp/internal/experiments"
+)
+
+func main() {
+	suite := flag.String("suite", "paper", "experiment scale: paper or quick")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	s, err := experiments.SuiteByName(*suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pareport: %v\n", err)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pareport: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	die := func(stage string, err error) {
+		fmt.Fprintf(os.Stderr, "pareport: %s: %v\n", stage, err)
+		os.Exit(1)
+	}
+	section := func(title string) { fmt.Fprintf(w, "\n## %s\n\n", title) }
+	block := func(v any) { fmt.Fprintf(w, "```\n%v\n```\n", v) }
+
+	start := time.Now()
+	fmt.Fprintf(w, "# Power-Aware Speedup — reproduction report (%s suite)\n", *suite)
+
+	section("Platform (Table 2)")
+	block(s.Table2())
+
+	section("Figure 1 — EP")
+	fig1, err := s.Figure1()
+	if err != nil {
+		die("figure 1", err)
+	}
+	block(fig1)
+
+	section("Figure 2 — FT")
+	ftCamp, err := s.MeasureFT()
+	if err != nil {
+		die("ft campaign", err)
+	}
+	fig2, err := s.FigureFrom("Fig 2: FT", ftCamp)
+	if err != nil {
+		die("figure 2", err)
+	}
+	block(fig2)
+
+	section("Table 1 — generalized Amdahl on FT")
+	t1, err := s.Table1From(ftCamp)
+	if err != nil {
+		die("table 1", err)
+	}
+	block(t1)
+
+	section("Table 3 — SP parameterization on FT")
+	t3, err := s.Table3From(ftCamp)
+	if err != nil {
+		die("table 3", err)
+	}
+	block(t3)
+
+	section("Table 5 — LU workload decomposition")
+	t5, err := s.Table5()
+	if err != nil {
+		die("table 5", err)
+	}
+	block(t5)
+
+	section("Table 6 — measured model parameters")
+	t6, err := s.Table6()
+	if err != nil {
+		die("table 6", err)
+	}
+	block(t6)
+
+	section("Table 7 — FP vs SP on LU")
+	t7, err := s.Table7()
+	if err != nil {
+		die("table 7", err)
+	}
+	block(t7)
+
+	section("Energy-delay prediction (abstract claim)")
+	edp, err := s.EDPFrom("FT", ftCamp, s.Grid.Ns[1:], s.Grid.MHz)
+	if err != nil {
+		die("edp", err)
+	}
+	block(edp)
+	measured, predicted, err := s.SweetSpotFrom(ftCamp)
+	if err != nil {
+		die("sweet spot", err)
+	}
+	fmt.Fprintf(w, "measured EDP optimum: %v (%.2f s, %.0f J); model recommends %v\n",
+		measured.Config, measured.Seconds, measured.Joules, predicted.Config)
+
+	section("DVFS phase scheduling (intro motivation)")
+	wld, err := s.Platform.World(s.Grid.Ns[len(s.Grid.Ns)-1], s.Grid.MHz[len(s.Grid.MHz)-1])
+	if err != nil {
+		die("dvfs world", err)
+	}
+	cmp, err := dvfs.Compare(wld, dvfs.FTPolicy(s.Platform.Prof), s.RunFT)
+	if err != nil {
+		die("dvfs", err)
+	}
+	fmt.Fprintf(w, "static FT policy: %v\n", cmp)
+
+	section("Segment-granularity model (paper §7 future work)")
+	segRes, err := s.SegmentVsSP(ftCamp)
+	if err != nil {
+		die("segment", err)
+	}
+	block(segRes)
+	pol, phases, err := s.ModelDrivenDVFS(ftCamp)
+	if err != nil {
+		die("model dvfs", err)
+	}
+	mcmp, err := dvfs.Compare(wld, pol, s.RunFT)
+	if err != nil {
+		die("model dvfs compare", err)
+	}
+	fmt.Fprintf(w, "model-driven policy (auto low-gear phases %v): %v\n", phases, mcmp)
+	gearPol, err := s.EDPOptimalGears(ftCamp)
+	if err != nil {
+		die("edp gears", err)
+	}
+	gcmp, err := dvfs.CompareGears(wld, gearPol, s.RunFT)
+	if err != nil {
+		die("edp gears compare", err)
+	}
+	fmt.Fprintf(w, "EDP-optimal gear schedule (%v): %v\n", gearPol, gcmp)
+
+	section("Extension kernels — CG, MG, IS, SP speedup surfaces")
+	for _, k := range []struct {
+		name    string
+		measure func() (*experiments.Campaign, error)
+	}{{"CG", s.MeasureCG}, {"MG", s.MeasureMG}, {"IS", s.MeasureIS}, {"SP", s.MeasureSP}} {
+		camp, err := k.measure()
+		if err != nil {
+			die(k.name, err)
+		}
+		fig, err := s.FigureFrom(k.name+" (extension)", camp)
+		if err != nil {
+			die(k.name, err)
+		}
+		block(fig.Speedup)
+	}
+
+	fmt.Fprintf(w, "\n---\ngenerated in %.1f s (virtual-time simulation; deterministic)\n",
+		time.Since(start).Seconds())
+}

@@ -1,0 +1,16 @@
+// Package pasp reproduces "Power-Aware Speedup" (Rong Ge and Kirk Cameron,
+// IPPS 2007): an analytical speedup model for DVFS-capable clusters,
+// together with a complete virtual-time simulation of the paper's
+// experimental platform — a 16-node Pentium M cluster on 100 Mb switched
+// Ethernet — and NAS-style benchmark kernels to exercise it.
+//
+// The root package carries the benchmark harness (bench_test.go): one
+// testing.B benchmark per paper table and figure plus the extension
+// experiments and design ablations. Run
+//
+//	go test -bench=. -benchmem
+//
+// to regenerate every artifact. The library lives under internal/ (see
+// README.md for the architecture map); runnable entry points are under
+// cmd/ and examples/.
+package pasp

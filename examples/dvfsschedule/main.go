@@ -1,0 +1,75 @@
+// Dvfsschedule: three generations of phase-level DVFS on the same FT
+// workload — a hand-written static policy, and a profile-free online
+// adaptive tuner that learns per-phase gears from its own measurements —
+// plus the static policy on LU, where fine-grained messages make derating
+// unprofitable. This is the technique the paper's introduction motivates.
+//
+//	go run ./examples/dvfsschedule
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pasp/internal/cluster"
+	"pasp/internal/dvfs"
+	"pasp/internal/mpi"
+	"pasp/internal/npb"
+)
+
+func main() {
+	platform := cluster.PentiumM()
+
+	ft := npb.FT{Nx: 32, Ny: 32, Nz: 32, Iters: 4, Scale: 64}
+	lu := npb.LU{N: 32, Iters: 12}
+
+	for _, n := range []int{4, 8, 16} {
+		w, err := platform.World(n, 1400)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmpFT, err := dvfs.Compare(w, dvfs.FTPolicy(platform.Prof), func(w mpi.World) (*mpi.Result, error) {
+			_, r, err := ft.Run(w)
+			return r, err
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("FT N=%2d: %v\n", n, cmpFT)
+	}
+	for _, n := range []int{4, 8} {
+		w, err := platform.World(n, 1400)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmpLU, err := dvfs.Compare(w, dvfs.LUPolicy(platform.Prof), func(w mpi.World) (*mpi.Result, error) {
+			_, r, err := lu.Run(w)
+			return r, err
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("LU N=%2d: %v\n", n, cmpLU)
+	}
+
+	// The online tuner needs iterations to explore all five gears.
+	long := ft
+	long.Iters = 24
+	w, err := platform.World(8, 1400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuner := &dvfs.Adaptive{Prof: platform.Prof, SwitchSec: 50e-6}
+	cmpA, chosen, err := dvfs.CompareAdaptive(w, tuner, func(w mpi.World) (*mpi.Result, error) {
+		_, r, err := long.Run(w)
+		return r, err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nadaptive (online, no profile) FT N=8 over 24 iterations: %v\n", cmpA)
+	fmt.Println("rank-0 converged gears:")
+	for phase, st := range chosen {
+		fmt.Printf("  %-14s %v\n", phase, st)
+	}
+}

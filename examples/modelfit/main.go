@@ -1,0 +1,123 @@
+// Modelfit: the fine-grain parameterization workflow (paper Section 5.2)
+// end to end — measure the machine with microbenchmarks, profile the
+// application with hardware counters, compose the model, and predict
+// configurations that were never run as whole-program measurements.
+//
+//	go run ./examples/modelfit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pasp/internal/cluster"
+	"pasp/internal/core"
+	"pasp/internal/lmbench"
+	"pasp/internal/machine"
+	"pasp/internal/mpptest"
+	"pasp/internal/npb"
+)
+
+func main() {
+	platform := cluster.PentiumM()
+	lu := npb.LU{N: 32, Iters: 10}
+	freqs := []float64{600, 800, 1000, 1200, 1400}
+
+	// Step 1 — workload distribution: one profiled sequential run.
+	w1, err := platform.World(1, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, seq, err := lu.Run(w1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	work, err := seq.Counters.Decompose()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Step 1 — counter-derived workload decomposition:")
+	fr := work.Fractions()
+	for l := machine.Reg; l < machine.NumLevels; l++ {
+		fmt.Printf("  %-14s %8.2fe9 ins  (%.1f%%)\n", l, work.Ops[l]/1e9, fr[l]*100)
+	}
+
+	// Step 2a — memory-level latencies at every gear (LMbench methodology).
+	fmt.Println("\nStep 2a — measured ns per instruction (pointer chase):")
+	secPerIns := map[float64][machine.NumLevels]float64{}
+	for _, mhz := range freqs {
+		ln, err := lmbench.LevelNanos(platform.Mach, mhz*1e6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sec [machine.NumLevels]float64
+		for l := range ln {
+			sec[l] = ln[l] * 1e-9
+		}
+		secPerIns[mhz] = sec
+		fmt.Printf("  %4.0f MHz: reg %.2f  L1 %.2f  L2 %.2f  mem %.2f\n",
+			mhz, ln[machine.Reg], ln[machine.L1], ln[machine.L2], ln[machine.Mem])
+	}
+
+	// Step 2b — communication time from the profiled message traffic and an
+	// MPPTEST-style ping-pong at the application's message size.
+	fmt.Println("\nStep 2b — communication profile and per-message times:")
+	comm := map[int]map[float64]float64{}
+	for _, n := range []int{2, 4, 8} {
+		wn, err := platform.World(n, 600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, par, err := lu.Run(wn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		msgs, bytes := 0, 0
+		for _, rs := range par.PerRank {
+			if rs.Msgs > msgs {
+				msgs, bytes = rs.Msgs, rs.MsgBytes
+			}
+		}
+		avg := bytes / msgs
+		comm[n] = map[float64]float64{}
+		for _, mhz := range freqs {
+			w2, err := platform.World(2, mhz)
+			if err != nil {
+				log.Fatal(err)
+			}
+			per, err := mpptest.PingPong(w2, avg, 20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			comm[n][mhz] = float64(msgs) * per
+		}
+		fmt.Printf("  N=%d: %5d messages, avg %5d B → overhead %.3f s at 600 MHz\n",
+			n, msgs, avg, comm[n][600])
+	}
+
+	// Step 3 — compose and predict.
+	fp := &core.FP{Work: work, SecPerIns: secPerIns, CommSec: comm}
+	if err := fp.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nStep 3 — FP predictions vs simulated measurements:")
+	for _, cfg := range []struct {
+		n   int
+		mhz float64
+	}{{1, 1400}, {4, 1000}, {8, 1400}} {
+		pred, err := fp.PredictTime(cfg.n, cfg.mhz)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := platform.World(cfg.n, cfg.mhz)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, meas, err := lu.Run(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  N=%d @ %4.0f MHz: predicted %6.3f s, measured %6.3f s (error %+.1f%%)\n",
+			cfg.n, cfg.mhz, pred, meas.Seconds, (pred-meas.Seconds)/meas.Seconds*100)
+	}
+}

@@ -1,0 +1,89 @@
+// Quickstart: simulate a NAS kernel on the power-aware cluster, measure
+// the two slices the simplified parameterization needs, and predict the
+// execution time and power-aware speedup of configurations that were never
+// run.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pasp/internal/cluster"
+	"pasp/internal/core"
+	"pasp/internal/mpi"
+	"pasp/internal/npb"
+)
+
+func main() {
+	// The paper's platform: 16 Pentium M nodes, five P-states, 100 Mb
+	// switched Ethernet.
+	platform := cluster.PentiumM()
+
+	// A communication-bound workload: the FT kernel (3-D FFT with a
+	// transpose alltoall every iteration).
+	ft := npb.FT{Nx: 32, Ny: 32, Nz: 32, Iters: 3, Scale: 32}
+	run := func(w mpi.World) (*mpi.Result, error) {
+		_, r, err := ft.Run(w)
+		return r, err
+	}
+
+	// Step 1+3 of the SP parameterization: measure the base-frequency
+	// column and the one-processor row.
+	meas := core.NewMeasurements()
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		w, err := platform.World(n, 600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := run(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meas.SetTime(n, 600, res.Seconds)
+		fmt.Printf("measured T(%2d, 600MHz) = %6.2f s\n", n, res.Seconds)
+	}
+	for _, mhz := range []float64{800, 1000, 1200, 1400} {
+		w, err := platform.World(1, mhz)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := run(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meas.SetTime(1, mhz, res.Seconds)
+		fmt.Printf("measured T( 1, %4.0fMHz) = %6.2f s\n", mhz, res.Seconds)
+	}
+
+	// Fit the model (Eqs. 16–18) from those nine runs.
+	sp, err := core.FitSP(meas)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Predict an unmeasured configuration, then check it against the
+	// simulator.
+	const n, mhz = 8, 1200
+	predT, err := sp.PredictTime(n, mhz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predS, err := sp.PredictSpeedup(n, mhz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := platform.World(n, mhz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := run(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npower-aware prediction for N=%d at %d MHz:\n", n, mhz)
+	fmt.Printf("  predicted time    %6.2f s, measured %6.2f s (error %.1f%%)\n",
+		predT, res.Seconds, (predT-res.Seconds)/res.Seconds*100)
+	fmt.Printf("  predicted speedup %6.2f\n", predS)
+}

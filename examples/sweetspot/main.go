@@ -1,0 +1,52 @@
+// Sweetspot: sweep the full (processor count, frequency) grid for the FT
+// kernel, then identify the configurations that optimize speedup, energy
+// and the energy-delay product — with and without a cluster power cap.
+// This is the paper's motivating use case for an accurate power-aware
+// speedup model.
+//
+//	go run ./examples/sweetspot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pasp/internal/cluster"
+	"pasp/internal/core"
+	"pasp/internal/mpi"
+	"pasp/internal/npb"
+)
+
+func main() {
+	platform := cluster.PentiumM()
+	grid := cluster.PaperGrid()
+	ft := npb.FT{Nx: 32, Ny: 32, Nz: 32, Iters: 3, Scale: 32}
+
+	cells, err := cluster.Sweep(platform, grid, func(w mpi.World) (*mpi.Result, error) {
+		_, r, err := ft.Run(w)
+		return r, err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	meas := core.NewMeasurements()
+	for _, c := range cells {
+		meas.SetTime(c.N, c.MHz, c.Res.Seconds)
+		meas.SetEnergy(c.N, c.MHz, c.Res.Joules)
+	}
+
+	show := func(label string, obj core.Objective, cap float64) {
+		best, err := core.SweetSpot(meas, obj, cap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %-14v %7.2f s  %8.0f J  %7.1f W  speedup %.2f\n",
+			label, best.Config, best.Seconds, best.Joules, best.AvgWatts, best.Speedup)
+	}
+	fmt.Println("FT sweet spots over the 5x5 configuration grid:")
+	show("fastest", core.MaxSpeedup, 0)
+	show("least energy", core.MinEnergy, 0)
+	show("best energy-delay (EDP)", core.MinEDP, 0)
+	show("best ED2P", core.MinED2P, 0)
+	show("fastest under 250 W", core.MaxSpeedup, 250)
+}

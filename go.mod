@@ -1,0 +1,3 @@
+module pasp
+
+go 1.22

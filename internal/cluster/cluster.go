@@ -1,0 +1,174 @@
+// Package cluster assembles the substrates into the paper's experimental
+// platform — a 16-node DVS-enabled cluster of Pentium M laptops on 100 Mb
+// switched Ethernet — and provides grid sweeps over (processor count,
+// frequency) configurations, the measurement campaign every experiment
+// starts from.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pasp/internal/machine"
+	"pasp/internal/mpi"
+	"pasp/internal/power"
+	"pasp/internal/simnet"
+)
+
+// Platform bundles the hardware models of one cluster type.
+type Platform struct {
+	// Mach is the node timing model.
+	Mach machine.Config
+	// Net is the interconnect model.
+	Net simnet.Config
+	// Prof is the node power profile.
+	Prof power.Profile
+	// MaxNodes is how many nodes the cluster has.
+	MaxNodes int
+}
+
+// PentiumM returns the paper's platform: 16 Dell Inspiron 8600 nodes
+// (Pentium M 1.4 GHz, Table 2 P-states) on a Cisco Catalyst 2950 switch,
+// running MPICH over TCP.
+func PentiumM() Platform {
+	return Platform{
+		Mach:     machine.PentiumM(),
+		Net:      simnet.FastEthernet(),
+		Prof:     power.PentiumM(),
+		MaxNodes: 16,
+	}
+}
+
+// Validate reports an error for an inconsistent platform.
+func (p Platform) Validate() error {
+	if err := p.Mach.Validate(); err != nil {
+		return err
+	}
+	if err := p.Net.Validate(); err != nil {
+		return err
+	}
+	if err := p.Prof.Validate(); err != nil {
+		return err
+	}
+	if p.MaxNodes < 1 {
+		return fmt.Errorf("cluster: MaxNodes = %d", p.MaxNodes)
+	}
+	return nil
+}
+
+// World returns an MPI world of n nodes at the P-state closest to mhz.
+func (p Platform) World(n int, mhz float64) (mpi.World, error) {
+	if n < 1 || n > p.MaxNodes {
+		return mpi.World{}, fmt.Errorf("cluster: %d nodes outside [1, %d]", n, p.MaxNodes)
+	}
+	st, err := p.Prof.StateAt(mhz * power.MHz)
+	if err != nil {
+		return mpi.World{}, err
+	}
+	return mpi.World{N: n, Net: p.Net, Mach: p.Mach, Prof: p.Prof, State: st}, nil
+}
+
+// Grid is a measurement campaign: every (N, MHz) combination.
+type Grid struct {
+	// Ns is the processor counts, ascending; Ns[0] is usually 1.
+	Ns []int
+	// MHz is the frequencies in megahertz, ascending; MHz[0] is the base.
+	MHz []float64
+}
+
+// PaperGrid returns the grid of the paper's Tables 1 and 3 and Figures 1–2:
+// N ∈ {1, 2, 4, 8, 16}, f ∈ {600 … 1400} MHz.
+func PaperGrid() Grid {
+	return Grid{
+		Ns:  []int{1, 2, 4, 8, 16},
+		MHz: []float64{600, 800, 1000, 1200, 1400},
+	}
+}
+
+// Validate reports an error for an empty or unsorted grid.
+func (g Grid) Validate() error {
+	if len(g.Ns) == 0 || len(g.MHz) == 0 {
+		return fmt.Errorf("cluster: empty grid")
+	}
+	for i := 1; i < len(g.Ns); i++ {
+		if g.Ns[i] <= g.Ns[i-1] {
+			return fmt.Errorf("cluster: Ns not ascending at %d", i)
+		}
+	}
+	for i := 1; i < len(g.MHz); i++ {
+		if g.MHz[i] <= g.MHz[i-1] {
+			return fmt.Errorf("cluster: MHz not ascending at %d", i)
+		}
+	}
+	return nil
+}
+
+// Cell is one grid measurement.
+type Cell struct {
+	// N and MHz identify the configuration.
+	N   int
+	MHz float64
+	// Res is the simulation outcome.
+	Res *mpi.Result
+}
+
+// RunFunc executes a kernel on a configured world.
+type RunFunc func(w mpi.World) (*mpi.Result, error)
+
+// Sweep measures run at every grid cell. Cells execute concurrently on up
+// to GOMAXPROCS workers; each cell's simulation is itself deterministic, so
+// the sweep result does not depend on scheduling.
+func Sweep(p Platform, g Grid, run RunFunc) ([]Cell, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, 0, len(g.Ns)*len(g.MHz))
+	for _, n := range g.Ns {
+		for _, f := range g.MHz {
+			cells = append(cells, Cell{N: n, MHz: f})
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		errs = make([]error, len(cells))
+	)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				w, err := p.World(cells[i].N, cells[i].MHz)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				res, err := run(w)
+				if err != nil {
+					errs[i] = fmt.Errorf("cluster: N=%d f=%gMHz: %w", cells[i].N, cells[i].MHz, err)
+					continue
+				}
+				cells[i].Res = res
+			}
+		}()
+	}
+	for i := range cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cells, nil
+}

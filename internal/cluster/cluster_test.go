@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"pasp/internal/machine"
+	"pasp/internal/mpi"
+)
+
+func TestPentiumMValid(t *testing.T) {
+	if err := PentiumM().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldBounds(t *testing.T) {
+	p := PentiumM()
+	if _, err := p.World(0, 600); err == nil {
+		t.Error("0 nodes accepted")
+	}
+	if _, err := p.World(17, 600); err == nil {
+		t.Error("17 nodes accepted on a 16-node cluster")
+	}
+	if _, err := p.World(4, 700); err == nil {
+		t.Error("unavailable frequency accepted")
+	}
+	w, err := p.World(4, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.State.Voltage != 1.436 {
+		t.Errorf("voltage %g, want 1.436 (Table 2)", w.State.Voltage)
+	}
+}
+
+func TestPaperGrid(t *testing.T) {
+	g := PaperGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Ns) != 5 || len(g.MHz) != 5 {
+		t.Errorf("grid is %dx%d, want 5x5", len(g.Ns), len(g.MHz))
+	}
+	if g.Ns[4] != 16 || g.MHz[0] != 600 {
+		t.Error("grid corners wrong")
+	}
+}
+
+func TestGridValidateRejects(t *testing.T) {
+	bad := []Grid{
+		{},
+		{Ns: []int{1}, MHz: nil},
+		{Ns: []int{1, 1}, MHz: []float64{600}},
+		{Ns: []int{1, 2}, MHz: []float64{800, 600}},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad grid %d accepted", i)
+		}
+	}
+}
+
+func TestSweepRunsEveryCell(t *testing.T) {
+	p := PentiumM()
+	g := Grid{Ns: []int{1, 2, 4}, MHz: []float64{600, 1400}}
+	cells, err := Sweep(p, g, func(w mpi.World) (*mpi.Result, error) {
+		return mpi.Run(w, func(c *mpi.Ctx) error {
+			return c.Compute(machine.W(1e6*float64(c.Size()), 0, 0, 0))
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(cells))
+	}
+	seen := map[[2]float64]bool{}
+	for _, c := range cells {
+		if c.Res == nil {
+			t.Fatalf("cell N=%d f=%g has no result", c.N, c.MHz)
+		}
+		if c.Res.Seconds <= 0 {
+			t.Errorf("cell N=%d f=%g has zero time", c.N, c.MHz)
+		}
+		seen[[2]float64{float64(c.N), c.MHz}] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("duplicate cells: %v", seen)
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	boom := errors.New("kernel failed")
+	_, err := Sweep(PentiumM(), Grid{Ns: []int{1}, MHz: []float64{600}}, func(w mpi.World) (*mpi.Result, error) {
+		return nil, boom
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestSweepDeterministicAcrossRuns(t *testing.T) {
+	p := PentiumM()
+	g := Grid{Ns: []int{1, 2}, MHz: []float64{600, 1000}}
+	run := func() []float64 {
+		cells, err := Sweep(p, g, func(w mpi.World) (*mpi.Result, error) {
+			return mpi.Run(w, func(c *mpi.Ctx) error {
+				if err := c.Compute(machine.W(1e7, 1e6, 0, 1e5)); err != nil {
+					return err
+				}
+				return c.Barrier()
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(cells))
+		for i, c := range cells {
+			out[i] = c.Res.Seconds
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("cell %d diverges across sweeps: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DOPClass is the execution time, at the reference point (1 processor,
+// base frequency), of the workload fraction whose degree of parallelism is
+// exactly i: wi_ON and wi_OFF of the paper's Eq. 9.
+type DOPClass struct {
+	// OnSec is T(wi_ON, f0) on one processor.
+	OnSec float64
+	// OffSec is T(wi_OFF) on one processor.
+	OffSec float64
+}
+
+// DOP is the full decomposition of the paper's Eqs. 9–10: workload classes
+// indexed by degree of parallelism plus the parallel-overhead terms. It
+// generalizes Terms (Eq. 11), which is the special case of classes at
+// DOP = 1 and DOP = m only.
+type DOP struct {
+	// Classes maps each degree of parallelism i ≥ 1 to its class times.
+	Classes map[int]DOPClass
+	// POOn and POOff are the parallel-overhead times (at f0 for the ON
+	// part) as functions of the processor count; nil means zero.
+	POOn, POOff func(n int) float64
+}
+
+// Validate reports an error for malformed classes.
+func (d DOP) Validate() error {
+	if len(d.Classes) == 0 {
+		return fmt.Errorf("core: DOP decomposition has no classes")
+	}
+	for i, c := range d.Classes {
+		if i < 1 {
+			return fmt.Errorf("core: DOP class %d < 1", i)
+		}
+		if c.OnSec < 0 || c.OffSec < 0 {
+			return fmt.Errorf("core: negative time in DOP class %d", i)
+		}
+	}
+	return nil
+}
+
+// MaxDOP returns m, the largest degree of parallelism present.
+func (d DOP) MaxDOP() int {
+	m := 0
+	for i := range d.Classes {
+		if i > m {
+			m = i
+		}
+	}
+	return m
+}
+
+// speedupFactor returns how much faster class i runs on n processors than
+// on one: i when i ≤ n, and i/⌈i/n⌉ otherwise (the paper's footnote 2: with
+// more parallelism than processors, the work proceeds in ⌈i/n⌉ batches).
+func speedupFactor(i, n int) float64 {
+	if i <= n {
+		return float64(i)
+	}
+	batches := (i + n - 1) / n
+	return float64(i) / float64(batches)
+}
+
+// Time evaluates Eq. 9 on n processors at frequency ratio r = f/f0.
+func (d DOP) Time(n int, r float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("core: N = %d", n)
+	}
+	if r <= 0 {
+		return 0, fmt.Errorf("core: frequency ratio %g", r)
+	}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	t := 0.0
+	for i, c := range d.Classes {
+		s := speedupFactor(i, n)
+		t += c.OnSec/(r*s) + c.OffSec/s
+	}
+	if n > 1 {
+		if d.POOn != nil {
+			t += d.POOn(n) / r
+		}
+		if d.POOff != nil {
+			t += d.POOff(n)
+		}
+	}
+	return t, nil
+}
+
+// Speedup evaluates Eq. 10: T(1, f0) / T(n, f).
+func (d DOP) Speedup(n int, r float64) (float64, error) {
+	t1, err := d.Time(1, 1)
+	if err != nil {
+		return 0, err
+	}
+	tn, err := d.Time(n, r)
+	if err != nil {
+		return 0, err
+	}
+	if tn <= 0 {
+		return 0, fmt.Errorf("core: degenerate zero time")
+	}
+	return t1 / tn, nil
+}
+
+// Terms converts the two-class special case (DOP 1 and DOP m) into the
+// Eq. 11 Terms form; it returns an error when other classes are present.
+func (d DOP) Terms() (Terms, error) {
+	if err := d.Validate(); err != nil {
+		return Terms{}, err
+	}
+	m := d.MaxDOP()
+	t := Terms{POOn: d.POOn, POOff: d.POOff}
+	for i, c := range d.Classes {
+		switch {
+		case i == 1 && m != 1:
+			t.SeqOn, t.SeqOff = c.OnSec, c.OffSec
+		case i == m:
+			t.ParOn, t.ParOff = c.OnSec, c.OffSec
+		default:
+			return Terms{}, fmt.Errorf("core: DOP class %d is neither serial nor maximal (m=%d)", i, m)
+		}
+	}
+	return t, nil
+}
+
+// AverageParallelism returns the workload-weighted mean DOP — an upper
+// bound on asymptotic speedup at the base frequency (Eager, Zahorjan and
+// Lazowska's measure from the related work).
+func (d DOP) AverageParallelism() (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	var work, span float64
+	for i, c := range d.Classes {
+		w := c.OnSec + c.OffSec
+		work += w
+		span += w / float64(i)
+	}
+	if span == 0 {
+		return 0, fmt.Errorf("core: empty DOP workload")
+	}
+	return work / span, nil
+}
+
+// DOPs returns the class indices in ascending order.
+func (d DOP) DOPs() []int {
+	out := make([]int, 0, len(d.Classes))
+	for i := range d.Classes {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// UniformDOP builds a decomposition whose work is spread evenly over DOPs
+// 1..m — a convenient synthetic profile for studies.
+func UniformDOP(m int, onSec, offSec float64) (DOP, error) {
+	if m < 1 {
+		return DOP{}, fmt.Errorf("core: m = %d", m)
+	}
+	d := DOP{Classes: map[int]DOPClass{}}
+	for i := 1; i <= m; i++ {
+		d.Classes[i] = DOPClass{OnSec: onSec / float64(m), OffSec: offSec / float64(m)}
+	}
+	return d, nil
+}
+
+// SpeedupBound returns the asymptotic speedup of the decomposition at
+// frequency ratio r as n → ∞ (overhead excluded): every class limited by
+// its own DOP.
+func (d DOP) SpeedupBound(r float64) (float64, error) {
+	t1, err := d.Time(1, 1)
+	if err != nil {
+		return 0, err
+	}
+	tInf := 0.0
+	for i, c := range d.Classes {
+		tInf += c.OnSec/(r*float64(i)) + c.OffSec/float64(i)
+	}
+	if tInf == 0 {
+		return math.Inf(1), nil
+	}
+	return t1 / tInf, nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pasp/internal/stats"
+)
+
+func TestDOPValidate(t *testing.T) {
+	if err := (DOP{}).Validate(); err == nil {
+		t.Error("empty decomposition accepted")
+	}
+	if err := (DOP{Classes: map[int]DOPClass{0: {OnSec: 1}}}).Validate(); err == nil {
+		t.Error("DOP 0 accepted")
+	}
+	if err := (DOP{Classes: map[int]DOPClass{2: {OnSec: -1}}}).Validate(); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestSpeedupFactor(t *testing.T) {
+	cases := []struct {
+		i, n int
+		want float64
+	}{
+		{1, 16, 1},
+		{8, 16, 8},
+		{16, 16, 16},
+		{17, 16, 8.5},   // 2 batches: 17/2
+		{32, 16, 16},    // 2 batches: 32/2
+		{33, 16, 11},    // 3 batches: 33/3
+		{5, 2, 5.0 / 3}, // 3 batches
+	}
+	for _, c := range cases {
+		if got := speedupFactor(c.i, c.n); !stats.AlmostEqual(got, c.want, 1e-12) {
+			t.Errorf("speedupFactor(%d,%d) = %g, want %g", c.i, c.n, got, c.want)
+		}
+	}
+}
+
+// Eq. 9 reduces to Eq. 11 on a two-class decomposition.
+func TestDOPMatchesTermsOnTwoClasses(t *testing.T) {
+	po := func(n int) float64 { return 0.1 * float64(n) }
+	d := DOP{
+		Classes: map[int]DOPClass{
+			1:  {OnSec: 5, OffSec: 2},
+			16: {OnSec: 80, OffSec: 13},
+		},
+		POOff: po,
+	}
+	terms, err := d.Terms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 8, 16} {
+		for _, r := range []float64{1, 2, 7.0 / 3} {
+			a, err := d.Time(n, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := terms.Time(n, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !stats.AlmostEqual(a, b, 1e-12) {
+				t.Errorf("N=%d r=%g: Eq.9 %g ≠ Eq.11 %g", n, r, a, b)
+			}
+		}
+	}
+}
+
+func TestDOPTermsRejectsMiddleClasses(t *testing.T) {
+	d := DOP{Classes: map[int]DOPClass{1: {OnSec: 1}, 4: {OnSec: 1}, 16: {OnSec: 1}}}
+	if _, err := d.Terms(); err == nil {
+		t.Error("three-class decomposition converted to Terms")
+	}
+}
+
+// Footnote 2: with DOP above the processor count, the class still helps but
+// in batches. m=32 work on 16 processors runs exactly 16× faster, and on 15
+// processors slower than that.
+func TestDOPFootnote2Ceiling(t *testing.T) {
+	d := DOP{Classes: map[int]DOPClass{32: {OnSec: 32}}}
+	t16, err := d.Time(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AlmostEqual(t16, 2, 1e-12) {
+		t.Errorf("T(16) = %g, want 2 (two full batches)", t16)
+	}
+	t15, err := d.Time(15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t15 <= t16 {
+		t.Errorf("T(15) = %g not above T(16) = %g", t15, t16)
+	}
+	// Speedup can never exceed N even when DOP is larger.
+	s, err := d.Speedup(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 16+1e-12 {
+		t.Errorf("speedup %g exceeds N", s)
+	}
+}
+
+func TestDOPAverageParallelism(t *testing.T) {
+	// Equal time at DOP 1 and DOP 3: A = 2/(1+1/3) = 1.5.
+	d := DOP{Classes: map[int]DOPClass{1: {OnSec: 1}, 3: {OnSec: 1}}}
+	a, err := d.AverageParallelism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AlmostEqual(a, 1.5, 1e-12) {
+		t.Errorf("average parallelism %g, want 1.5", a)
+	}
+}
+
+func TestDOPSpeedupBound(t *testing.T) {
+	d := DOP{Classes: map[int]DOPClass{1: {OnSec: 10}, 10: {OnSec: 90}}}
+	bound, err := d.SpeedupBound(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T1 = 100, T∞ = 10 + 9 = 19.
+	if !stats.AlmostEqual(bound, 100.0/19, 1e-12) {
+		t.Errorf("bound %g, want %g", bound, 100.0/19)
+	}
+	// The bound is respected at every finite n.
+	for _, n := range []int{2, 10, 1000} {
+		s, err := d.Speedup(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > bound+1e-9 {
+			t.Errorf("speedup %g at N=%d exceeds bound %g", s, n, bound)
+		}
+	}
+}
+
+func TestUniformDOP(t *testing.T) {
+	d, err := UniformDOP(4, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.DOPs(); len(got) != 4 || got[0] != 1 || got[3] != 4 {
+		t.Errorf("DOPs = %v", got)
+	}
+	t1, err := d.Time(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AlmostEqual(t1, 12, 1e-12) {
+		t.Errorf("T1 = %g, want 12", t1)
+	}
+	if _, err := UniformDOP(0, 1, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+// Property: DOP speedup is monotone non-decreasing in n and bounded by n·r.
+func TestDOPSpeedupMonotoneBoundedProperty(t *testing.T) {
+	d := DOP{
+		Classes: map[int]DOPClass{
+			1: {OnSec: 3, OffSec: 1},
+			4: {OnSec: 20, OffSec: 5},
+			9: {OnSec: 40, OffSec: 8},
+		},
+	}
+	f := func(aRaw, bRaw, rRaw uint8) bool {
+		a, b := int(aRaw)%20+1, int(bRaw)%20+1
+		if a > b {
+			a, b = b, a
+		}
+		r := 1 + float64(rRaw)/192
+		sa, err1 := d.Speedup(a, r)
+		sb, err2 := d.Speedup(b, r)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sa <= sb+1e-9 && sb <= float64(b)*r+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+
+	"pasp/internal/power"
+)
+
+// PredictEnergy estimates the cluster energy of a run from a predicted
+// execution time: n nodes drawing node power at the given utilization for
+// the whole run. With MPICH's busy-poll progress engine the platform's
+// cores stay near full utilization even while communicating, so util = 1 is
+// the paper-faithful choice; lower values model interrupt-driven stacks.
+//
+// Combined with a time model (SP or FP), this is how the paper predicts
+// "the power-aware performance and energy-delay products ... within 7%".
+func PredictEnergy(prof power.Profile, st power.PState, n int, seconds, util float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("core: N = %d", n)
+	}
+	if seconds < 0 {
+		return 0, fmt.Errorf("core: negative predicted time %g", seconds)
+	}
+	if util < 0 || util > 1 {
+		return 0, fmt.Errorf("core: utilization %g outside [0,1]", util)
+	}
+	return float64(n) * prof.NodePower(st, util) * seconds, nil
+}
+
+// PredictEDP estimates the energy-delay product from a predicted time.
+func PredictEDP(prof power.Profile, st power.PState, n int, seconds, util float64) (float64, error) {
+	e, err := PredictEnergy(prof, st, n, seconds, util)
+	if err != nil {
+		return 0, err
+	}
+	return power.EDP(e, seconds), nil
+}

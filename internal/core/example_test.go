@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pasp/internal/core"
+)
+
+// The motivating failure: predicting a power-aware cluster's combined
+// speedup as the product of the independently measured parallelism and
+// frequency speedups (generalized Amdahl, Eq. 3) over-predicts when the
+// workload has parallel overhead.
+func ExampleProductSpeedup() {
+	m := core.NewMeasurements()
+	// A synthetic FT-like workload: compute parallelizes, communication
+	// overhead does not, and only the compute part scales with frequency.
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		for _, mhz := range []float64{600, 1400} {
+			t := 60.0*(600/mhz)/float64(n) + 20.0 // compute + flat overhead
+			if n == 1 {
+				t = 60.0 * (600 / mhz) // sequential: no overhead
+			}
+			m.SetTime(n, mhz, t)
+		}
+	}
+	pred, _ := core.ProductSpeedup(m, 16, 1400)
+	meas, _ := m.Speedup(16, 1400)
+	fmt.Printf("predicted %.2f, measured %.2f (over-prediction %.0f%%)\n",
+		pred, meas, (pred/meas-1)*100)
+	// Output:
+	// predicted 5.89, measured 2.78 (over-prediction 112%)
+}
+
+// Power-aware speedup fixes the product rule by modelling the decomposed
+// execution time (Eq. 11): the same workload's speedup comes out right.
+func ExampleTerms_Speedup() {
+	terms := core.Terms{
+		ParOn: 60,                                // parallelizable, frequency-scaled compute (at f0)
+		POOff: func(n int) float64 { return 20 }, // frequency-flat overhead
+	}
+	s, _ := terms.Speedup(16, 1400.0/600)
+	fmt.Printf("power-aware speedup at (16, 1400MHz): %.2f\n", s)
+	// Output:
+	// power-aware speedup at (16, 1400MHz): 2.78
+}
+
+// The simplified parameterization (Eqs. 16–18) fits from the base-frequency
+// column and the sequential row, then predicts every other configuration.
+func ExampleFitSP() {
+	m := core.NewMeasurements()
+	for _, n := range []int{1, 2, 4} {
+		for _, mhz := range []float64{600, 1000, 1400} {
+			m.SetTime(n, mhz, 30*(600/mhz)/float64(n)+2*float64(n-1))
+		}
+	}
+	sp, _ := core.FitSP(m)
+	tpo, _ := sp.Overhead(4)
+	pred, _ := sp.PredictTime(4, 1400)
+	fmt.Printf("derived overhead at N=4: %.2f s\n", tpo)
+	fmt.Printf("predicted T(4, 1400MHz): %.2f s\n", pred)
+	// Output:
+	// derived overhead at N=4: 6.00 s
+	// predicted T(4, 1400MHz): 9.21 s
+}
+
+// EPSpeedup is the closed form for a fully parallel ON-chip workload
+// (Eq. 12): the paper's EP benchmark reaches 15.9 × 2.34 ≈ 37 on its
+// 16-node cluster.
+func ExampleEPSpeedup() {
+	s, _ := core.EPSpeedup(16, 1400.0/600)
+	fmt.Printf("%.1f\n", s)
+	// Output:
+	// 37.3
+}

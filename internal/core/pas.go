@@ -1,0 +1,97 @@
+package core
+
+import "fmt"
+
+// Terms is the execution-time decomposition of the paper's Eq. 11,
+// expressed as the time each component takes at the reference point
+// (1 processor, base frequency f0). The components are:
+//
+//	SeqOn  — T(w1_ON, f0):  serial work scaled by frequency, not by N
+//	SeqOff — T(w1_OFF):     serial work scaled by neither
+//	ParOn  — T(wN_ON, f0):  parallelizable work scaled by both
+//	ParOff — T(wN_OFF):     parallelizable work scaled by N only
+//	POOn   — T(wPO_ON, f0): parallel overhead scaled by frequency
+//	POOff  — T(wPO_OFF):    parallel overhead scaled by neither
+//
+// Overheads are functions of N because the overhead workload grows with
+// the processor count; nil functions mean zero overhead.
+type Terms struct {
+	SeqOn, SeqOff float64
+	ParOn, ParOff float64
+	POOn, POOff   func(n int) float64
+}
+
+// Validate reports an error for negative components.
+func (t Terms) Validate() error {
+	if t.SeqOn < 0 || t.SeqOff < 0 || t.ParOn < 0 || t.ParOff < 0 {
+		return fmt.Errorf("core: negative time component in %+v", t)
+	}
+	return nil
+}
+
+func (t Terms) poOn(n int) float64 {
+	if t.POOn == nil || n == 1 {
+		return 0
+	}
+	return t.POOn(n)
+}
+
+func (t Terms) poOff(n int) float64 {
+	if t.POOff == nil || n == 1 {
+		return 0
+	}
+	return t.POOff(n)
+}
+
+// Time evaluates Eq. 11's denominator: the execution time on n processors
+// at frequency ratio r = f/f0.
+func (t Terms) Time(n int, r float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("core: N = %d", n)
+	}
+	if r <= 0 {
+		return 0, fmt.Errorf("core: frequency ratio %g not positive", r)
+	}
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	fn := float64(n)
+	return (t.SeqOn+t.ParOn/fn)/r + t.SeqOff + t.ParOff/fn +
+		t.poOn(n)/r + t.poOff(n), nil
+}
+
+// Speedup evaluates the power-aware speedup of Eq. 11: the base sequential
+// time divided by Time(n, r).
+func (t Terms) Speedup(n int, r float64) (float64, error) {
+	t1, err := t.Time(1, 1)
+	if err != nil {
+		return 0, err
+	}
+	tn, err := t.Time(n, r)
+	if err != nil {
+		return 0, err
+	}
+	if tn <= 0 {
+		return 0, fmt.Errorf("core: degenerate zero execution time")
+	}
+	return t1 / tn, nil
+}
+
+// EPSpeedup is the closed form of Eq. 12, valid for a fully parallelizable
+// ON-chip-only workload with no overhead (the EP benchmark): the speedup is
+// the plain product N·(f/f0).
+func EPSpeedup(n int, r float64) (float64, error) {
+	if n < 1 || r <= 0 {
+		return 0, fmt.Errorf("core: EPSpeedup(%d, %g)", n, r)
+	}
+	return float64(n) * r, nil
+}
+
+// FTTerms builds the Eq. 13 special case: a fully parallelizable mixed
+// ON/OFF-chip workload whose overhead is OFF-chip only (all-to-all
+// communication unaffected by CPU frequency). parOn and parOff are the
+// sequential times of the two workload parts at f0; po gives the overhead
+// time as a function of N.
+func FTTerms(parOn, parOff float64, po func(n int) float64) Terms {
+	return Terms{ParOn: parOn, ParOff: parOff, POOff: po}
+}

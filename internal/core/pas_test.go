@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pasp/internal/stats"
+)
+
+func TestTermsEq12Reduction(t *testing.T) {
+	// A fully parallelizable ON-chip workload with no overhead reduces
+	// Eq. 11 to Eq. 12: S = N·(f/f0).
+	terms := Terms{ParOn: 100}
+	for _, n := range []int{1, 2, 8, 16} {
+		for _, r := range []float64{1, 4.0 / 3, 2, 7.0 / 3} {
+			s, err := terms.Speedup(n, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := EPSpeedup(n, r)
+			if !stats.AlmostEqual(s, want, 1e-12) {
+				t.Errorf("N=%d r=%g: Eq.11 %g ≠ Eq.12 %g", n, r, s, want)
+			}
+		}
+	}
+}
+
+func TestTermsSerialFractionCapsSpeedup(t *testing.T) {
+	// With a serial ON-chip component, N→∞ at base frequency approaches
+	// Amdahl's bound T1/Tserial.
+	terms := Terms{SeqOn: 10, ParOn: 90}
+	s, err := terms.Speedup(1_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AlmostEqual(s, 10, 0.01) {
+		t.Errorf("asymptotic speedup %g, want ≈ 10", s)
+	}
+}
+
+func TestTermsOffChipCapsFrequencySpeedup(t *testing.T) {
+	// With an OFF-chip share, frequency scaling alone saturates below f/f0.
+	terms := Terms{ParOn: 66, ParOff: 34}
+	s, err := terms.Speedup(1, 1400.0/600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s >= 1400.0/600 {
+		t.Errorf("frequency speedup %g not sublinear", s)
+	}
+	// The paper's FT observation: about 1.6 at 1400 MHz for a ~66% ON-chip
+	// workload.
+	if s < 1.4 || s > 1.8 {
+		t.Errorf("frequency speedup %g outside FT-like band", s)
+	}
+}
+
+func TestTermsOverheadDiminishesFrequencyEffect(t *testing.T) {
+	// The paper's key FT observation: as N grows, OFF-chip overhead
+	// dominates and the benefit of frequency scaling shrinks.
+	terms := FTTerms(90, 10, func(n int) float64 { return 3 * float64(n-1) })
+	gain := func(n int) float64 {
+		s600, err := terms.Speedup(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1400, err := terms.Speedup(n, 1400.0/600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s1400 / s600
+	}
+	if g2, g16 := gain(2), gain(16); g16 >= g2 {
+		t.Errorf("frequency gain did not diminish with N: %g at N=2 vs %g at N=16", g2, g16)
+	}
+}
+
+func TestTermsOverheadIgnoredAtN1(t *testing.T) {
+	terms := Terms{ParOn: 50, POOff: func(n int) float64 { return 100 }}
+	t1, err := terms.Time(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != 50 {
+		t.Errorf("T(1,1) = %g, want 50 (no overhead on one processor)", t1)
+	}
+}
+
+func TestTermsValidation(t *testing.T) {
+	if _, err := (Terms{SeqOn: -1}).Time(1, 1); err == nil {
+		t.Error("negative component accepted")
+	}
+	if _, err := (Terms{ParOn: 1}).Time(0, 1); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := (Terms{ParOn: 1}).Time(1, 0); err == nil {
+		t.Error("zero ratio accepted")
+	}
+	if _, err := EPSpeedup(0, 1); err == nil {
+		t.Error("EPSpeedup N=0 accepted")
+	}
+}
+
+// Property: speedup never exceeds N·r (the Eq. 12 ideal) for any
+// decomposition with non-negative components.
+func TestSpeedupBoundedByIdealProperty(t *testing.T) {
+	f := func(seqOn, seqOff, parOn, parOff uint16, nRaw, rRaw uint8) bool {
+		terms := Terms{
+			SeqOn:  float64(seqOn),
+			SeqOff: float64(seqOff),
+			ParOn:  float64(parOn) + 1, // keep T1 > 0
+			ParOff: float64(parOff),
+		}
+		n := int(nRaw)%16 + 1
+		r := 1 + float64(rRaw)/128
+		s, err := terms.Speedup(n, r)
+		if err != nil {
+			return false
+		}
+		return s <= float64(n)*r+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: speedup is monotone in the frequency ratio.
+func TestSpeedupMonotoneInFrequencyProperty(t *testing.T) {
+	terms := Terms{SeqOn: 5, SeqOff: 2, ParOn: 80, ParOff: 13,
+		POOff: func(n int) float64 { return 0.5 * float64(n) }}
+	f := func(nRaw, aRaw, bRaw uint8) bool {
+		n := int(nRaw)%16 + 1
+		ra := 1 + float64(aRaw)/200
+		rb := 1 + float64(bRaw)/200
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		sa, err1 := terms.Speedup(n, ra)
+		sb, err2 := terms.Speedup(n, rb)
+		return err1 == nil && err2 == nil && sa <= sb+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"pasp/internal/power"
+	"pasp/internal/stats"
+)
+
+// energized builds a campaign where time improves with N and f but energy
+// grows with both, giving a non-trivial EDP optimum.
+func energized() *Measurements {
+	m := NewMeasurements()
+	prof := power.PentiumM()
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		for i, mhz := range []float64{600, 800, 1000, 1200, 1400} {
+			st := prof.States[i]
+			t := 100*(600/mhz)/float64(n) + 2*float64(n) // compute + overhead
+			m.SetTime(n, mhz, t)
+			m.SetEnergy(n, mhz, float64(n)*prof.NodePower(st, 1)*t)
+		}
+	}
+	return m
+}
+
+func TestCandidatesComplete(t *testing.T) {
+	m := energized()
+	cands, err := Candidates(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 25 {
+		t.Fatalf("got %d candidates, want 25", len(cands))
+	}
+	for _, c := range cands {
+		if c.Seconds <= 0 || c.Joules <= 0 || c.Speedup <= 0 || c.AvgWatts <= 0 {
+			t.Errorf("degenerate candidate %+v", c)
+		}
+		if !stats.AlmostEqual(c.EDP(), c.Joules*c.Seconds, 1e-12) {
+			t.Errorf("EDP mismatch for %v", c.Config)
+		}
+	}
+}
+
+func TestCandidatesSkipEnergylessCells(t *testing.T) {
+	m := NewMeasurements()
+	m.SetTime(1, 600, 10)
+	m.SetEnergy(1, 600, 100)
+	m.SetTime(2, 600, 6) // no energy
+	cands, err := Candidates(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 {
+		t.Errorf("got %d candidates, want 1", len(cands))
+	}
+}
+
+func TestCandidatesEmptyErrors(t *testing.T) {
+	if _, err := Candidates(NewMeasurements()); err == nil {
+		t.Error("empty campaign accepted")
+	}
+}
+
+func TestSweetSpotObjectives(t *testing.T) {
+	m := energized()
+	best, err := SweetSpot(m, MaxSpeedup, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, _ := Candidates(m)
+	// The pick must dominate every candidate (with the 2N-second overhead
+	// the optimum is an interior N — the "sweet spot" the paper motivates).
+	for _, c := range cands {
+		if c.Speedup > best.Speedup {
+			t.Errorf("max-speedup pick %v beaten by %v", best.Config, c.Config)
+		}
+	}
+	if best.N == 16 {
+		t.Errorf("with linear overhead the fastest N should be interior, got %v", best.Config)
+	}
+	minE, err := SweetSpot(m, MinEnergy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Joules < minE.Joules {
+			t.Errorf("min-energy pick %v beaten by %v", minE.Config, c.Config)
+		}
+	}
+	minEDP, err := SweetSpot(m, MinEDP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.EDP() < minEDP.EDP() {
+			t.Errorf("min-EDP pick %v beaten by %v", minEDP.Config, c.Config)
+		}
+	}
+	minED2P, err := SweetSpot(m, MinED2P, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ED²P weights delay harder, so its pick is at least as fast as EDP's.
+	if minED2P.Seconds > minEDP.Seconds+1e-12 {
+		t.Errorf("ED²P pick slower than EDP pick: %g vs %g", minED2P.Seconds, minEDP.Seconds)
+	}
+}
+
+func TestSweetSpotPowerCap(t *testing.T) {
+	m := energized()
+	uncapped, _ := SweetSpot(m, MaxSpeedup, 0)
+	capped, err := SweetSpot(m, MaxSpeedup, uncapped.AvgWatts/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.AvgWatts > uncapped.AvgWatts/2 {
+		t.Errorf("cap violated: %g W > %g W", capped.AvgWatts, uncapped.AvgWatts/2)
+	}
+	if capped.Speedup > uncapped.Speedup {
+		t.Error("capped speedup exceeds uncapped")
+	}
+	if _, err := SweetSpot(m, MaxSpeedup, 1); err == nil {
+		t.Error("unsatisfiable cap accepted")
+	}
+}
+
+func TestObjectiveStrings(t *testing.T) {
+	for _, o := range []Objective{MaxSpeedup, MinEnergy, MinEDP, MinED2P} {
+		if o.String() == "" {
+			t.Errorf("objective %d has no name", o)
+		}
+	}
+}
+
+func TestPredictEnergyAndEDP(t *testing.T) {
+	prof := power.PentiumM()
+	st := prof.BaseState()
+	e, err := PredictEnergy(prof, st, 4, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * prof.NodePower(st, 1) * 10
+	if !stats.AlmostEqual(e, want, 1e-12) {
+		t.Errorf("energy %g, want %g", e, want)
+	}
+	edp, err := PredictEDP(prof, st, 4, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AlmostEqual(edp, e*10, 1e-12) {
+		t.Errorf("EDP %g, want %g", edp, e*10)
+	}
+	if _, err := PredictEnergy(prof, st, 0, 1, 1); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := PredictEnergy(prof, st, 1, -1, 1); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := PredictEnergy(prof, st, 1, 1, 2); err == nil {
+		t.Error("utilization > 1 accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the generalized-Amdahl error grid (Table 1), the EP and FT
+// execution-time/speedup surfaces (Figures 1–2), the SP prediction errors
+// (Table 3), the LU workload decomposition (Table 5), the per-level and
+// communication timings (Table 6), the FP-vs-SP error comparison (Table 7),
+// the platform operating points (Table 2) and the energy-delay-product
+// prediction claim from the abstract.
+//
+// Each experiment follows the paper's methodology end to end: it *measures*
+// the simulated cluster (never reading model internals), fits the
+// parameterizations from the measured slices, and reports prediction error
+// against held-out measurements.
+package experiments
+
+import (
+	"fmt"
+
+	"pasp/internal/cluster"
+	"pasp/internal/core"
+	"pasp/internal/mpi"
+	"pasp/internal/npb"
+)
+
+// Suite bundles a platform, measurement grids and benchmark classes.
+type Suite struct {
+	// Platform is the simulated cluster.
+	Platform cluster.Platform
+	// Grid is the (N, MHz) campaign for EP and FT (Tables 1, 3; Figures 1, 2).
+	Grid cluster.Grid
+	// LUGrid is the campaign for LU (Table 7 stops at 8 processors).
+	LUGrid cluster.Grid
+	// EP, FT, LU are the paper's benchmark classes; CG, MG and IS extend
+	// the evaluation to the rest of the NAS suite's behaviour space
+	// (memory-bound, hierarchical-comm, skewed-exchange).
+	EP npb.EP
+	FT npb.FT
+	LU npb.LU
+	CG npb.CG
+	MG npb.MG
+	IS npb.IS
+	SP npb.SP
+	// PingReps is the repetition count for MPPTEST-style measurements.
+	PingReps int
+}
+
+// Paper returns the full-scale suite: the paper's 5×5 grid and classes
+// calibrated so the workload shapes match the publication (EP 2^28 logical
+// pairs; FT at class-A volume via Scale; LU on the class-A 62³ grid).
+func Paper() Suite {
+	return Suite{
+		Platform: cluster.PentiumM(),
+		Grid:     cluster.PaperGrid(),
+		LUGrid: cluster.Grid{
+			Ns:  []int{1, 2, 4, 8},
+			MHz: []float64{600, 800, 1000, 1200, 1400},
+		},
+		EP:       npb.EP{LogPairs: 18, ScaleLog: 10},
+		FT:       npb.FT{Nx: 64, Ny: 64, Nz: 32, Iters: 6, Scale: 64},
+		LU:       npb.LU{N: 62, Iters: 30},
+		CG:       npb.CG{Size: 14336, OuterIters: 10, CGIters: 25, Scale: 8},
+		MG:       npb.MG{Size: 63, Cycles: 4, Scale: 16},
+		IS:       npb.IS{LogKeys: 16, LogMaxKey: 19, Iters: 6, ScaleLog: 7},
+		SP:       npb.SP{N: 48, Steps: 20},
+		PingReps: 30,
+	}
+}
+
+// Quick returns a reduced suite for fast tests: a 3×2 grid and small
+// classes. The shapes remain, the absolute numbers shrink.
+func Quick() Suite {
+	return Suite{
+		Platform: cluster.PentiumM(),
+		Grid: cluster.Grid{
+			Ns:  []int{1, 2, 4},
+			MHz: []float64{600, 1000, 1400},
+		},
+		LUGrid: cluster.Grid{
+			Ns:  []int{1, 2, 4},
+			MHz: []float64{600, 1000, 1400},
+		},
+		EP:       npb.EP{LogPairs: 14, ScaleLog: 6},
+		FT:       npb.FT{Nx: 16, Ny: 16, Nz: 16, Iters: 2, Scale: 16},
+		LU:       npb.LU{N: 16, Iters: 8},
+		CG:       npb.CG{Size: 512, OuterIters: 2, CGIters: 10, Scale: 64},
+		MG:       npb.MG{Size: 15, Cycles: 2, Scale: 8},
+		IS:       npb.IS{LogKeys: 12, LogMaxKey: 15, Iters: 3, ScaleLog: 5},
+		SP:       npb.SP{N: 16, Steps: 4},
+		PingReps: 10,
+	}
+}
+
+// Campaign is a measured grid plus the raw per-cell results.
+type Campaign struct {
+	// Meas holds times and energies keyed by configuration.
+	Meas *core.Measurements
+	// Cells holds the raw simulation results in sweep order.
+	Cells []cluster.Cell
+}
+
+// Cell returns the raw result of one configuration.
+func (c *Campaign) Cell(n int, mhz float64) (*mpi.Result, error) {
+	for _, cell := range c.Cells {
+		if cell.N == n && cell.MHz == mhz {
+			return cell.Res, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: no cell N=%d f=%g", n, mhz)
+}
+
+// measure sweeps the grid with the kernel and collects a campaign.
+func (s Suite) measure(g cluster.Grid, run cluster.RunFunc) (*Campaign, error) {
+	cells, err := cluster.Sweep(s.Platform, g, run)
+	if err != nil {
+		return nil, err
+	}
+	camp := &Campaign{Meas: core.NewMeasurements(), Cells: cells}
+	for _, c := range cells {
+		camp.Meas.SetTime(c.N, c.MHz, c.Res.Seconds)
+		camp.Meas.SetEnergy(c.N, c.MHz, c.Res.Joules)
+	}
+	return camp, nil
+}
+
+// RunEP adapts the EP class to a sweep.
+func (s Suite) RunEP(w mpi.World) (*mpi.Result, error) {
+	_, r, err := s.EP.Run(w)
+	return r, err
+}
+
+// RunFT adapts the FT class to a sweep.
+func (s Suite) RunFT(w mpi.World) (*mpi.Result, error) {
+	_, r, err := s.FT.Run(w)
+	return r, err
+}
+
+// RunLU adapts the LU class to a sweep.
+func (s Suite) RunLU(w mpi.World) (*mpi.Result, error) {
+	_, r, err := s.LU.Run(w)
+	return r, err
+}
+
+// MeasureEP runs the EP campaign over the suite grid.
+func (s Suite) MeasureEP() (*Campaign, error) { return s.measure(s.Grid, s.RunEP) }
+
+// MeasureFT runs the FT campaign over the suite grid.
+func (s Suite) MeasureFT() (*Campaign, error) { return s.measure(s.Grid, s.RunFT) }
+
+// MeasureLU runs the LU campaign over the LU grid.
+func (s Suite) MeasureLU() (*Campaign, error) { return s.measure(s.LUGrid, s.RunLU) }
+
+// RunCG adapts the CG class to a sweep.
+func (s Suite) RunCG(w mpi.World) (*mpi.Result, error) {
+	_, r, err := s.CG.Run(w)
+	return r, err
+}
+
+// RunMG adapts the MG class to a sweep.
+func (s Suite) RunMG(w mpi.World) (*mpi.Result, error) {
+	_, r, err := s.MG.Run(w)
+	return r, err
+}
+
+// RunIS adapts the IS class to a sweep.
+func (s Suite) RunIS(w mpi.World) (*mpi.Result, error) {
+	_, r, err := s.IS.Run(w)
+	return r, err
+}
+
+// MeasureCG runs the CG campaign over the suite grid.
+func (s Suite) MeasureCG() (*Campaign, error) { return s.measure(s.Grid, s.RunCG) }
+
+// MeasureMG runs the MG campaign over the suite grid.
+func (s Suite) MeasureMG() (*Campaign, error) { return s.measure(s.Grid, s.RunMG) }
+
+// MeasureIS runs the IS campaign over the suite grid.
+func (s Suite) MeasureIS() (*Campaign, error) { return s.measure(s.Grid, s.RunIS) }
+
+// RunSP adapts the SP class to a sweep.
+func (s Suite) RunSP(w mpi.World) (*mpi.Result, error) {
+	_, r, err := s.SP.Run(w)
+	return r, err
+}
+
+// MeasureSP runs the SP campaign over the suite grid.
+func (s Suite) MeasureSP() (*Campaign, error) { return s.measure(s.Grid, s.RunSP) }

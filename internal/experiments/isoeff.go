@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pasp/internal/mpi"
+	"pasp/internal/stats"
+)
+
+// IsoefficiencyResult is the Grama-style scalability study the related work
+// cites: for each processor count, the workload multiplier needed to hold
+// parallel efficiency at the target — the faster the required growth, the
+// less scalable the algorithm/machine pair.
+type IsoefficiencyResult struct {
+	// Kernel names the workload.
+	Kernel string
+	// Target is the efficiency being held (that of the smallest parallel
+	// run at multiplier 1).
+	Target float64
+	// Ns are the processor counts and Multiplier[i] the workload factor
+	// that restores the target efficiency at Ns[i] (capped at MaxMult when
+	// unreachable).
+	Ns         []int
+	Multiplier []float64
+}
+
+// String renders the growth schedule.
+func (r *IsoefficiencyResult) String() string {
+	s := fmt.Sprintf("%s isoefficiency (target efficiency %.2f):\n", r.Kernel, r.Target)
+	for i := range r.Ns {
+		s += fmt.Sprintf("  N=%2d: workload ×%.2f\n", r.Ns[i], r.Multiplier[i])
+	}
+	return s
+}
+
+// maxIsoMult bounds the workload search; hitting it means the target
+// efficiency is unreachable at that processor count.
+const maxIsoMult = 64.0
+
+// Isoefficiency measures the workload-growth schedule for a kernel whose
+// workload scales with a multiplier: runAt(mult) returns the runner for
+// mult× the base workload. Efficiency is S(N)/N against the multiplier's
+// own sequential run, all at the base frequency; the target is the N=ns[0]
+// efficiency at multiplier 1, and each larger N is searched (bisection on
+// the multiplier) for the factor that restores it.
+func (s Suite) Isoefficiency(kernel string, ns []int, runAt func(mult float64) func(mpi.World) (*mpi.Result, error)) (*IsoefficiencyResult, error) {
+	if len(ns) < 2 {
+		return nil, fmt.Errorf("experiments: isoefficiency needs ≥ 2 processor counts")
+	}
+	baseMHz := s.Grid.MHz[0]
+	eff := func(mult float64, n int) (float64, error) {
+		run := runAt(mult)
+		w1, err := s.Platform.World(1, baseMHz)
+		if err != nil {
+			return 0, err
+		}
+		r1, err := run(w1)
+		if err != nil {
+			return 0, err
+		}
+		wn, err := s.Platform.World(n, baseMHz)
+		if err != nil {
+			return 0, err
+		}
+		rn, err := run(wn)
+		if err != nil {
+			return 0, err
+		}
+		return r1.Seconds / rn.Seconds / float64(n), nil
+	}
+	target, err := eff(1, ns[0])
+	if err != nil {
+		return nil, err
+	}
+	out := &IsoefficiencyResult{Kernel: kernel, Target: target, Ns: ns, Multiplier: make([]float64, len(ns))}
+	out.Multiplier[0] = 1
+	for i := 1; i < len(ns); i++ {
+		n := ns[i]
+		lo, hi := 1.0, maxIsoMult
+		eHi, err := eff(hi, n)
+		if err != nil {
+			return nil, err
+		}
+		if eHi < target {
+			out.Multiplier[i] = maxIsoMult
+			continue
+		}
+		eLo, err := eff(lo, n)
+		if err != nil {
+			return nil, err
+		}
+		if eLo >= target {
+			out.Multiplier[i] = 1
+			continue
+		}
+		for iter := 0; iter < 12 && !stats.AlmostEqual(lo, hi, 0.02); iter++ {
+			mid := (lo + hi) / 2
+			e, err := eff(mid, n)
+			if err != nil {
+				return nil, err
+			}
+			if e >= target {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		out.Multiplier[i] = (lo + hi) / 2
+	}
+	return out, nil
+}
+
+// IsoefficiencyCG runs the study on CG, whose halo and allreduce overheads
+// are workload-independent, so a finite workload growth restores any
+// attainable efficiency. (MG is the instructive counterexample: density
+// scaling leaves its redundant agglomerated coarse share constant, so its
+// efficiency saturates below the 2-processor target and the search
+// correctly reports the cap.)
+func (s Suite) IsoefficiencyCG(ns []int) (*IsoefficiencyResult, error) {
+	return s.Isoefficiency("CG", ns, func(mult float64) func(mpi.World) (*mpi.Result, error) {
+		cg := s.CG
+		sc := cg.Scale
+		if sc <= 0 {
+			sc = 1
+		}
+		cg.Scale = sc * mult
+		return func(w mpi.World) (*mpi.Result, error) {
+			_, r, err := cg.Run(w)
+			return r, err
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"pasp/internal/cluster"
+	"pasp/internal/mpi"
+)
+
+// Kernel is one registered benchmark: its runner and its campaign grid.
+type Kernel struct {
+	// Name is the lower-case NAS name ("ep", "ft", ...).
+	Name string
+	// Run executes the kernel's suite class on a world.
+	Run cluster.RunFunc
+	// Grid is the campaign the kernel sweeps (LU uses the smaller grid).
+	Grid cluster.Grid
+}
+
+// Kernels returns the suite's registered kernels keyed by name, so
+// commands can resolve a -bench flag uniformly.
+func (s Suite) Kernels() map[string]Kernel {
+	return map[string]Kernel{
+		"ep": {Name: "ep", Run: s.RunEP, Grid: s.Grid},
+		"ft": {Name: "ft", Run: s.RunFT, Grid: s.Grid},
+		"lu": {Name: "lu", Run: s.RunLU, Grid: s.LUGrid},
+		"cg": {Name: "cg", Run: s.RunCG, Grid: s.Grid},
+		"mg": {Name: "mg", Run: s.RunMG, Grid: s.Grid},
+		"is": {Name: "is", Run: s.RunIS, Grid: s.Grid},
+		"sp": {Name: "sp", Run: s.RunSP, Grid: s.Grid},
+	}
+}
+
+// KernelNames returns the registered names, sorted.
+func (s Suite) KernelNames() []string {
+	ks := s.Kernels()
+	out := make([]string, 0, len(ks))
+	for n := range ks {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kernel resolves one kernel by name.
+func (s Suite) Kernel(name string) (Kernel, error) {
+	k, ok := s.Kernels()[name]
+	if !ok {
+		return Kernel{}, fmt.Errorf("experiments: unknown kernel %q (have %v)", name, s.KernelNames())
+	}
+	return k, nil
+}
+
+// MeasureKernel sweeps the named kernel's grid.
+func (s Suite) MeasureKernel(name string) (*Campaign, error) {
+	k, err := s.Kernel(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.measure(k.Grid, k.Run)
+}
+
+// RunKernelOnce executes the named kernel at one configuration.
+func (s Suite) RunKernelOnce(name string, n int, mhz float64) (*mpi.Result, error) {
+	k, err := s.Kernel(name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := s.Platform.World(n, mhz)
+	if err != nil {
+		return nil, err
+	}
+	return k.Run(w)
+}
+
+// SuiteByName resolves the -suite flag shared by every command.
+func SuiteByName(name string) (Suite, error) {
+	switch name {
+	case "paper":
+		return Paper(), nil
+	case "quick":
+		return Quick(), nil
+	default:
+		return Suite{}, fmt.Errorf("experiments: unknown suite %q (have paper, quick)", name)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pasp/internal/mpi"
+)
+
+// ScaledResult holds a scaled-workload (fixed-time, Gustafson-style)
+// speedup surface: at every configuration the workload is N times the
+// one-processor workload, and the scaled speedup is
+//
+//	S_scaled(N, f) = N · T_1(w, f0) / T_N(N·w, f)
+//
+// — the related work's answer (Gustafson [20], Sun–Ni [30]) to Amdahl's
+// fixed-size pessimism, evaluated here under DVFS. Codes whose overhead
+// grows sublinearly with the workload (MG's surface-to-volume ghost faces)
+// scale far better this way; codes whose communication is
+// volume-proportional (FT's transpose) gain nothing.
+type ScaledResult struct {
+	// Scaled is the scaled-speedup surface.
+	Scaled *ValueGrid
+	// Fixed is the ordinary fixed-size speedup surface of the same kernel,
+	// for contrast.
+	Fixed *ValueGrid
+}
+
+// String renders both surfaces.
+func (r *ScaledResult) String() string {
+	return r.Scaled.String() + "\n" + r.Fixed.String()
+}
+
+// scaledSweep measures T_N(N·w, f) over the grid, given a constructor that
+// returns the kernel runner for a workload multiplier.
+func (s Suite) scaledSweep(name string, runAt func(mult int) func(mpi.World) (*mpi.Result, error),
+	fixedMeasure func() (*Campaign, error)) (*ScaledResult, error) {
+	// Base: one unit of work on one processor at the base frequency.
+	w1, err := s.Platform.World(1, s.Grid.MHz[0])
+	if err != nil {
+		return nil, err
+	}
+	base, err := runAt(1)(w1)
+	if err != nil {
+		return nil, err
+	}
+	t1 := base.Seconds
+
+	grid := newValueGrid(fmt.Sprintf("%s scaled (fixed-time) speedup", name), s.Grid.Ns, s.Grid.MHz, "%.2f")
+	for i, n := range s.Grid.Ns {
+		run := runAt(n)
+		for j, f := range s.Grid.MHz {
+			w, err := s.Platform.World(n, f)
+			if err != nil {
+				return nil, err
+			}
+			res, err := run(w)
+			if err != nil {
+				return nil, err
+			}
+			grid.V[i][j] = float64(n) * t1 / res.Seconds
+		}
+	}
+
+	camp, err := fixedMeasure()
+	if err != nil {
+		return nil, err
+	}
+	_, fixed, err := timeAndSpeedupGrids(name, camp, s.Grid.Ns, s.Grid.MHz)
+	if err != nil {
+		return nil, err
+	}
+	fixed.Title = fmt.Sprintf("%s fixed-size speedup", name)
+	return &ScaledResult{Scaled: grid, Fixed: fixed}, nil
+}
+
+// ScaledEP evaluates fixed-time scaling for EP: the workload doubles with
+// every doubling of N (ScaleLog + log₂N), and the scaled speedup is the
+// clean N·f/f0 product — Gustafson's best case.
+func (s Suite) ScaledEP() (*ScaledResult, error) {
+	return s.scaledSweep("EP", func(mult int) func(mpi.World) (*mpi.Result, error) {
+		extra := 0
+		for m := mult; m > 1; m >>= 1 {
+			extra++
+		}
+		ep := s.EP
+		ep.ScaleLog += extra
+		return func(w mpi.World) (*mpi.Result, error) {
+			_, r, err := ep.Run(w)
+			return r, err
+		}
+	}, s.MeasureEP)
+}
+
+// ScaledMG evaluates fixed-time scaling for MG: the volume grows with N
+// while the ghost faces grow only as volume^(2/3), so the scaled surface
+// recovers the scalability the fixed-size surface loses — the Sun–Ni
+// memory-bounded argument on this substrate.
+func (s Suite) ScaledMG() (*ScaledResult, error) {
+	return s.scaledSweep("MG", func(mult int) func(mpi.World) (*mpi.Result, error) {
+		mg := s.MG
+		mg.Scale = mg.Scale * float64(mult)
+		return func(w mpi.World) (*mpi.Result, error) {
+			_, r, err := mg.Run(w)
+			return r, err
+		}
+	}, s.MeasureMG)
+}

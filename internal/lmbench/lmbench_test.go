@@ -1,0 +1,81 @@
+package lmbench
+
+import (
+	"testing"
+
+	"pasp/internal/machine"
+	"pasp/internal/stats"
+)
+
+func TestLatencyPlateaus(t *testing.T) {
+	m := machine.PentiumM()
+	f := 1000e6
+	l1, err := Latency(m, f, m.L1Bytes/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AlmostEqual(l1, m.SecPerIns(machine.L1, f)*1e9, 0.05) {
+		t.Errorf("L1 plateau %g ns, want ≈ %g ns", l1, m.SecPerIns(machine.L1, f)*1e9)
+	}
+	mem, err := Latency(m, f, 4*m.L2Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AlmostEqual(mem, m.MemNanos(f), 0.05) {
+		t.Errorf("memory plateau %g ns, want ≈ %g ns", mem, m.MemNanos(f))
+	}
+}
+
+func TestSweepMonotoneAcrossLevels(t *testing.T) {
+	m := machine.PentiumM()
+	pts, err := Sweep(m, 600e6, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 10 {
+		t.Fatalf("sweep too short: %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Nanos+1e-9 < pts[i-1].Nanos {
+			t.Errorf("latency decreased at ws=%d: %g → %g", pts[i].WSBytes, pts[i-1].Nanos, pts[i].Nanos)
+		}
+	}
+	// The last point (8 MB) must sit at memory latency, the first at L1.
+	if !stats.AlmostEqual(pts[len(pts)-1].Nanos, m.MemNanos(600e6), 0.05) {
+		t.Errorf("tail latency %g, want memory %g", pts[len(pts)-1].Nanos, m.MemNanos(600e6))
+	}
+}
+
+// Table 6 reproduction through the measurement path: ON-chip levels scale
+// with frequency, memory does not (within a bus regime), and the 600 MHz
+// bus drop appears.
+func TestLevelNanosTable6(t *testing.T) {
+	m := machine.PentiumM()
+	at600, err := LevelNanos(m, 600e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at1200, err := LevelNanos(m, 1200e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ON-chip: halving comes from doubling the clock.
+	for _, l := range []machine.Level{machine.Reg, machine.L1, machine.L2} {
+		if !stats.AlmostEqual(at600[l], 2*at1200[l], 0.05) {
+			t.Errorf("%v: %g ns at 600 vs %g ns at 1200; want 2×", l, at600[l], at1200[l])
+		}
+	}
+	// OFF-chip: 140 ns at 600 MHz, 110 ns at 1200 MHz (bus drop).
+	if !stats.AlmostEqual(at600[machine.Mem], 140, 0.05) {
+		t.Errorf("mem at 600 MHz = %g ns, want ≈ 140", at600[machine.Mem])
+	}
+	if !stats.AlmostEqual(at1200[machine.Mem], 110, 0.05) {
+		t.Errorf("mem at 1200 MHz = %g ns, want ≈ 110", at1200[machine.Mem])
+	}
+}
+
+func TestLatencyRejectsTinyWorkingSet(t *testing.T) {
+	if _, err := Latency(machine.PentiumM(), 600e6, 16); err == nil {
+		t.Error("working set below line size accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Work is an instruction mix: how many instructions execute with data at
+// each memory level. It is the unit of the paper's workload decomposition —
+// wON is Ops[Reg]+Ops[L1]+Ops[L2] and wOFF is Ops[Mem].
+type Work struct {
+	// Ops[l] is the instruction count at level l. Counts are float64 so
+	// analytic locality models can produce fractional splits.
+	Ops [NumLevels]float64
+}
+
+// W is a convenience constructor for a Work value.
+func W(reg, l1, l2, mem float64) Work {
+	return Work{Ops: [NumLevels]float64{Reg: reg, L1: l1, L2: l2, Mem: mem}}
+}
+
+// Total returns the total instruction count w = wON + wOFF.
+func (w Work) Total() float64 {
+	t := 0.0
+	for _, n := range w.Ops {
+		t += n
+	}
+	return t
+}
+
+// OnChip returns wON, the instruction count served by on-die resources.
+func (w Work) OnChip() float64 { return w.Ops[Reg] + w.Ops[L1] + w.Ops[L2] }
+
+// OffChip returns wOFF, the instruction count requiring main-memory access.
+func (w Work) OffChip() float64 { return w.Ops[Mem] }
+
+// Add returns the element-wise sum of two mixes.
+func (w Work) Add(o Work) Work {
+	var r Work
+	for l := range w.Ops {
+		r.Ops[l] = w.Ops[l] + o.Ops[l]
+	}
+	return r
+}
+
+// Scale returns the mix with every count multiplied by k.
+func (w Work) Scale(k float64) Work {
+	var r Work
+	for l := range w.Ops {
+		r.Ops[l] = w.Ops[l] * k
+	}
+	return r
+}
+
+// Fractions returns each level's share of the total instruction count, or
+// all zeros for an empty mix.
+func (w Work) Fractions() [NumLevels]float64 {
+	var f [NumLevels]float64
+	t := w.Total()
+	if t == 0 {
+		return f
+	}
+	for l := range w.Ops {
+		f[l] = w.Ops[l] / t
+	}
+	return f
+}
+
+// Validate reports an error when any count is negative.
+func (w Work) Validate() error {
+	for l, n := range w.Ops {
+		if n < 0 {
+			return fmt.Errorf("machine: negative op count %g at %v", n, Level(l))
+		}
+	}
+	return nil
+}
+
+// TimeFor returns the wall-clock seconds the mix takes on one node at core
+// frequency freq. ON-chip instructions cost Cycles[l]/freq; OFF-chip
+// instructions cost MemNanos(freq); a MemOverlap share of whichever side is
+// shorter is hidden by out-of-order execution. With MemOverlap = 0 this is
+// exactly the paper's additive Eq. 6.
+func (c Config) TimeFor(w Work, freq float64) float64 {
+	on := 0.0
+	for l := Reg; l <= L2; l++ {
+		on += w.Ops[l] * c.Cycles[l] / freq
+	}
+	mem := w.Ops[Mem] * c.MemNanos(freq) * 1e-9
+	hidden := c.MemOverlap * math.Min(on, mem)
+	return on + mem - hidden
+}
+
+// BlendedCPIOn returns the average cycles per ON-chip instruction under the
+// mix's ON-chip level weights — the CPION of Table 6. It returns an error
+// when the mix has no ON-chip work.
+func (c Config) BlendedCPIOn(w Work) (float64, error) {
+	on := w.OnChip()
+	if on == 0 {
+		return 0, fmt.Errorf("machine: BlendedCPIOn of mix with no ON-chip work")
+	}
+	sum := 0.0
+	for l := Reg; l <= L2; l++ {
+		sum += w.Ops[l] * c.Cycles[l]
+	}
+	return sum / on, nil
+}

@@ -1,0 +1,341 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op selects the combining operator of a reduction.
+type Op int
+
+const (
+	// Sum adds elementwise.
+	Sum Op = iota
+	// Max takes the elementwise maximum.
+	Max
+)
+
+// log2ceil returns ⌈log₂ n⌉ for n ≥ 1.
+func log2ceil(n int) int {
+	r := 0
+	for p := 1; p < n; p <<= 1 {
+		r++
+	}
+	return r
+}
+
+// copyVec snapshots a payload vector at deposit time, so a rank that
+// mutates its buffer after the collective returns cannot corrupt what the
+// other ranks read.
+func copyVec(v []float64) []float64 {
+	return append([]float64(nil), v...)
+}
+
+// collective synchronizes all ranks, then advances every clock to
+// max(entry clocks) + cost. It returns the snapshot so callers can combine
+// payloads. Payloads must be private to the snapshot (copied by the
+// caller). All collectives are modelled as synchronizing, which matches the
+// dense patterns the NAS kernels use (alltoall, allreduce, barrier).
+func (c *Ctx) collective(payload any, cost float64) (*collSnapshot, error) {
+	snap, err := c.rt.sync(c.rank, c.clock, payload)
+	if err != nil {
+		return nil, err
+	}
+	start := 0.0
+	for _, t := range snap.clocks {
+		if t > start {
+			start = t
+		}
+	}
+	return snap, c.advanceComm(start + cost)
+}
+
+// Barrier blocks until every rank arrives; it costs a recursive-doubling
+// round trip of empty messages.
+func (c *Ctx) Barrier() error {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	net := &c.rt.w.Net
+	rounds := log2ceil(n)
+	c.noteMsgs(rounds, 0)
+	cost := float64(rounds) * (2*net.CPUOverhead(0, c.Freq()) + net.LatencySec)
+	_, err := c.collective(nil, cost)
+	return err
+}
+
+// collBytes returns the timed size of a payload with an optional virtual
+// override.
+func collBytes(data []float64, vbytes int) int {
+	if vbytes > 0 {
+		return vbytes
+	}
+	return 8 * len(data)
+}
+
+// Bcast distributes root's data to every rank (binomial tree). Every rank
+// passes its own data slice; non-root inputs are ignored, as in MPI's
+// in-place broadcast buffer. The returned slice must be treated as
+// read-only: ranks share the root's backing array.
+func (c *Ctx) Bcast(root int, data []float64, vbytes int) ([]float64, error) {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("mpi: bcast root %d out of range", root)
+	}
+	if n == 1 {
+		return data, nil
+	}
+	net := &c.rt.w.Net
+	b := collBytes(data, vbytes)
+	c.noteMsgs(1, b) // binomial tree: each rank forwards at most once per round; one send on average
+	rounds := float64(log2ceil(n))
+	cost := rounds * (2*net.CPUOverhead(b, c.Freq()) + net.LatencySec + net.ContendedWireTime(b, n/2))
+	snap, err := c.collective(copyVec(data), cost)
+	if err != nil {
+		return nil, err
+	}
+	got, ok := snap.payloads[root].([]float64)
+	if !ok && snap.payloads[root] != nil {
+		return nil, fmt.Errorf("mpi: bcast payload type mismatch")
+	}
+	// Snapshot: the root may reuse its buffer after the call returns.
+	return append([]float64(nil), got...), nil
+}
+
+// reduceAll combines the deposited vectors in rank order (deterministic
+// floating-point result) and returns a fresh slice.
+func reduceAll(snap *collSnapshot, op Op) ([]float64, error) {
+	var out []float64
+	for rank, p := range snap.payloads {
+		v, ok := p.([]float64)
+		if !ok {
+			return nil, fmt.Errorf("mpi: reduce payload from rank %d is %T, want []float64", rank, p)
+		}
+		if out == nil {
+			out = append([]float64(nil), v...)
+			continue
+		}
+		if len(v) != len(out) {
+			return nil, fmt.Errorf("mpi: reduce length mismatch: rank %d has %d elements, rank 0 has %d", rank, len(v), len(out))
+		}
+		switch op {
+		case Sum:
+			for i := range out {
+				out[i] += v[i]
+			}
+		case Max:
+			for i := range out {
+				out[i] = math.Max(out[i], v[i])
+			}
+		default:
+			return nil, fmt.Errorf("mpi: unknown reduce op %d", op)
+		}
+	}
+	return out, nil
+}
+
+// reduceCost is the recursive-doubling reduction cost: log₂n rounds, all n
+// ranks exchanging and combining b bytes per round.
+func (c *Ctx) reduceCost(b int) float64 {
+	n := c.Size()
+	net := &c.rt.w.Net
+	rounds := float64(log2ceil(n))
+	c.noteMsgs(log2ceil(n), b)
+	perRound := 2*net.CPUOverhead(b, c.Freq()) + net.LatencySec +
+		net.ContendedWireTime(b, n) + ReduceInsPerByte*float64(b)/c.Freq()
+	return rounds * perRound
+}
+
+// Allreduce combines every rank's vector with op and returns the result on
+// all ranks. vbytes, when positive, overrides the timed payload size.
+func (c *Ctx) Allreduce(data []float64, op Op, vbytes int) ([]float64, error) {
+	if c.Size() == 1 {
+		return append([]float64(nil), data...), nil
+	}
+	snap, err := c.collective(copyVec(data), c.reduceCost(collBytes(data, vbytes)))
+	if err != nil {
+		return nil, err
+	}
+	return reduceAll(snap, op)
+}
+
+// Reduce combines every rank's vector with op; only root receives the
+// result (other ranks get nil).
+func (c *Ctx) Reduce(root int, data []float64, op Op, vbytes int) ([]float64, error) {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("mpi: reduce root %d out of range", root)
+	}
+	if n == 1 {
+		return append([]float64(nil), data...), nil
+	}
+	snap, err := c.collective(copyVec(data), c.reduceCost(collBytes(data, vbytes)))
+	if err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		return nil, nil
+	}
+	return reduceAll(snap, op)
+}
+
+// Alltoall performs the personalized all-to-all exchange at the heart of
+// FT's transpose: parts[d] goes to rank d (parts[rank] stays local), and the
+// result's element s is the block received from rank s. vbytesPerPair, when
+// positive, overrides the timed per-pair block size.
+//
+// The cost follows the pairwise-exchange algorithm: n−1 rounds in which all
+// n ports are active simultaneously, so per-flow bandwidth degrades once the
+// fabric's flow-concurrency limit is exceeded — the mechanism that makes
+// FT's speedup flatten on Fast Ethernet.
+func (c *Ctx) Alltoall(parts [][]float64, vbytesPerPair int) ([][]float64, error) {
+	n := c.Size()
+	if len(parts) != n {
+		return nil, fmt.Errorf("mpi: alltoall needs %d parts, got %d", n, len(parts))
+	}
+	if n == 1 {
+		return [][]float64{parts[0]}, nil
+	}
+	// Time the exchange by its largest pairwise block (the round that
+	// limits the pairwise-exchange algorithm); an explicit override wins.
+	b := vbytesPerPair
+	if b <= 0 {
+		for d, p := range parts {
+			if d != c.rank && 8*len(p) > b {
+				b = 8 * len(p)
+			}
+		}
+	}
+	c.noteMsgs(n-1, b)
+	net := &c.rt.w.Net
+	perRound := 2*net.CPUOverhead(b, c.Freq()) + net.LatencySec + net.ContendedWireTime(b, n)
+	cost := float64(n-1) * perRound
+	deposit := make([][]float64, n)
+	for d := range parts {
+		deposit[d] = copyVec(parts[d])
+	}
+	snap, err := c.collective(deposit, cost)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, n)
+	for s, p := range snap.payloads {
+		sp, ok := p.([][]float64)
+		if !ok {
+			return nil, fmt.Errorf("mpi: alltoall payload from rank %d is %T", s, p)
+		}
+		if len(sp) != n {
+			return nil, fmt.Errorf("mpi: alltoall rank %d deposited %d parts", s, len(sp))
+		}
+		out[s] = append([]float64(nil), sp[c.rank]...)
+	}
+	return out, nil
+}
+
+// Allgather concatenates every rank's vector; the result's element s is
+// rank s's contribution. The cost follows the ring algorithm: n−1 rounds of
+// b bytes with all ports active.
+func (c *Ctx) Allgather(data []float64, vbytes int) ([][]float64, error) {
+	n := c.Size()
+	if n == 1 {
+		return [][]float64{data}, nil
+	}
+	b := collBytes(data, vbytes)
+	c.noteMsgs(n-1, b)
+	net := &c.rt.w.Net
+	perRound := 2*net.CPUOverhead(b, c.Freq()) + net.LatencySec + net.ContendedWireTime(b, n)
+	cost := float64(n-1) * perRound
+	snap, err := c.collective(copyVec(data), cost)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, n)
+	for s, p := range snap.payloads {
+		v, ok := p.([]float64)
+		if !ok {
+			return nil, fmt.Errorf("mpi: allgather payload from rank %d is %T", s, p)
+		}
+		out[s] = append([]float64(nil), v...)
+	}
+	return out, nil
+}
+
+// Gather collects every rank's vector at root (binomial tree); only root
+// receives the result (other ranks get nil), indexed by source rank.
+func (c *Ctx) Gather(root int, data []float64, vbytes int) ([][]float64, error) {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("mpi: gather root %d out of range", root)
+	}
+	if n == 1 {
+		return [][]float64{append([]float64(nil), data...)}, nil
+	}
+	b := collBytes(data, vbytes)
+	c.noteMsgs(1, b)
+	net := &c.rt.w.Net
+	// Binomial gather: log₂n rounds; message sizes double toward the root,
+	// bounded by the total payload converging on one port.
+	rounds := float64(log2ceil(n))
+	cost := rounds*(2*net.CPUOverhead(b, c.Freq())+net.LatencySec) + net.WireTime(b*(n-1))
+	snap, err := c.collective(copyVec(data), cost)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		return nil, nil
+	}
+	out := make([][]float64, n)
+	for s, p := range snap.payloads {
+		v, ok := p.([]float64)
+		if !ok {
+			return nil, fmt.Errorf("mpi: gather payload from rank %d is %T", s, p)
+		}
+		out[s] = v
+	}
+	return out, nil
+}
+
+// Scatter distributes root's parts: parts[d] goes to rank d. Non-root
+// ranks pass nil parts. vbytesPerPart, when positive, overrides the timed
+// per-destination size.
+func (c *Ctx) Scatter(root int, parts [][]float64, vbytesPerPart int) ([]float64, error) {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("mpi: scatter root %d out of range", root)
+	}
+	if c.rank == root && len(parts) != n {
+		return nil, fmt.Errorf("mpi: scatter needs %d parts, got %d", n, len(parts))
+	}
+	if n == 1 {
+		return append([]float64(nil), parts[0]...), nil
+	}
+	var deposit any
+	b := vbytesPerPart
+	if c.rank == root {
+		cp := make([][]float64, n)
+		for d := range parts {
+			cp[d] = copyVec(parts[d])
+			if b <= 0 && 8*len(parts[d]) > b {
+				b = 8 * len(parts[d])
+			}
+		}
+		deposit = cp
+	}
+	if b <= 0 {
+		b = 8
+	}
+	c.noteMsgs(1, b)
+	net := &c.rt.w.Net
+	rounds := float64(log2ceil(n))
+	cost := rounds*(2*net.CPUOverhead(b, c.Freq())+net.LatencySec) + net.WireTime(b*(n-1))
+	snap, err := c.collective(deposit, cost)
+	if err != nil {
+		return nil, err
+	}
+	sp, ok := snap.payloads[root].([][]float64)
+	if !ok {
+		return nil, fmt.Errorf("mpi: scatter payload from root is %T", snap.payloads[root])
+	}
+	return sp[c.rank], nil
+}

@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"fmt"
+
+	"pasp/internal/machine"
+	"pasp/internal/papi"
+	"pasp/internal/power"
+	"pasp/internal/trace"
+)
+
+// Ctx is one rank's handle on the job: its identity, virtual clock,
+// counters, energy meter and trace. All methods must be called from the
+// rank's own goroutine.
+type Ctx struct {
+	rt   *runtime
+	rank int
+
+	state power.PState
+
+	clock       float64
+	egressFree  float64
+	ingressBusy float64
+
+	computeSec float64
+	commSec    float64
+
+	msgs     int
+	msgBytes int
+
+	counters papi.Counters
+	meter    *power.Meter
+	log      trace.Log
+
+	phase string
+}
+
+func newCtx(rt *runtime, rank int) *Ctx {
+	return &Ctx{
+		rt:    rt,
+		rank:  rank,
+		state: rt.w.State,
+		meter: power.NewMeter(rt.w.Prof),
+		phase: "main",
+	}
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Ctx) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the job.
+func (c *Ctx) Size() int { return c.rt.w.N }
+
+// Now returns the rank's current virtual time in seconds.
+func (c *Ctx) Now() float64 { return c.clock }
+
+// Freq returns the core clock frequency in hertz of the node's current
+// P-state.
+func (c *Ctx) Freq() float64 { return c.state.Freq }
+
+// State returns the node's current operating point.
+func (c *Ctx) State() power.PState { return c.state }
+
+// SetPState switches the node to a new operating point, charging the
+// world's gear-switch penalty when the state actually changes. DVFS
+// schedulers call this from a phase hook to slow the processor through
+// communication-bound phases.
+func (c *Ctx) SetPState(st power.PState) {
+	if st == c.state {
+		return
+	}
+	dt := c.rt.w.GearSwitchSec
+	if dt > 0 {
+		start := c.clock
+		c.clock += dt
+		// The transition is billed at the old gear's busy power: the PLL
+		// relock stalls the pipeline but the core stays powered.
+		_ = c.meter.Accumulate(c.state, 1, dt)
+		c.log.Append(trace.Event{Rank: c.rank, Phase: "dvfs-switch", Kind: trace.Comm, Start: start, End: c.clock,
+			Watts: c.rt.w.Prof.NodePower(c.state, 1)})
+		c.commSec += dt
+	}
+	c.state = st
+}
+
+// Machine returns the node timing model, letting kernels size working sets
+// against the cache geometry.
+func (c *Ctx) Machine() machine.Config { return c.rt.w.Mach }
+
+// SetPhase labels subsequent trace events; kernels call it at phase
+// boundaries ("fft-z", "exchange", ...). When the world has an OnPhase
+// hook (a DVFS scheduler), it runs on every transition to a new label.
+func (c *Ctx) SetPhase(name string) {
+	if name == c.phase {
+		return
+	}
+	c.phase = name
+	if c.rt.w.OnPhase != nil {
+		c.rt.w.OnPhase(c, name)
+	}
+}
+
+// Counters returns a snapshot of the rank's simulated PAPI counters.
+func (c *Ctx) Counters() papi.Counters { return c.counters }
+
+// Compute advances the rank's clock by the time the instruction mix takes
+// on the node at the job's P-state, and accounts the mix on the PAPI
+// counters and the energy meter.
+func (c *Ctx) Compute(w machine.Work) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	dt := c.rt.w.Mach.TimeFor(w, c.Freq())
+	start := c.clock
+	c.clock += dt
+	c.computeSec += dt
+	c.counters.AddWork(w)
+	if err := c.meter.Accumulate(c.state, 1, dt); err != nil {
+		return err
+	}
+	c.log.Append(trace.Event{Rank: c.rank, Phase: c.phase, Kind: trace.Compute, Start: start, End: c.clock,
+		Watts: c.rt.w.Prof.NodePower(c.state, 1)})
+	return nil
+}
+
+// advanceComm moves the clock to end (≥ current clock), attributing the
+// interval to communication at the configured poll utilization.
+func (c *Ctx) advanceComm(end float64) error {
+	if end < c.clock {
+		end = c.clock
+	}
+	dt := end - c.clock
+	start := c.clock
+	c.clock = end
+	c.commSec += dt
+	if err := c.meter.Accumulate(c.state, c.rt.w.PollUtil, dt); err != nil {
+		return err
+	}
+	c.log.Append(trace.Event{Rank: c.rank, Phase: c.phase, Kind: trace.Comm, Start: start, End: end,
+		Watts: c.rt.w.Prof.NodePower(c.state, c.rt.w.PollUtil)})
+	return nil
+}
+
+// noteMsgs records count outbound messages of bytesEach bytes on the rank's
+// communication profile (the "number of messages × message size" product the
+// paper obtains by profiling).
+func (c *Ctx) noteMsgs(count, bytesEach int) {
+	c.msgs += count
+	c.msgBytes += count * bytesEach
+}
+
+// checkPeer validates a peer rank index.
+func (c *Ctx) checkPeer(peer string, r int) error {
+	if r < 0 || r >= c.Size() {
+		return fmt.Errorf("mpi: %s rank %d out of range [0,%d)", peer, r, c.Size())
+	}
+	if r == c.rank {
+		return fmt.Errorf("mpi: %s rank %d is self", peer, r)
+	}
+	return nil
+}

@@ -1,0 +1,918 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pasp/internal/machine"
+	"pasp/internal/papi"
+	"pasp/internal/power"
+	"pasp/internal/simnet"
+	"pasp/internal/stats"
+)
+
+func testWorld(n int, mhz float64) World {
+	prof := power.PentiumM()
+	st, err := prof.StateAt(mhz * 1e6)
+	if err != nil {
+		panic(err)
+	}
+	return World{
+		N:     n,
+		Net:   simnet.FastEthernet(),
+		Mach:  machine.PentiumM(),
+		Prof:  prof,
+		State: st,
+	}
+}
+
+func TestRunValidates(t *testing.T) {
+	w := testWorld(2, 600)
+	w.N = 0
+	if _, err := Run(w, func(c *Ctx) error { return nil }); err == nil {
+		t.Error("Run with N=0 succeeded, want error")
+	}
+}
+
+func TestSingleRankCompute(t *testing.T) {
+	w := testWorld(1, 600)
+	work := machine.W(6e8, 0, 0, 0) // 6e8 reg instructions at 1 cycle = 1 s at 600 MHz
+	res, err := Run(w, func(c *Ctx) error { return c.Compute(work) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AlmostEqual(res.Seconds, 1.0, 1e-9) {
+		t.Errorf("Seconds = %g, want 1.0", res.Seconds)
+	}
+	if got := res.Counters.Get(0); got != 6e8 { // TOT_INS
+		t.Errorf("TOT_INS = %g, want 6e8", got)
+	}
+	wantJ := w.Prof.NodePower(w.State, 1) * 1.0
+	if !stats.AlmostEqual(res.Joules, wantJ, 1e-9) {
+		t.Errorf("Joules = %g, want %g", res.Joules, wantJ)
+	}
+	if res.EDP() <= 0 || res.AvgWatts() <= 0 {
+		t.Error("derived metrics should be positive")
+	}
+}
+
+func TestComputeFrequencyScaling(t *testing.T) {
+	work := machine.W(1e9, 1e9, 0, 0)
+	run := func(mhz float64) float64 {
+		res, err := Run(testWorld(1, mhz), func(c *Ctx) error { return c.Compute(work) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seconds
+	}
+	slow, fast := run(600), run(1400)
+	if !stats.AlmostEqual(slow/fast, 1400.0/600.0, 1e-9) {
+		t.Errorf("pure ON-chip scaling = %g, want %g", slow/fast, 1400.0/600.0)
+	}
+}
+
+func TestComputeRejectsNegativeWork(t *testing.T) {
+	_, err := Run(testWorld(1, 600), func(c *Ctx) error {
+		return c.Compute(machine.W(-1, 0, 0, 0))
+	})
+	if err == nil {
+		t.Error("negative work accepted")
+	}
+}
+
+func TestSendRecvDelivery(t *testing.T) {
+	w := testWorld(2, 600)
+	var got []float64
+	var recvClock float64
+	_, err := Run(w, func(c *Ctx) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []float64{1, 2, 3}, 0)
+		}
+		v, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		got = v
+		recvClock = c.Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Errorf("payload = %v", got)
+	}
+	// Receiver's clock must include at least latency + wire + overheads.
+	min := w.Net.LatencySec + w.Net.WireTime(24)
+	if recvClock < min {
+		t.Errorf("recv completed at %g, want ≥ %g", recvClock, min)
+	}
+}
+
+func TestPerPairFIFO(t *testing.T) {
+	_, err := Run(testWorld(2, 600), func(c *Ctx) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, []float64{10}, 0); err != nil {
+				return err
+			}
+			return c.Send(1, 2, []float64{20}, 0)
+		}
+		a, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		b, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		if a[0] != 10 || b[0] != 20 {
+			return fmt.Errorf("order violated: %v %v", a, b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMismatchAborts(t *testing.T) {
+	_, err := Run(testWorld(2, 600), func(c *Ctx) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, nil, 100)
+		}
+		_, err := c.Recv(0, 2)
+		return err
+	})
+	if err == nil {
+		t.Fatal("tag mismatch not reported")
+	}
+}
+
+func TestSelfAndRangeChecks(t *testing.T) {
+	_, err := Run(testWorld(2, 600), func(c *Ctx) error {
+		if c.Rank() == 0 {
+			if err := c.Send(0, 0, nil, 8); err == nil {
+				return errors.New("self-send accepted")
+			}
+			if err := c.Send(5, 0, nil, 8); err == nil {
+				return errors.New("out-of-range send accepted")
+			}
+			if _, err := c.Recv(-1, 0); err == nil {
+				return errors.New("out-of-range recv accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualBytesSlowDownTransfer(t *testing.T) {
+	run := func(vbytes int) float64 {
+		res, err := Run(testWorld(2, 600), func(c *Ctx) error {
+			if c.Rank() == 0 {
+				return c.Send(1, 0, []float64{1}, vbytes)
+			}
+			_, err := c.Recv(0, 0)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seconds
+	}
+	small, large := run(8), run(32<<10)
+	if large <= small {
+		t.Errorf("32KB virtual message (%g s) not slower than 8B (%g s)", large, small)
+	}
+}
+
+func TestRendezvousBlocksSender(t *testing.T) {
+	w := testWorld(2, 600)
+	big := w.Net.EagerBytes * 2
+	var senderDone float64
+	res, err := Run(w, func(c *Ctx) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 0, []float64{42}, big); err != nil {
+				return err
+			}
+			senderDone = c.Now()
+			return nil
+		}
+		// Receiver computes first, so the sender must wait.
+		if err := c.Compute(machine.W(6e8, 0, 0, 0)); err != nil { // 1 s
+			return err
+		}
+		v, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if v[0] != 42 {
+			return fmt.Errorf("payload %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if senderDone < 1.0 {
+		t.Errorf("rendezvous sender finished at %g s, want ≥ 1 s (blocked on receiver)", senderDone)
+	}
+	if res.Seconds < senderDone {
+		t.Error("makespan below sender completion")
+	}
+}
+
+func TestSendRecvExchangeSymmetric(t *testing.T) {
+	clocks := make([]float64, 2)
+	_, err := Run(testWorld(2, 600), func(c *Ctx) error {
+		peer := 1 - c.Rank()
+		got, err := c.SendRecv(peer, peer, 9, []float64{float64(c.Rank())}, 0)
+		if err != nil {
+			return err
+		}
+		if got[0] != float64(peer) {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		clocks[c.Rank()] = c.Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AlmostEqual(clocks[0], clocks[1], 1e-9) {
+		t.Errorf("exchange clocks diverge: %g vs %g", clocks[0], clocks[1])
+	}
+}
+
+func TestBarrierEqualizesClocks(t *testing.T) {
+	n := 4
+	clocks := make([]float64, n)
+	_, err := Run(testWorld(n, 600), func(c *Ctx) error {
+		// Stagger ranks by different compute amounts.
+		if err := c.Compute(machine.W(float64(c.Rank())*1e8, 0, 0, 0)); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		clocks[c.Rank()] = c.Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < n; r++ {
+		if !stats.AlmostEqual(clocks[r], clocks[0], 1e-9) {
+			t.Errorf("rank %d clock %g ≠ rank 0 clock %g after barrier", r, clocks[r], clocks[0])
+		}
+	}
+	// The barrier completes after the slowest rank's compute.
+	slowest := machine.PentiumM().TimeFor(machine.W(3e8, 0, 0, 0), 600e6)
+	if clocks[0] < slowest {
+		t.Errorf("barrier exit %g before slowest rank %g", clocks[0], slowest)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	n := 4
+	_, err := Run(testWorld(n, 600), func(c *Ctx) error {
+		in := []float64{float64(c.Rank()), 1}
+		out, err := c.Allreduce(in, Sum, 0)
+		if err != nil {
+			return err
+		}
+		if out[0] != 6 || out[1] != 4 { // 0+1+2+3, 1×4
+			return fmt.Errorf("allreduce = %v", out)
+		}
+		// Input must not be clobbered.
+		if in[0] != float64(c.Rank()) {
+			return errors.New("allreduce mutated input")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	_, err := Run(testWorld(3, 600), func(c *Ctx) error {
+		out, err := c.Allreduce([]float64{float64(c.Rank() * c.Rank())}, Max, 0)
+		if err != nil {
+			return err
+		}
+		if out[0] != 4 {
+			return fmt.Errorf("max = %v, want 4", out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceRootOnly(t *testing.T) {
+	_, err := Run(testWorld(4, 600), func(c *Ctx) error {
+		out, err := c.Reduce(2, []float64{1}, Sum, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			if out == nil || out[0] != 4 {
+				return fmt.Errorf("root got %v", out)
+			}
+		} else if out != nil {
+			return fmt.Errorf("non-root got %v", out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	_, err := Run(testWorld(4, 600), func(c *Ctx) error {
+		var mine []float64
+		if c.Rank() == 1 {
+			mine = []float64{3.14, 2.72}
+		}
+		got, err := c.Bcast(1, mine, 16)
+		if err != nil {
+			return err
+		}
+		if len(got) != 2 || got[0] != 3.14 {
+			return fmt.Errorf("bcast got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	n := 4
+	_, err := Run(testWorld(n, 600), func(c *Ctx) error {
+		parts := make([][]float64, n)
+		for d := range parts {
+			parts[d] = []float64{float64(10*c.Rank() + d)}
+		}
+		got, err := c.Alltoall(parts, 0)
+		if err != nil {
+			return err
+		}
+		for s := range got {
+			want := float64(10*s + c.Rank())
+			if got[s][0] != want {
+				return fmt.Errorf("rank %d from %d: got %v, want %g", c.Rank(), s, got[s], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallPartCountChecked(t *testing.T) {
+	_, err := Run(testWorld(2, 600), func(c *Ctx) error {
+		_, err := c.Alltoall([][]float64{{1}}, 0)
+		return err
+	})
+	if err == nil {
+		t.Error("short parts slice accepted")
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	n := 3
+	_, err := Run(testWorld(n, 600), func(c *Ctx) error {
+		got, err := c.Allgather([]float64{float64(c.Rank())}, 0)
+		if err != nil {
+			return err
+		}
+		for s := range got {
+			if got[s][0] != float64(s) {
+				return fmt.Errorf("slot %d = %v", s, got[s])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	_, err := Run(testWorld(1, 600), func(c *Ctx) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if out, err := c.Allreduce([]float64{5}, Sum, 0); err != nil || out[0] != 5 {
+			return fmt.Errorf("allreduce: %v %v", out, err)
+		}
+		if out, err := c.Alltoall([][]float64{{7}}, 0); err != nil || out[0][0] != 7 {
+			return fmt.Errorf("alltoall: %v %v", out, err)
+		}
+		if out, err := c.Bcast(0, []float64{9}, 0); err != nil || out[0] != 9 {
+			return fmt.Errorf("bcast: %v %v", out, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankErrorAbortsJob(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(testWorld(2, 600), func(c *Ctx) error {
+		if c.Rank() == 0 {
+			return boom
+		}
+		// Rank 1 would block forever waiting for rank 0 without the abort.
+		_, err := c.Recv(0, 0)
+		return err
+	})
+	if err == nil {
+		t.Fatal("job error lost")
+	}
+	if !errors.Is(err, boom) && !errors.Is(err, ErrAborted) {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	prog := func(c *Ctx) error {
+		if err := c.Compute(machine.W(1e7*float64(1+c.Rank()), 1e6, 0, 1e4)); err != nil {
+			return err
+		}
+		if _, err := c.Allreduce([]float64{float64(c.Rank())}, Sum, 4096); err != nil {
+			return err
+		}
+		parts := make([][]float64, c.Size())
+		for d := range parts {
+			parts[d] = []float64{1}
+		}
+		if _, err := c.Alltoall(parts, 2048); err != nil {
+			return err
+		}
+		return c.Barrier()
+	}
+	var firstSec, firstJ float64
+	for i := 0; i < 5; i++ {
+		res, err := Run(testWorld(8, 1000), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			firstSec, firstJ = res.Seconds, res.Joules
+			continue
+		}
+		if res.Seconds != firstSec || res.Joules != firstJ {
+			t.Fatalf("run %d diverged: %g/%g vs %g/%g", i, res.Seconds, res.Joules, firstSec, firstJ)
+		}
+	}
+}
+
+func TestAlltoallContentionSlowsLargeClusters(t *testing.T) {
+	// With the flow-concurrency limit, a 16-rank alltoall of the same total
+	// volume is slower than the ideal-switch prediction.
+	run := func(flowLimit int) float64 {
+		w := testWorld(16, 600)
+		w.Net.FlowConcurrency = flowLimit
+		res, err := Run(w, func(c *Ctx) error {
+			parts := make([][]float64, c.Size())
+			for d := range parts {
+				parts[d] = []float64{0}
+			}
+			_, err := c.Alltoall(parts, 64<<10)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seconds
+	}
+	limited, ideal := run(6), run(0)
+	if limited <= ideal*1.5 {
+		t.Errorf("contention-limited alltoall %g s not markedly slower than ideal %g s", limited, ideal)
+	}
+}
+
+func TestTraceValid(t *testing.T) {
+	res, err := Run(testWorld(4, 600), func(c *Ctx) error {
+		c.SetPhase("work")
+		if err := c.Compute(machine.W(1e6, 0, 0, 0)); err != nil {
+			return err
+		}
+		c.SetPhase("sync")
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Errorf("trace invalid: %v", err)
+	}
+	by := res.Trace.ByPhase()
+	if by["work"] <= 0 || by["sync"] <= 0 {
+		t.Errorf("phases not traced: %v", by)
+	}
+	if res.ComputeSec() <= 0 || res.CommSec() <= 0 {
+		t.Error("compute/comm attribution missing")
+	}
+}
+
+func TestPollUtilAffectsEnergy(t *testing.T) {
+	prog := func(c *Ctx) error {
+		if c.Rank() == 0 {
+			if err := c.Compute(machine.W(6e8, 0, 0, 0)); err != nil {
+				return err
+			}
+			return c.Send(1, 0, []float64{1}, 0)
+		}
+		_, err := c.Recv(0, 0) // waits ~1 s
+		return err
+	}
+	run := func(util float64) float64 {
+		w := testWorld(2, 600)
+		w.PollUtil = util
+		res, err := Run(w, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Joules
+	}
+	busy, gentle := run(1.0), run(0.1)
+	if busy <= gentle {
+		t.Errorf("busy-poll energy %g J not above low-util %g J", busy, gentle)
+	}
+}
+
+func TestEnergyAccountsIdleTail(t *testing.T) {
+	// Rank 1 computes 1 s, rank 0 finishes immediately; the cluster energy
+	// must cover rank 0 idling for the full makespan.
+	w := testWorld(2, 600)
+	res, err := Run(w, func(c *Ctx) error {
+		if c.Rank() == 1 {
+			return c.Compute(machine.W(6e8, 0, 0, 0))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idleFloor := w.Prof.NodePower(w.State, 0) * res.Seconds
+	busyPart := w.Prof.NodePower(w.State, 1) * res.Seconds
+	if res.Joules < idleFloor+busyPart-1e-9 {
+		t.Errorf("Joules = %g, want ≥ idle(%g) + busy(%g)", res.Joules, idleFloor, busyPart)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestReduceAllLengthMismatch(t *testing.T) {
+	_, err := Run(testWorld(2, 600), func(c *Ctx) error {
+		data := make([]float64, 1+c.Rank())
+		_, err := c.Allreduce(data, Sum, 0)
+		return err
+	})
+	if err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestMakespanIsMaxClock(t *testing.T) {
+	res, err := Run(testWorld(3, 600), func(c *Ctx) error {
+		return c.Compute(machine.W(float64(c.Rank())*6e8, 0, 0, 0))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, s := range res.PerRank {
+		want = math.Max(want, s.Seconds)
+	}
+	if res.Seconds != want {
+		t.Errorf("Seconds = %g, want max rank clock %g", res.Seconds, want)
+	}
+}
+
+// MPI semantics: the send buffer belongs to the caller again once Send
+// returns. A sender that immediately overwrites its buffer must not corrupt
+// the message in flight (regression test for the by-reference enqueue bug
+// that broke MG's ghost exchanges).
+func TestSendBufferReuseSafe(t *testing.T) {
+	_, err := Run(testWorld(2, 600), func(c *Ctx) error {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			if err := c.Send(1, 0, buf, 0); err != nil {
+				return err
+			}
+			buf[0] = -1 // reuse immediately
+			return c.Send(1, 1, buf, 0)
+		}
+		a, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if a[0] != 42 {
+			return fmt.Errorf("first message corrupted by buffer reuse: %v", a)
+		}
+		b, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if b[0] != -1 {
+			return fmt.Errorf("second message wrong: %v", b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The same holds for collective results: a rank mutating its contribution
+// after the call must not alter what peers received.
+func TestCollectiveBufferIsolation(t *testing.T) {
+	_, err := Run(testWorld(2, 600), func(c *Ctx) error {
+		mine := []float64{float64(c.Rank() + 1)}
+		got, err := c.Allgather(mine, 0)
+		if err != nil {
+			return err
+		}
+		mine[0] = -99
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		for s := range got {
+			if got[s][0] != float64(s+1) {
+				return fmt.Errorf("allgather slot %d mutated: %v", s, got[s])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Per-phase DVFS at the runtime level: the OnPhase hook switches the gear,
+// compute billed after the switch runs at the new frequency, and the
+// gear-switch stall is charged.
+func TestOnPhaseHookSwitchesGear(t *testing.T) {
+	w := testWorld(1, 1400)
+	prof := w.Prof
+	w.GearSwitchSec = 100e-6
+	w.OnPhase = func(c *Ctx, phase string) {
+		if phase == "slow" {
+			c.SetPState(prof.BaseState())
+		} else {
+			c.SetPState(prof.TopState())
+		}
+	}
+	work := machine.W(1.4e9, 0, 0, 0) // 1 s at 1400 MHz, 2.33 s at 600 MHz
+	res, err := Run(w, func(c *Ctx) error {
+		if c.Freq() != 1400e6 {
+			return fmt.Errorf("initial gear %g", c.Freq())
+		}
+		if err := c.Compute(work); err != nil {
+			return err
+		}
+		c.SetPhase("slow")
+		if c.Freq() != 600e6 {
+			return fmt.Errorf("gear after hook %g", c.Freq())
+		}
+		return c.Compute(work)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + 100e-6 + 1.4e9/600e6
+	if !stats.AlmostEqual(res.Seconds, want, 1e-9) {
+		t.Errorf("Seconds = %g, want %g", res.Seconds, want)
+	}
+}
+
+func TestSetPStateNoopWithoutChange(t *testing.T) {
+	w := testWorld(1, 600)
+	w.GearSwitchSec = 1 // would be visible
+	res, err := Run(w, func(c *Ctx) error {
+		c.SetPState(c.State()) // same gear: free
+		return c.Compute(machine.W(6e8, 0, 0, 0))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AlmostEqual(res.Seconds, 1.0, 1e-9) {
+		t.Errorf("no-op switch charged time: %g", res.Seconds)
+	}
+}
+
+func TestWorldValidateRejectsNegativeSwitch(t *testing.T) {
+	w := testWorld(1, 600)
+	w.GearSwitchSec = -1
+	if _, err := Run(w, func(c *Ctx) error { return nil }); err == nil {
+		t.Error("negative gear-switch time accepted")
+	}
+}
+
+// Alltoall with skewed parts must be timed by the largest block.
+func TestAlltoallSkewTimedByMaxPart(t *testing.T) {
+	run := func(skew bool) float64 {
+		res, err := Run(testWorld(4, 600), func(c *Ctx) error {
+			parts := make([][]float64, 4)
+			for d := range parts {
+				n := 8
+				if skew && d == (c.Rank()+1)%4 {
+					n = 4096
+				}
+				parts[d] = make([]float64, n)
+			}
+			_, err := c.Alltoall(parts, 0)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seconds
+	}
+	if uniform, skewed := run(false), run(true); skewed <= uniform {
+		t.Errorf("skewed alltoall (%g s) not slower than uniform (%g s)", skewed, uniform)
+	}
+}
+
+func TestGather(t *testing.T) {
+	_, err := Run(testWorld(4, 600), func(c *Ctx) error {
+		out, err := c.Gather(2, []float64{float64(c.Rank() * 11)}, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 2 {
+			if out != nil {
+				return fmt.Errorf("non-root got %v", out)
+			}
+			return nil
+		}
+		for s := range out {
+			if out[s][0] != float64(s*11) {
+				return fmt.Errorf("slot %d = %v", s, out[s])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(testWorld(2, 600), func(c *Ctx) error {
+		_, err := c.Gather(9, nil, 8)
+		return err
+	})
+	if err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	_, err := Run(testWorld(4, 600), func(c *Ctx) error {
+		var parts [][]float64
+		if c.Rank() == 1 {
+			parts = [][]float64{{10}, {11}, {12}, {13}}
+		}
+		got, err := c.Scatter(1, parts, 0)
+		if err != nil {
+			return err
+		}
+		if got[0] != float64(10+c.Rank()) {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(testWorld(2, 600), func(c *Ctx) error {
+		var parts [][]float64
+		if c.Rank() == 0 {
+			parts = [][]float64{{1}} // wrong count
+		}
+		_, err := c.Scatter(0, parts, 0)
+		return err
+	})
+	if err == nil {
+		t.Error("short parts accepted")
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	// Scatter then gather returns the original data at the root.
+	_, err := Run(testWorld(4, 800), func(c *Ctx) error {
+		var parts [][]float64
+		if c.Rank() == 0 {
+			parts = [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+		}
+		mine, err := c.Scatter(0, parts, 0)
+		if err != nil {
+			return err
+		}
+		back, err := c.Gather(0, mine, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for s := range back {
+				if back[s][0] != float64(2*s+1) || back[s][1] != float64(2*s+2) {
+					return fmt.Errorf("slot %d = %v", s, back[s])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatterSingleRank(t *testing.T) {
+	_, err := Run(testWorld(1, 600), func(c *Ctx) error {
+		out, err := c.Gather(0, []float64{5}, 0)
+		if err != nil || out[0][0] != 5 {
+			return fmt.Errorf("gather: %v %v", out, err)
+		}
+		got, err := c.Scatter(0, [][]float64{{7}}, 0)
+		if err != nil || got[0] != 7 {
+			return fmt.Errorf("scatter: %v %v", got, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any sequence of compute workloads, the cluster energy is
+// bounded by the idle floor and busy ceiling over the makespan, and the
+// makespan equals the slowest rank.
+func TestEnergyBoundsProperty(t *testing.T) {
+	w := testWorld(3, 1000)
+	f := func(loads [3]uint32) bool {
+		res, err := Run(w, func(c *Ctx) error {
+			ops := float64(loads[c.Rank()]%1000000) + 1
+			return c.Compute(machine.W(ops, ops/2, 0, ops/100))
+		})
+		if err != nil {
+			return false
+		}
+		floor := 3 * w.Prof.NodePower(w.State, 0) * res.Seconds
+		ceil := 3 * w.Prof.NodePower(w.State, 1) * res.Seconds
+		return res.Joules >= floor-1e-9 && res.Joules <= ceil+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: aggregated PAPI counters equal the sum of the submitted mixes,
+// regardless of how work is split across ranks and calls.
+func TestCounterConservationProperty(t *testing.T) {
+	w := testWorld(2, 600)
+	f := func(chunks [4]uint16) bool {
+		var want float64
+		for _, c := range chunks {
+			want += float64(c)
+		}
+		res, err := Run(w, func(c *Ctx) error {
+			for i, ops := range chunks {
+				if i%2 != c.Rank() {
+					continue
+				}
+				if err := c.Compute(machine.W(float64(ops), 0, 0, 0)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		return res.Counters.Get(papi.TotIns) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+package mpi
+
+import "fmt"
+
+// message is one point-to-point transfer in flight.
+type message struct {
+	tag    int
+	data   []float64
+	vbytes int
+	// arrival is when the last byte reaches the receiver's port (eager
+	// protocol), already including the sender's egress serialization and
+	// the wire latency.
+	arrival float64
+	// ready is the sender's clock after protocol processing; used by the
+	// rendezvous and exchange protocols, where the transfer cannot start
+	// before both sides are ready.
+	ready float64
+	// rendezvous marks a large message whose sender blocks until the
+	// receiver drains it; done carries the sender's completion time back.
+	rendezvous bool
+	// exchange marks a message sent from inside SendRecv, whose timing is
+	// symmetric (both sides block).
+	exchange bool
+	done     chan float64
+}
+
+// Bytes returns the size used for timing: the virtual byte count when set,
+// otherwise 8 bytes per float64 of payload.
+func (m message) Bytes() int {
+	if m.vbytes > 0 {
+		return m.vbytes
+	}
+	return 8 * len(m.data)
+}
+
+func (c *Ctx) box(src, dst int) chan message { return c.rt.boxes[src*c.Size()+dst] }
+
+// Send transmits data to rank dst with the given tag. vbytes, when
+// positive, overrides the timed message size so a scaled-down payload can
+// stand in for a full-size NAS-class message; pass 0 to time the actual
+// payload. Small messages use the eager protocol (the sender only pays its
+// CPU overhead); messages above the rendezvous threshold block the sender
+// until the receiver arrives, like MPICH's rendezvous protocol.
+func (c *Ctx) Send(dst, tag int, data []float64, vbytes int) error {
+	if err := c.checkPeer("destination", dst); err != nil {
+		return err
+	}
+	// MPI semantics: the send buffer is the caller's again as soon as Send
+	// returns, so the payload must be snapshotted here — senders routinely
+	// reuse (and mutate) their buffers immediately.
+	m := message{tag: tag, data: append([]float64(nil), data...), vbytes: vbytes}
+	b := m.Bytes()
+	c.noteMsgs(1, b)
+	net := &c.rt.w.Net
+	o := net.CPUOverhead(b, c.Freq())
+	m.ready = c.clock + o
+
+	if net.Rendezvous(b) {
+		m.rendezvous = true
+		m.done = make(chan float64, 1)
+		select {
+		case c.box(c.rank, dst) <- m:
+		case <-c.rt.abort:
+			return ErrAborted
+		}
+		select {
+		case doneAt := <-m.done:
+			c.egressFree = doneAt
+			return c.advanceComm(doneAt)
+		case <-c.rt.abort:
+			return ErrAborted
+		}
+	}
+
+	// Eager: inject as soon as both the stack work is done and the port is
+	// free; the sender returns after its CPU overhead.
+	injectStart := m.ready
+	if c.egressFree > injectStart {
+		injectStart = c.egressFree
+	}
+	injectEnd := injectStart + net.WireTime(b)
+	c.egressFree = injectEnd
+	m.arrival = injectEnd + net.LatencySec
+	select {
+	case c.box(c.rank, dst) <- m:
+	case <-c.rt.abort:
+		return ErrAborted
+	}
+	return c.advanceComm(m.ready)
+}
+
+// Recv receives the next message from rank src, which must carry the given
+// tag (per-pair FIFO ordering is guaranteed, as in MPI). It returns the
+// payload.
+func (c *Ctx) Recv(src, tag int) ([]float64, error) {
+	if err := c.checkPeer("source", src); err != nil {
+		return nil, err
+	}
+	var m message
+	select {
+	case m = <-c.box(src, c.rank):
+	case <-c.rt.abort:
+		return nil, ErrAborted
+	}
+	if m.tag != tag {
+		c.rt.doAbort()
+		return nil, fmt.Errorf("mpi: rank %d expected tag %d from rank %d, got %d", c.rank, tag, src, m.tag)
+	}
+	b := m.Bytes()
+	net := &c.rt.w.Net
+	or := net.CPUOverhead(b, c.Freq())
+
+	switch {
+	case m.rendezvous:
+		// Transfer starts once both sides are ready; the sender streams the
+		// data (staying busy), the receiver gets it a latency plus wire
+		// time later.
+		start := m.ready
+		if c.clock > start {
+			start = c.clock
+		}
+		if c.egressFree > start {
+			// Receiver's CTS cannot overtake its own port activity; a minor
+			// effect, ignored for the ingress side.
+			_ = start
+		}
+		wire := net.WireTime(b)
+		senderDone := start + wire
+		m.done <- senderDone
+		end := start + net.LatencySec + wire
+		if end < c.ingressBusy+wire {
+			end = c.ingressBusy + wire
+		}
+		c.ingressBusy = end
+		return m.data, c.advanceComm(end + or)
+
+	case m.exchange:
+		// Symmetric exchange: completes when both sides were ready plus one
+		// transfer.
+		start := m.ready
+		if c.clock > start {
+			start = c.clock
+		}
+		end := start + net.LatencySec + net.WireTime(b)
+		if end < c.ingressBusy+net.WireTime(b) {
+			end = c.ingressBusy + net.WireTime(b)
+		}
+		c.ingressBusy = end
+		return m.data, c.advanceComm(end + or)
+
+	default:
+		// Eager: data is available at m.arrival; the ingress port can only
+		// drain one message at a time.
+		end := m.arrival
+		if min := c.ingressBusy + net.WireTime(b); end < min {
+			end = min
+		}
+		c.ingressBusy = end
+		return m.data, c.advanceComm(end + or)
+	}
+}
+
+// SendRecv exchanges messages with two (possibly equal) peers: data goes to
+// dst while a message is received from src. Both transfers are timed as a
+// full-duplex exchange, so a symmetric neighbour exchange cannot deadlock
+// regardless of message size.
+func (c *Ctx) SendRecv(dst, src, tag int, data []float64, vbytes int) ([]float64, error) {
+	if err := c.checkPeer("destination", dst); err != nil {
+		return nil, err
+	}
+	net := &c.rt.w.Net
+	out := message{tag: tag, data: append([]float64(nil), data...), vbytes: vbytes, exchange: true}
+	c.noteMsgs(1, out.Bytes())
+	out.ready = c.clock + net.CPUOverhead(out.Bytes(), c.Freq())
+	c.egressFree = out.ready + net.WireTime(out.Bytes())
+	select {
+	case c.box(c.rank, dst) <- out:
+	case <-c.rt.abort:
+		return nil, ErrAborted
+	}
+	got, err := c.Recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	// Recv advanced the clock past the incoming transfer; the outgoing one
+	// overlaps on the full-duplex link, so no extra charge beyond the send
+	// CPU overhead already folded into out.ready (covered because the
+	// exchange completion takes the max of both ready times at the peer).
+	return got, nil
+}

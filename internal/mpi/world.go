@@ -1,0 +1,311 @@
+// Package mpi is a virtual-time message-passing runtime: an MPI-like API
+// (point-to-point sends and receives plus the collectives the NAS kernels
+// need) whose cost model is the simulated cluster rather than the wall
+// clock.
+//
+// Each rank runs as a goroutine and owns a virtual clock. Computation
+// advances the clock through the node timing model (package machine);
+// communication advances it through the network model (package simnet).
+// Messages carry both real payloads (so kernels compute verifiable results)
+// and a virtual byte count (so a scaled-down array can be timed as the full
+// NAS class would be).
+//
+// Determinism: the timing of every operation depends only on the virtual
+// clocks of the participants and on per-pair FIFO message order, never on
+// goroutine scheduling, so a simulation is reproducible run to run.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pasp/internal/machine"
+	"pasp/internal/papi"
+	"pasp/internal/power"
+	"pasp/internal/simnet"
+	"pasp/internal/trace"
+)
+
+// ErrAborted is returned by communication calls after another rank has
+// failed, so a collective error tears the whole job down instead of
+// deadlocking.
+var ErrAborted = errors.New("mpi: job aborted because another rank failed")
+
+// ReduceInsPerByte is the endpoint instruction cost of combining one byte
+// of a reduction payload (one load + one add per element, amortized).
+const ReduceInsPerByte = 1.5
+
+// World configures a simulated job: cluster size, machine/network models,
+// and the P-state every node runs at.
+type World struct {
+	// N is the number of ranks (one per node).
+	N int
+	// Net is the interconnect model.
+	Net simnet.Config
+	// Mach is the per-node timing model.
+	Mach machine.Config
+	// Prof is the node power profile used for energy accounting.
+	Prof power.Profile
+	// State is the operating point all nodes run at for the whole job.
+	// (Per-phase DVFS is layered on top by package dvfs.)
+	State power.PState
+	// PollUtil is the CPU utilization during communication waits. MPICH's
+	// TCP device busy-polls, so the paper's platform burns full power while
+	// blocked; 1.0 reproduces that. Values < 1 model interrupt-driven or
+	// DVFS-assisted waiting.
+	PollUtil float64
+	// OnPhase, when non-nil, runs on each rank whenever it enters a new
+	// kernel phase; DVFS schedulers use it to switch the rank's P-state.
+	OnPhase func(c *Ctx, phase string)
+	// GearSwitchSec is the stall charged to a rank each time SetPState
+	// actually changes the operating point (Enhanced SpeedStep transition
+	// plus driver overhead).
+	GearSwitchSec float64
+}
+
+// Validate reports an error for an unusable configuration.
+func (w World) Validate() error {
+	if w.N <= 0 {
+		return fmt.Errorf("mpi: N = %d, want ≥ 1", w.N)
+	}
+	if err := w.Net.Validate(); err != nil {
+		return err
+	}
+	if err := w.Mach.Validate(); err != nil {
+		return err
+	}
+	if err := w.Prof.Validate(); err != nil {
+		return err
+	}
+	if w.State.Freq <= 0 {
+		return fmt.Errorf("mpi: zero-frequency P-state")
+	}
+	if w.PollUtil < 0 || w.PollUtil > 1 {
+		return fmt.Errorf("mpi: PollUtil %g outside [0,1]", w.PollUtil)
+	}
+	if w.GearSwitchSec < 0 {
+		return fmt.Errorf("mpi: negative gear-switch time")
+	}
+	return nil
+}
+
+// RankFunc is the body executed by every rank.
+type RankFunc func(c *Ctx) error
+
+// RankStats summarizes one rank's run.
+type RankStats struct {
+	// Seconds is the rank's final virtual clock.
+	Seconds float64
+	// ComputeSec and CommSec attribute the clock to computation and
+	// communication (including waits).
+	ComputeSec, CommSec float64
+	// Joules is the rank's node energy, excluding the idle tail spent
+	// waiting for slower ranks to finish (accounted in Result.Joules).
+	Joules float64
+	// Msgs and MsgBytes profile the rank's outbound point-to-point traffic,
+	// counting each collective as its constituent algorithm messages.
+	Msgs     int
+	MsgBytes int
+}
+
+// Result aggregates a finished job.
+type Result struct {
+	// Seconds is the job's makespan: the maximum rank clock.
+	Seconds float64
+	// Joules is the whole-cluster energy: every node is powered for the
+	// full makespan, with ranks that finish early idling at low utilization.
+	Joules float64
+	// Counters is the sum of all ranks' simulated PAPI counters.
+	Counters papi.Counters
+	// RankCounters holds each rank's counters (the paper samples rank 0 of
+	// an SPMD code and notes counts agree within ~2% across ranks).
+	RankCounters []papi.Counters
+	// PerRank holds per-rank timing and energy.
+	PerRank []RankStats
+	// Trace is the merged phase trace of all ranks.
+	Trace *trace.Log
+}
+
+// AvgWatts returns the cluster's mean power draw over the run.
+func (r *Result) AvgWatts() float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return r.Joules / r.Seconds
+}
+
+// EDP returns the run's energy-delay product.
+func (r *Result) EDP() float64 { return power.EDP(r.Joules, r.Seconds) }
+
+// ComputeSec returns the summed compute time across ranks.
+func (r *Result) ComputeSec() float64 {
+	t := 0.0
+	for _, s := range r.PerRank {
+		t += s.ComputeSec
+	}
+	return t
+}
+
+// CommSec returns the summed communication time across ranks.
+func (r *Result) CommSec() float64 {
+	t := 0.0
+	for _, s := range r.PerRank {
+		t += s.CommSec
+	}
+	return t
+}
+
+// runtime is the shared state of a running job.
+type runtime struct {
+	w     World
+	boxes []chan message // n×n mailboxes, indexed src*n+dst
+
+	mu       sync.Mutex
+	clocks   []float64
+	payloads []any
+	arrived  int
+	release  chan struct{}
+	snapshot *collSnapshot
+
+	abortOnce sync.Once
+	abort     chan struct{}
+}
+
+// collSnapshot is the outcome of one collective synchronization epoch.
+type collSnapshot struct {
+	clocks   []float64
+	payloads []any
+}
+
+func newRuntime(w World) *runtime {
+	n := w.N
+	r := &runtime{
+		w:        w,
+		boxes:    make([]chan message, n*n),
+		clocks:   make([]float64, n),
+		payloads: make([]any, n),
+		release:  make(chan struct{}),
+		abort:    make(chan struct{}),
+	}
+	for i := range r.boxes {
+		// The mailbox depth plays the role of MPICH's eager-buffer pool: a
+		// sender with more than this many undelivered messages to one peer
+		// blocks until the receiver drains some — as real MPI does when its
+		// unexpected-message queue fills.
+		r.boxes[i] = make(chan message, 1024)
+	}
+	return r
+}
+
+func (r *runtime) doAbort() {
+	r.abortOnce.Do(func() { close(r.abort) })
+}
+
+// sync blocks until all n ranks have deposited (clock, payload) and returns
+// the epoch's snapshot. The snapshot's contents depend only on the deposits,
+// so every collective is deterministic.
+func (r *runtime) sync(rank int, clock float64, payload any) (*collSnapshot, error) {
+	r.mu.Lock()
+	r.clocks[rank] = clock
+	r.payloads[rank] = payload
+	r.arrived++
+	if r.arrived == r.w.N {
+		snap := &collSnapshot{
+			clocks:   append([]float64(nil), r.clocks...),
+			payloads: append([]any(nil), r.payloads...),
+		}
+		r.snapshot = snap
+		r.arrived = 0
+		rel := r.release
+		r.release = make(chan struct{})
+		r.mu.Unlock()
+		close(rel)
+		return snap, nil
+	}
+	rel := r.release
+	r.mu.Unlock()
+	select {
+	case <-rel:
+		return r.snapshot, nil
+	case <-r.abort:
+		return nil, ErrAborted
+	}
+}
+
+// Run executes fn on every rank of the world and aggregates the outcome.
+// The first rank error aborts the job and is returned.
+func Run(w World, fn RankFunc) (*Result, error) {
+	if w.PollUtil == 0 {
+		w.PollUtil = 1.0 // MPICH busy-poll default
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	rt := newRuntime(w)
+	ctxs := make([]*Ctx, w.N)
+	errs := make([]error, w.N)
+	var wg sync.WaitGroup
+	for rank := 0; rank < w.N; rank++ {
+		ctxs[rank] = newCtx(rt, rank)
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := fn(ctxs[rank]); err != nil {
+				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
+				rt.doAbort()
+			}
+		}(rank)
+	}
+	wg.Wait()
+	// Prefer the root cause: a rank that failed on its own error rather
+	// than one torn down by the abort.
+	var aborted error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrAborted) {
+			if aborted == nil {
+				aborted = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if aborted != nil {
+		return nil, aborted
+	}
+	return aggregate(w, ctxs), nil
+}
+
+func aggregate(w World, ctxs []*Ctx) *Result {
+	res := &Result{
+		PerRank:      make([]RankStats, w.N),
+		RankCounters: make([]papi.Counters, w.N),
+	}
+	logs := make([]*trace.Log, w.N)
+	for i, c := range ctxs {
+		if c.clock > res.Seconds {
+			res.Seconds = c.clock
+		}
+		logs[i] = &c.log
+	}
+	for i, c := range ctxs {
+		idleTail := res.Seconds - c.clock
+		idleJ := w.Prof.NodePower(w.State, 0) * idleTail
+		res.PerRank[i] = RankStats{
+			Seconds:    c.clock,
+			ComputeSec: c.computeSec,
+			CommSec:    c.commSec,
+			Joules:     c.meter.Joules(),
+			Msgs:       c.msgs,
+			MsgBytes:   c.msgBytes,
+		}
+		res.Joules += c.meter.Joules() + idleJ
+		res.RankCounters[i] = c.counters
+		res.Counters.Add(c.counters)
+	}
+	res.Trace = trace.Merge(logs...)
+	return res
+}

@@ -1,0 +1,120 @@
+package mpptest
+
+import (
+	"testing"
+
+	"pasp/internal/machine"
+	"pasp/internal/mpi"
+	"pasp/internal/power"
+	"pasp/internal/simnet"
+	"pasp/internal/stats"
+)
+
+func world(n int, mhz float64) mpi.World {
+	prof := power.PentiumM()
+	st, err := prof.StateAt(mhz * 1e6)
+	if err != nil {
+		panic(err)
+	}
+	return mpi.World{N: n, Net: simnet.FastEthernet(), Mach: machine.PentiumM(), Prof: prof, State: st}
+}
+
+func TestPingPongMatchesModel(t *testing.T) {
+	w := world(2, 1000)
+	got, err := PingPong(w, 1240, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.Net.PointToPoint(1240, w.State.Freq, w.State.Freq)
+	if !stats.AlmostEqual(got, want, 0.02) {
+		t.Errorf("ping-pong %g s, model point-to-point %g s", got, want)
+	}
+}
+
+func TestPingPongFrequencyShape(t *testing.T) {
+	// Table 6's communication rows: larger messages pick up a visible
+	// penalty at the lowest gear; small ones are latency-bound.
+	small600, err := PingPong(world(2, 600), 155*8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small1400, err := PingPong(world(2, 1400), 155*8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large600, err := PingPong(world(2, 600), 310*8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large1400, err := PingPong(world(2, 1400), 310*8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1, d2 := small600-small1400, large600-large1400; d2 <= d1 {
+		t.Errorf("frequency penalty should grow with size: %g vs %g", d1, d2)
+	}
+}
+
+func TestPingPongValidation(t *testing.T) {
+	if _, err := PingPong(world(4, 600), 100, 10); err == nil {
+		t.Error("4-rank ping-pong accepted")
+	}
+	if _, err := PingPong(world(2, 600), 0, 10); err == nil {
+		t.Error("zero-size message accepted")
+	}
+	if _, err := PingPong(world(2, 600), 8, 0); err == nil {
+		t.Error("zero reps accepted")
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	pts, err := Sweep(world(2, 800), 64, 64<<10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 11 {
+		t.Fatalf("got %d points, want 11", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Sec <= pts[i-1].Sec {
+			t.Errorf("time not increasing at %d bytes", pts[i].Bytes)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep(world(2, 800), 0, 1024, 5); err == nil {
+		t.Error("zero min accepted")
+	}
+	if _, err := Sweep(world(2, 800), 1024, 512, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+// The measured latency/bandwidth recovered by a linear fit should agree
+// with the configured network model.
+func TestLinearFitRecoversNetworkParameters(t *testing.T) {
+	w := world(2, 1400)
+	pts, err := Sweep(w, 1<<10, 32<<10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = float64(p.Bytes)
+		ys[i] = p.Sec
+	}
+	intercept, slope, err := stats.LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slope ≈ 1/BW + 2·per-byte-CPU/f.
+	wantSlope := 1/w.Net.BandwidthBps + 2*w.Net.ByteCPUIns/w.State.Freq
+	if !stats.AlmostEqual(slope, wantSlope, 0.05) {
+		t.Errorf("slope %g, want ≈ %g", slope, wantSlope)
+	}
+	if intercept < w.Net.LatencySec {
+		t.Errorf("intercept %g below wire latency %g", intercept, w.Net.LatencySec)
+	}
+}

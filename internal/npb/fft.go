@@ -1,0 +1,92 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// fftDir selects the transform direction.
+type fftDir int
+
+const (
+	fftForward fftDir = -1
+	fftInverse fftDir = +1
+)
+
+// fftPlan caches the twiddle factors and bit-reversal permutation for a
+// power-of-two length, so the per-transform cost is the butterflies alone.
+type fftPlan struct {
+	n       int
+	rev     []int
+	twiddle []complex128 // e^{±2πi k/n} for the largest stage, both dirs derived
+}
+
+// newFFTPlan builds a plan for length n (a power of two).
+func newFFTPlan(n int) (*fftPlan, error) {
+	if err := checkPow2("fft length", n); err != nil {
+		return nil, err
+	}
+	p := &fftPlan{n: n, rev: make([]int, n), twiddle: make([]complex128, n/2)}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	for i := 0; i < n; i++ {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		p.rev[i] = r
+	}
+	for k := 0; k < n/2; k++ {
+		p.twiddle[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+	}
+	return p, nil
+}
+
+// transform runs an in-place radix-2 Cooley–Tukey FFT on x (length n). The
+// inverse transform conjugates twiddles and scales by 1/n, so
+// transform(inverse(x)) == x up to rounding.
+func (p *fftPlan) transform(x []complex128, dir fftDir) error {
+	if len(x) != p.n {
+		return fmt.Errorf("npb: fft length %d, plan is for %d", len(x), p.n)
+	}
+	for i, r := range p.rev {
+		if i < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	for size := 2; size <= p.n; size <<= 1 {
+		half := size / 2
+		step := p.n / size
+		for start := 0; start < p.n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				if dir == fftInverse {
+					w = cmplx.Conj(w)
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	if dir == fftInverse {
+		inv := complex(1/float64(p.n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return nil
+}
+
+// fftFlopsPerPoint returns the arithmetic operation count per point of one
+// 1-D transform of length n: the standard 5·log₂n for a radix-2 complex
+// FFT.
+func fftFlopsPerPoint(n int) float64 {
+	return 5 * math.Log2(float64(n))
+}

@@ -1,0 +1,162 @@
+package npb
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"pasp/internal/stats"
+)
+
+// naiveDFT is the O(n²) reference transform.
+func naiveDFT(x []complex128, dir fftDir) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := float64(dir) * 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		if dir == fftInverse {
+			sum /= complex(float64(n), 0)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randomComplex(n int, seed uint64) []complex128 {
+	r := newRandlc(seed)
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(2*r.next()-1, 2*r.next()-1)
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64} {
+		p, err := newFFTPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomComplex(n, 7)
+		got := append([]complex128(nil), x...)
+		if err := p.transform(got, fftForward); err != nil {
+			t.Fatal(err)
+		}
+		want := naiveDFT(x, fftForward)
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Errorf("n=%d: FFT differs from DFT by %g", n, d)
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	p, err := newFFTPlan(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomComplex(256, 42)
+	y := append([]complex128(nil), x...)
+	if err := p.transform(y, fftForward); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.transform(y, fftInverse); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(x, y); d > 1e-10 {
+		t.Errorf("round trip error %g", d)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	const n = 64
+	p, _ := newFFTPlan(n)
+	a := randomComplex(n, 1)
+	b := randomComplex(n, 2)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = a[i] + 2*b[i]
+	}
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	fs := append([]complex128(nil), sum...)
+	if err := p.transform(fa, fftForward); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.transform(fb, fftForward); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.transform(fs, fftForward); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs {
+		if cmplx.Abs(fs[i]-(fa[i]+2*fb[i])) > 1e-9 {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	const n = 128
+	p, _ := newFFTPlan(n)
+	x := randomComplex(n, 3)
+	f := append([]complex128(nil), x...)
+	if err := p.transform(f, fftForward); err != nil {
+		t.Fatal(err)
+	}
+	var ex, ef float64
+	for i := 0; i < n; i++ {
+		ex += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		ef += real(f[i])*real(f[i]) + imag(f[i])*imag(f[i])
+	}
+	if !stats.AlmostEqual(ef, float64(n)*ex, 1e-9) {
+		t.Errorf("Parseval: |F|² = %g, want n·|x|² = %g", ef, float64(n)*ex)
+	}
+}
+
+func TestFFTPlanErrors(t *testing.T) {
+	if _, err := newFFTPlan(12); err == nil {
+		t.Error("non-power-of-two plan accepted")
+	}
+	if _, err := newFFTPlan(0); err == nil {
+		t.Error("zero-length plan accepted")
+	}
+	p, _ := newFFTPlan(8)
+	if err := p.transform(make([]complex128, 4), fftForward); err == nil {
+		t.Error("wrong-length transform accepted")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// The transform of a unit impulse is the all-ones vector.
+	p, _ := newFFTPlan(16)
+	x := make([]complex128, 16)
+	x[0] = 1
+	if err := p.transform(x, fftForward); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse transform at %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTFlopsPerPoint(t *testing.T) {
+	if got := fftFlopsPerPoint(64); got != 30 {
+		t.Errorf("flops per point (n=64) = %g, want 30", got)
+	}
+}

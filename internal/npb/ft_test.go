@@ -1,0 +1,164 @@
+package npb
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"pasp/internal/papi"
+	"pasp/internal/trace"
+)
+
+func TestFTValidate(t *testing.T) {
+	ok := FT{Nx: 16, Ny: 16, Nz: 16, Iters: 2}
+	if err := ok.Validate(4); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		f    FT
+		n    int
+	}{
+		{"non-pow2 Nx", FT{Nx: 12, Ny: 16, Nz: 16, Iters: 1}, 1},
+		{"zero iters", FT{Nx: 16, Ny: 16, Nz: 16}, 1},
+		{"indivisible", FT{Nx: 16, Ny: 16, Nz: 16, Iters: 1}, 3},
+		{"negative scale", FT{Nx: 16, Ny: 16, Nz: 16, Iters: 1, Scale: -1}, 1},
+	}
+	for _, tc := range bad {
+		if err := tc.f.Validate(tc.n); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+// The paper-critical correctness property: the distributed FFT pipeline —
+// local transforms, alltoall transpose, evolve, inverse — produces the same
+// physical-space checksums at every rank count.
+func TestFTChecksumRankInvariance(t *testing.T) {
+	ft := FT{Nx: 16, Ny: 16, Nz: 16, Iters: 3}
+	ref, _, err := ft.Run(npbWorld(1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Checksums) != 3 {
+		t.Fatalf("got %d checksums, want 3", len(ref.Checksums))
+	}
+	for _, n := range []int{2, 4, 8} {
+		got, _, err := ft.Run(npbWorld(n, 600))
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		for i := range ref.Checksums {
+			if d := cmplx.Abs(got.Checksums[i] - ref.Checksums[i]); d > 1e-8 {
+				t.Errorf("N=%d iter %d: checksum %v ≠ %v (|Δ| = %g)", n, i, got.Checksums[i], ref.Checksums[i], d)
+			}
+		}
+	}
+}
+
+func TestFTChecksumsEvolve(t *testing.T) {
+	// Successive checksums must differ: the evolution factor changes the
+	// field each iteration.
+	res, _, err := FT{Nx: 16, Ny: 16, Nz: 8, Iters: 2}.Run(npbWorld(2, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksums[0] == res.Checksums[1] {
+		t.Error("checksums identical across iterations; evolve has no effect")
+	}
+}
+
+func TestFTHasOffChipWork(t *testing.T) {
+	_, r, err := FT{Nx: 16, Ny: 16, Nz: 16, Iters: 1}.Run(npbWorld(1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := r.Counters.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := w.OffChip() / w.Total(); frac < 0.005 {
+		t.Errorf("FT OFF-chip fraction %g too small; memory behaviour lost", frac)
+	}
+}
+
+func TestFTScaleMultipliesWorkAndTime(t *testing.T) {
+	base := FT{Nx: 16, Ny: 16, Nz: 8, Iters: 1}
+	scaled := base
+	scaled.Scale = 4
+	_, rb, err := base.Run(npbWorld(2, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rs, err := scaled.Run(npbWorld(2, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := rs.Counters.Get(papi.TotIns) / rb.Counters.Get(papi.TotIns); ratio < 3.99 || ratio > 4.01 {
+		t.Errorf("TOT_INS ratio = %g, want 4", ratio)
+	}
+	if rs.Seconds <= rb.Seconds {
+		t.Error("scaled run not slower")
+	}
+	// Message bytes must scale too (comm grows with the class).
+	if rs.PerRank[0].MsgBytes <= rb.PerRank[0].MsgBytes {
+		t.Error("scaled run's message bytes did not grow")
+	}
+}
+
+func TestFTCommunicationDominatedByAlltoall(t *testing.T) {
+	_, r, err := FT{Nx: 16, Ny: 16, Nz: 16, Iters: 2}.Run(npbWorld(4, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := r.Trace.ByPhase()
+	if by["ft-alltoall"] <= 0 {
+		t.Fatalf("no alltoall time in trace: %v", by)
+	}
+	var commTotal float64
+	for _, k := range []string{"ft-alltoall", "ft-checksum"} {
+		commTotal += by[k]
+	}
+	if by["ft-alltoall"] < 0.9*commTotal {
+		t.Errorf("alltoall %g s not dominant in comm %g s", by["ft-alltoall"], commTotal)
+	}
+}
+
+func TestFTTraceValid(t *testing.T) {
+	_, r, err := FT{Nx: 16, Ny: 8, Nz: 8, Iters: 1}.Run(npbWorld(2, 1400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Trace.Validate(); err != nil {
+		t.Error(err)
+	}
+	tot := r.Trace.TotalByKind()
+	if tot[trace.Compute] <= 0 || tot[trace.Comm] <= 0 {
+		t.Errorf("kind totals: %v", tot)
+	}
+}
+
+func TestFoldFrequencies(t *testing.T) {
+	cases := []struct{ k, n, want int }{
+		{0, 16, 0}, {1, 16, 1}, {8, 16, 8}, {9, 16, -7}, {15, 16, -1},
+	}
+	for _, c := range cases {
+		if got := fold(c.k, c.n); got != c.want {
+			t.Errorf("fold(%d,%d) = %d, want %d", c.k, c.n, got, c.want)
+		}
+	}
+}
+
+func TestFTDeterministicTiming(t *testing.T) {
+	ft := FT{Nx: 16, Ny: 16, Nz: 16, Iters: 2}
+	_, a, err := ft.Run(npbWorld(4, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := ft.Run(npbWorld(4, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seconds != b.Seconds || a.Joules != b.Joules {
+		t.Errorf("non-deterministic: %g/%g vs %g/%g", a.Seconds, a.Joules, b.Seconds, b.Joules)
+	}
+}

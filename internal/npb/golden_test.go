@@ -1,0 +1,104 @@
+package npb
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"pasp/internal/papi"
+	"pasp/internal/stats"
+)
+
+// Golden numerics: the kernels are deterministic (fixed NPB randlc seeds),
+// so their results are pinned here as a regression net. A drift means the
+// numerics changed, not just the timing model.
+func TestFTGoldenChecksums(t *testing.T) {
+	ft := FT{Nx: 16, Ny: 16, Nz: 16, Iters: 3}
+	res, _, err := ft.Run(npbWorld(1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{
+		complex(5.040000139636e+02, 6.195234077961e+02),
+		complex(5.039629294924e+02, 6.192056141144e+02),
+		complex(5.039261046967e+02, 6.188889231340e+02),
+	}
+	if len(res.Checksums) != len(want) {
+		t.Fatalf("got %d checksums", len(res.Checksums))
+	}
+	for i := range want {
+		if d := cmplx.Abs(res.Checksums[i] - want[i]); d > 1e-7 {
+			t.Errorf("iter %d: checksum %v, want %v (|Δ| = %g)", i, res.Checksums[i], want[i], d)
+		}
+	}
+}
+
+func TestSPGoldenValues(t *testing.T) {
+	sp := SP{N: 16, Steps: 3}
+	res, _, err := sp.Run(npbWorld(1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.AlmostEqual(res.Heat0, 2.071068810413e+03, 1e-9) {
+		t.Errorf("Heat0 = %.12e", res.Heat0)
+	}
+	if !stats.AlmostEqual(res.Heat, 1.453324862953e+03, 1e-9) {
+		t.Errorf("Heat = %.12e", res.Heat)
+	}
+	if !stats.AlmostEqual(res.Checksum, 1.874737059429e+02, 1e-9) {
+		t.Errorf("Checksum = %.12e", res.Checksum)
+	}
+}
+
+// Scale semantics must be uniform across kernels: doubling the workload
+// multiplier doubles the billed instruction count without touching the
+// verifiable numerics.
+func TestScaleSemanticsAcrossKernels(t *testing.T) {
+	type run func(scale float64) (papiTot float64, checksum float64)
+	cases := []struct {
+		name string
+		run  run
+	}{
+		{"FT", func(k float64) (float64, float64) {
+			ft := FT{Nx: 16, Ny: 16, Nz: 8, Iters: 1, Scale: k}
+			res, r, err := ft.Run(npbWorld(2, 600))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.Counters.Get(papi.TotIns), real(res.Checksums[0])
+		}},
+		{"CG", func(k float64) (float64, float64) {
+			cg := CG{Size: 256, OuterIters: 1, CGIters: 5, Scale: k}
+			res, r, err := cg.Run(npbWorld(2, 600))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.Counters.Get(papi.TotIns), res.Zeta
+		}},
+		{"MG", func(k float64) (float64, float64) {
+			mg := MG{Size: 15, Cycles: 1, Scale: k}
+			res, r, err := mg.Run(npbWorld(2, 600))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.Counters.Get(papi.TotIns), res.Residuals[0]
+		}},
+		{"SP-ncomp", func(k float64) (float64, float64) {
+			sp := SP{N: 16, Steps: 1, Ncomp: int(5 * k)}
+			res, r, err := sp.Run(npbWorld(2, 600))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r.Counters.Get(papi.TotIns), res.Checksum
+		}},
+	}
+	for _, tc := range cases {
+		tot1, chk1 := tc.run(1)
+		tot2, chk2 := tc.run(2)
+		if !stats.AlmostEqual(tot2, 2*tot1, 0.01) {
+			t.Errorf("%s: TOT_INS ratio %.3f, want 2", tc.name, tot2/tot1)
+		}
+		if chk1 != chk2 {
+			t.Errorf("%s: scaling changed the numerics: %g vs %g", tc.name, chk1, chk2)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package npb
+
+import (
+	"testing"
+
+	"pasp/internal/trace"
+)
+
+func TestISValidate(t *testing.T) {
+	if err := (IS{LogKeys: 12, LogMaxKey: 14, Iters: 2}).Validate(4); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		is   IS
+		n    int
+	}{
+		{"tiny keys", IS{LogKeys: 2, LogMaxKey: 14, Iters: 1}, 1},
+		{"tiny range", IS{LogKeys: 12, LogMaxKey: 2, Iters: 1}, 1},
+		{"zero iters", IS{LogKeys: 12, LogMaxKey: 14}, 1},
+		{"non-pow2 buckets", IS{LogKeys: 12, LogMaxKey: 14, Iters: 1, Buckets: 1000}, 1},
+		{"buckets < ranks", IS{LogKeys: 12, LogMaxKey: 14, Iters: 1, Buckets: 2}, 4},
+		{"neg scale", IS{LogKeys: 12, LogMaxKey: 14, Iters: 1, ScaleLog: -1}, 1},
+	}
+	for _, tc := range bad {
+		if err := tc.is.Validate(tc.n); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestISSortsCorrectly(t *testing.T) {
+	is := IS{LogKeys: 12, LogMaxKey: 14, Iters: 2}
+	for _, n := range []int{1, 2, 4, 8} {
+		res, _, err := is.Run(npbWorld(n, 600))
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if !res.Sorted {
+			t.Errorf("N=%d: verification failed", n)
+		}
+	}
+}
+
+func TestISKeySumRankInvariant(t *testing.T) {
+	is := IS{LogKeys: 12, LogMaxKey: 14, Iters: 1}
+	ref, _, err := is.Run(npbWorld(1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4} {
+		got, _, err := is.Run(npbWorld(n, 600))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.KeySum != ref.KeySum {
+			t.Errorf("N=%d: key sum %g ≠ %g", n, got.KeySum, ref.KeySum)
+		}
+	}
+}
+
+// The NPB key distribution is bell-shaped, so the bucket split must still
+// produce a near-even final distribution (that is its purpose).
+func TestISLoadBalance(t *testing.T) {
+	is := IS{LogKeys: 14, LogMaxKey: 16, Iters: 1}
+	res, _, err := is.Run(npbWorld(8, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxImbalance > 1.5 {
+		t.Errorf("max per-rank share %.2f× even; bucket split failed", res.MaxImbalance)
+	}
+	if res.MaxImbalance < 1.0 {
+		t.Errorf("imbalance %g below 1; accounting wrong", res.MaxImbalance)
+	}
+}
+
+func TestISCommunicationHeavy(t *testing.T) {
+	is := IS{LogKeys: 12, LogMaxKey: 14, Iters: 2, ScaleLog: 10}
+	_, r, err := is.Run(npbWorld(4, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := r.Trace.ByPhase()
+	if by["is-exchange"] <= 0 || by["is-allreduce"] <= 0 {
+		t.Fatalf("missing comm phases: %v", by)
+	}
+	tot := r.Trace.TotalByKind()
+	if tot[trace.Comm] < tot[trace.Compute]*0.2 {
+		t.Errorf("IS at scale should be communication-heavy: comm %g vs compute %g", tot[trace.Comm], tot[trace.Compute])
+	}
+}
+
+func TestISScaleLogInflatesTiming(t *testing.T) {
+	base := IS{LogKeys: 12, LogMaxKey: 14, Iters: 1}
+	scaled := base
+	scaled.ScaleLog = 6
+	_, rb, err := base.Run(npbWorld(2, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rs, err := scaled.Run(npbWorld(2, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Seconds < 32*rb.Seconds {
+		t.Errorf("ScaleLog=6 run only %.1f× slower", rs.Seconds/rb.Seconds)
+	}
+}
+
+func TestISDeterministic(t *testing.T) {
+	is := IS{LogKeys: 12, LogMaxKey: 14, Iters: 2}
+	_, a, err := is.Run(npbWorld(4, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := is.Run(npbWorld(4, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seconds != b.Seconds || a.Joules != b.Joules {
+		t.Error("IS timing not deterministic")
+	}
+}
+
+func TestSplitBucketsProperties(t *testing.T) {
+	global := []float64{1, 5, 20, 50, 20, 5, 1, 0}
+	owner := splitBuckets(global, 4)
+	if len(owner) != len(global) {
+		t.Fatal("owner length mismatch")
+	}
+	for b := 1; b < len(owner); b++ {
+		if owner[b] < owner[b-1] {
+			t.Errorf("owners not monotone at %d: %v", b, owner)
+		}
+	}
+	if owner[0] != 0 {
+		t.Errorf("first bucket owner %d, want 0", owner[0])
+	}
+	if owner[len(owner)-1] != 3 {
+		t.Errorf("last bucket owner %d, want 3", owner[len(owner)-1])
+	}
+}
+
+func TestKeyRange(t *testing.T) {
+	owner := []int{0, 0, 1, 1, 1, 2, 3, 3}
+	lo, hi := keyRange(owner, 1, 4)
+	if lo != 2<<4 || hi != 5<<4 {
+		t.Errorf("range = [%d,%d), want [32,80)", lo, hi)
+	}
+	lo, hi = keyRange(owner, 7, 4) // rank without buckets
+	if lo != 0 || hi != 0 {
+		t.Errorf("unowned range = [%d,%d), want empty", lo, hi)
+	}
+}
+
+// The exchange volumes are skewed: central ranks receive the bell's bulk.
+// The alltoall still must conserve every key (checked by Sorted), and the
+// per-rank message profile must differ across ranks.
+func TestISSkewedExchange(t *testing.T) {
+	is := IS{LogKeys: 14, LogMaxKey: 16, Iters: 1}
+	_, r, err := is.Run(npbWorld(8, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := r.PerRank[0].MsgBytes, r.PerRank[0].MsgBytes
+	for _, s := range r.PerRank {
+		if s.MsgBytes < min {
+			min = s.MsgBytes
+		}
+		if s.MsgBytes > max {
+			max = s.MsgBytes
+		}
+	}
+	if max == min {
+		t.Error("exchange volumes uniform; skew lost")
+	}
+}

@@ -1,0 +1,238 @@
+package npb
+
+import (
+	"testing"
+
+	"pasp/internal/papi"
+)
+
+func TestLUValidate(t *testing.T) {
+	if err := (LU{N: 12, Iters: 5}).Validate(4); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		l    LU
+		n    int
+	}{
+		{"tiny grid", LU{N: 2, Iters: 5}, 1},
+		{"zero iters", LU{N: 12}, 1},
+		{"omega out of range", LU{N: 12, Iters: 5, Omega: 2.5}, 1},
+		{"negative ncomp", LU{N: 12, Iters: 5, Ncomp: -1}, 1},
+	}
+	for _, tc := range bad {
+		if err := tc.l.Validate(tc.n); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestDecompose2D(t *testing.T) {
+	cases := map[int][2]int{
+		1: {1, 1}, 2: {1, 2}, 4: {2, 2}, 8: {2, 4}, 16: {4, 4}, 6: {2, 3}, 12: {3, 4},
+	}
+	for n, want := range cases {
+		px, py := Decompose2D(n)
+		if px != want[0] || py != want[1] {
+			t.Errorf("Decompose2D(%d) = (%d,%d), want %v", n, px, py, want)
+		}
+		if px*py != n {
+			t.Errorf("Decompose2D(%d) does not partition", n)
+		}
+	}
+}
+
+func TestBlockRangePartitions(t *testing.T) {
+	for _, n := range []int{12, 62, 17} {
+		for _, p := range []int{1, 2, 3, 4} {
+			prev := 1
+			total := 0
+			for b := 0; b < p; b++ {
+				lo, hi := blockRange(n, p, b)
+				if lo != prev {
+					t.Errorf("n=%d p=%d b=%d: lo=%d, want %d", n, p, b, lo, prev)
+				}
+				if hi <= lo {
+					t.Errorf("n=%d p=%d b=%d: empty block", n, p, b)
+				}
+				total += hi - lo
+				prev = hi
+			}
+			if total != n {
+				t.Errorf("n=%d p=%d: blocks cover %d points", n, p, total)
+			}
+		}
+	}
+}
+
+func TestLUSerialConvergence(t *testing.T) {
+	res, _, err := LU{N: 12, Iters: 30}.Run(npbWorld(1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual0 <= 0 {
+		t.Fatal("zero initial residual")
+	}
+	if res.Residual > 0.01*res.Residual0 {
+		t.Errorf("SSOR did not converge: %g → %g", res.Residual0, res.Residual)
+	}
+	// The exact solution has unit scale (max 1.0), so a converged run's RMS
+	// error is small in absolute terms; it lags the residual by the
+	// operator's condition number.
+	if res.SolutionErr > 0.01 {
+		t.Errorf("solution error %g too large", res.SolutionErr)
+	}
+}
+
+func TestLUParallelConvergesLikeSerial(t *testing.T) {
+	cfg := LU{N: 12, Iters: 30}
+	ser, _, err := cfg.Run(npbWorld(1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 8} {
+		par, _, err := cfg.Run(npbWorld(n, 600))
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		// Block-wavefront ordering differs from lexicographic, so results
+		// are not bitwise equal (as in NPB); but both converge to the same
+		// exact discrete solution.
+		if par.Residual > 0.01*par.Residual0 {
+			t.Errorf("N=%d did not converge: %g → %g", n, par.Residual0, par.Residual)
+		}
+		ratio := par.SolutionErr / ser.SolutionErr
+		if ratio > 5 || ratio < 0.2 {
+			t.Errorf("N=%d solution error %g far from serial %g", n, par.SolutionErr, ser.SolutionErr)
+		}
+	}
+}
+
+func TestLUUnevenGrid(t *testing.T) {
+	// 13 interior points over a 2×2 rank grid forces uneven blocks.
+	res, _, err := LU{N: 13, Iters: 30}.Run(npbWorld(4, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual > 0.05*res.Residual0 {
+		t.Errorf("uneven decomposition broke convergence: %g → %g", res.Residual0, res.Residual)
+	}
+}
+
+func TestLUWorkloadMatchesTable5Proportions(t *testing.T) {
+	_, r, err := LU{N: 12, Iters: 10}.Run(npbWorld(1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := r.Counters.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := w.Fractions()
+	// Table 5: 145/175/4.71/3.97 ×10⁹ → 44.2%, 53.3%, 1.4%, 1.2% of total.
+	want := []float64{0.442, 0.533, 0.014, 0.012}
+	for l, f := range fr {
+		if f < want[l]*0.9 || f > want[l]*1.1 {
+			t.Errorf("level %d fraction %.4f, want ≈ %.3f (Table 5)", l, f, want[l])
+		}
+	}
+}
+
+func TestLUMessageProfile(t *testing.T) {
+	// At N=2 (1×2 grid) with Ncomp=5 the wavefront messages carry
+	// lx·5 = N·5 doubles — the paper's 310-double observation for a
+	// 62-point grid.
+	_, r, err := LU{N: 12, Iters: 4}.Run(npbWorld(2, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, s := range r.PerRank {
+		if s.Msgs == 0 || s.MsgBytes == 0 {
+			t.Errorf("rank %d has no message profile", rank)
+		}
+	}
+	// At N=2 each rank has one neighbour and sends a wavefront row per
+	// plane in one sweep direction: ≥ Iters·N messages.
+	if r.PerRank[0].Msgs < 4*12 {
+		t.Errorf("rank 0 sent %d messages, want ≥ %d", r.PerRank[0].Msgs, 4*12)
+	}
+}
+
+func TestLUPipelineLimitsSpeedup(t *testing.T) {
+	// LU's wavefront pipeline and fine-grained messages keep its speedup
+	// clearly sublinear, unlike EP.
+	cfg := LU{N: 24, Iters: 6}
+	_, r1, err := cfg.Run(npbWorld(1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r8, err := cfg.Run(npbWorld(8, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r1.Seconds / r8.Seconds
+	if s >= 7.5 {
+		t.Errorf("LU speedup at N=8 is %g; wavefront overhead lost", s)
+	}
+	if s < 1 {
+		t.Errorf("LU slowdown at N=8: speedup %g", s)
+	}
+}
+
+func TestLUOffChipSensitiveToBusDrop(t *testing.T) {
+	cfg := LU{N: 12, Iters: 5}
+	slow := npbWorld(1, 600)
+	fast := npbWorld(1, 800)
+	_, r600, err := cfg.Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r800, err := cfg.Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both run in the slow-bus regime; scaling 600→800 must be sublinear
+	// because OFF-chip time is flat.
+	ratio := r600.Seconds / r800.Seconds
+	if ratio >= 800.0/600.0 {
+		t.Errorf("LU 600→800 speedup %g not sublinear", ratio)
+	}
+}
+
+func TestLUCountersConsistentAcrossRanks(t *testing.T) {
+	// SPMD: per-rank instruction counts should be within a few percent of
+	// each other (the paper's footnote 6 observes within 2%).
+	_, r, err := LU{N: 16, Iters: 5}.Run(npbWorld(4, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := r.RankCounters[0].Get(papi.TotIns)
+	for i, c := range r.RankCounters {
+		got := c.Get(papi.TotIns)
+		if got < 0.9*first || got > 1.1*first {
+			t.Errorf("rank %d TOT_INS %g deviates from rank 0 %g", i, got, first)
+		}
+	}
+}
+
+// With residual tracking, SSOR's convergence history is monotone: every
+// iteration reduces the RMS residual.
+func TestLUResidualHistoryMonotone(t *testing.T) {
+	res, _, err := LU{N: 12, Iters: 12, TrackResiduals: true}.Run(npbWorld(4, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 12 {
+		t.Fatalf("history has %d entries, want 12", len(res.History))
+	}
+	prev := res.Residual0
+	for i, r := range res.History {
+		if r >= prev {
+			t.Errorf("iteration %d: residual %g did not decrease from %g", i, r, prev)
+		}
+		prev = r
+	}
+	if res.History[len(res.History)-1] != res.Residual {
+		t.Error("final history entry disagrees with Residual")
+	}
+}

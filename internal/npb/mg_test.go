@@ -1,0 +1,173 @@
+package npb
+
+import (
+	"testing"
+
+	"pasp/internal/stats"
+)
+
+func TestMGValidate(t *testing.T) {
+	if err := (MG{Size: 31, Cycles: 3}).Validate(4); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		m    MG
+		n    int
+	}{
+		{"tiny", MG{Size: 1, Cycles: 1}, 1},
+		{"not 2^k-1", MG{Size: 32, Cycles: 1}, 1},
+		{"zero cycles", MG{Size: 31}, 1},
+		{"negative pre", MG{Size: 31, Cycles: 1, Pre: -1}, 1},
+		{"too many ranks", MG{Size: 15, Cycles: 1}, 8}, // 15/8 < 2 planes
+		{"neg scale", MG{Size: 31, Cycles: 1, Scale: -1}, 1},
+	}
+	for _, tc := range bad {
+		if err := tc.m.Validate(tc.n); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+// The V-cycle must contract the residual by a healthy factor per cycle —
+// the defining property of multigrid.
+func TestMGConverges(t *testing.T) {
+	mg := MG{Size: 31, Cycles: 4}
+	res, _, err := mg.Run(npbWorld(1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residual0 <= 0 {
+		t.Fatal("zero initial residual")
+	}
+	prev := res.Residual0
+	for i, r := range res.Residuals {
+		if r >= prev*0.6 {
+			t.Errorf("cycle %d: residual %g did not contract from %g (factor %.2f)", i, r, prev, r/prev)
+		}
+		prev = r
+	}
+	if res.SolutionErr > 0.05 {
+		t.Errorf("solution error %g too large", res.SolutionErr)
+	}
+}
+
+// Weighted Jacobi and linear grid transfers are order-independent, so the
+// residual history must be invariant under the rank count to rounding.
+func TestMGRankInvariance(t *testing.T) {
+	mg := MG{Size: 31, Cycles: 3}
+	ref, _, err := mg.Run(npbWorld(1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 8} {
+		got, _, err := mg.Run(npbWorld(n, 600))
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if !stats.AlmostEqual(got.Residual0, ref.Residual0, 1e-9) {
+			t.Errorf("N=%d: initial residual %g ≠ %g", n, got.Residual0, ref.Residual0)
+		}
+		for i := range ref.Residuals {
+			if !stats.AlmostEqual(got.Residuals[i], ref.Residuals[i], 1e-6) {
+				t.Errorf("N=%d cycle %d: residual %.12g ≠ %.12g", n, i, got.Residuals[i], ref.Residuals[i])
+			}
+		}
+		if !stats.AlmostEqual(got.SolutionErr, ref.SolutionErr, 1e-6) {
+			t.Errorf("N=%d: solution error %g ≠ %g", n, got.SolutionErr, ref.SolutionErr)
+		}
+	}
+}
+
+// The agglomeration path must engage: at 8 ranks on a 31³ grid the coarse
+// levels cannot keep 2 planes per rank, so an allgather appears in the
+// trace.
+func TestMGAgglomerationEngages(t *testing.T) {
+	mg := MG{Size: 31, Cycles: 1}
+	_, r, err := mg.Run(npbWorld(8, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := r.Trace.ByPhase()
+	if by["mg-agglomerate"] <= 0 {
+		t.Errorf("no agglomeration in trace: %v", by)
+	}
+	if by["mg-exchange"] <= 0 {
+		t.Errorf("no ghost exchanges in trace: %v", by)
+	}
+}
+
+func TestMGCommunicationShrinksWithLevel(t *testing.T) {
+	// Message bytes are dominated by the fine level; the whole V-cycle's
+	// per-rank traffic should be within a small multiple of the fine-level
+	// face size × number of fine exchanges.
+	mg := MG{Size: 31, Cycles: 1}
+	_, r, err := mg.Run(npbWorld(4, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerRank[1].Msgs == 0 {
+		t.Fatal("no messages")
+	}
+	finePlane := (31 + 2) * (31 + 2) * 8
+	avg := r.PerRank[1].MsgBytes / r.PerRank[1].Msgs
+	if avg >= finePlane {
+		t.Errorf("average message %d B not below the fine plane %d B; coarse levels missing", avg, finePlane)
+	}
+}
+
+func TestMGMemoryBoundProfile(t *testing.T) {
+	mg := MG{Size: 31, Cycles: 2}
+	_, slow, err := mg.Run(npbWorld(1, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fast, err := mg.Run(npbWorld(1, 1400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := slow.Seconds / fast.Seconds
+	if s >= 2.33 || s <= 1.1 {
+		t.Errorf("MG frequency speedup %g outside sub-linear band", s)
+	}
+}
+
+func TestMGDeterministic(t *testing.T) {
+	mg := MG{Size: 15, Cycles: 2}
+	_, a, err := mg.Run(npbWorld(4, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := mg.Run(npbWorld(4, 800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seconds != b.Seconds || a.Joules != b.Joules {
+		t.Error("MG timing not deterministic")
+	}
+}
+
+func TestOwnedCoarsePartition(t *testing.T) {
+	// The coarse ranges must chain into a partition of 1..mc for any fine
+	// partition produced by blockRange.
+	for _, m := range []int{31, 63, 15} {
+		for _, n := range []int{2, 3, 4, 8} {
+			if m/n < 2 {
+				continue
+			}
+			mc := (m+1)/2 - 1
+			prev := 1
+			for r := 0; r < n; r++ {
+				lo, hi := blockRange(m, n, r)
+				clo, chi := ownedCoarse(lo, hi)
+				if clo != prev {
+					t.Errorf("m=%d n=%d r=%d: coarse lo %d, want %d", m, n, r, clo, prev)
+				}
+				prev = chi
+			}
+			if prev != mc+1 {
+				t.Errorf("m=%d n=%d: coarse coverage ends at %d, want %d", m, n, prev, mc+1)
+			}
+		}
+	}
+}

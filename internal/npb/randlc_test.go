@@ -1,0 +1,102 @@
+package npb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandlcRange(t *testing.T) {
+	r := newRandlc(0)
+	for i := 0; i < 10000; i++ {
+		v := r.next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("deviate %d = %g outside (0,1)", i, v)
+		}
+	}
+}
+
+func TestRandlcDeterministic(t *testing.T) {
+	a, b := newRandlc(0), newRandlc(0)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestRandlcJumpAhead(t *testing.T) {
+	// Skipping k deviates by jumping must equal generating and discarding k.
+	for _, k := range []uint64{0, 1, 2, 7, 100, 4096} {
+		seq := newRandlc(0)
+		for i := uint64(0); i < k; i++ {
+			seq.next()
+		}
+		jumped := newRandlc(k)
+		for i := 0; i < 16; i++ {
+			a, b := seq.next(), jumped.next()
+			if a != b {
+				t.Fatalf("skip %d: deviate %d differs: %g vs %g", k, i, a, b)
+			}
+		}
+	}
+}
+
+func TestRandlcUniformity(t *testing.T) {
+	// Crude uniformity: decile counts of 100k deviates within 5% of expected.
+	r := newRandlc(0)
+	var buckets [10]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		b := int(r.next() * 10)
+		if b == 10 {
+			b = 9
+		}
+		buckets[b]++
+	}
+	for i, c := range buckets {
+		if c < n/10-n/200 || c > n/10+n/200 {
+			t.Errorf("decile %d count %d deviates >5%% from %d", i, c, n/10)
+		}
+	}
+}
+
+func TestMul46MatchesDirectProduct(t *testing.T) {
+	// For operands below 2^23, a·b fits in 46 bits exactly.
+	f := func(a, b uint32) bool {
+		x := uint64(a) & ((1 << 23) - 1)
+		y := uint64(b) & ((1 << 23) - 1)
+		return mul46(x, y) == (x*y)&mod46
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowAExponentLaws(t *testing.T) {
+	if powA(defaultA, 0) != 1 {
+		t.Error("a^0 ≠ 1")
+	}
+	if powA(defaultA, 1) != defaultA&mod46 {
+		t.Error("a^1 ≠ a")
+	}
+	f := func(m8, n8 uint8) bool {
+		m, n := uint64(m8), uint64(n8)
+		return powA(defaultA, m+n) == mul46(powA(defaultA, m), powA(defaultA, n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckPow2(t *testing.T) {
+	for _, ok := range []int{1, 2, 64, 1 << 20} {
+		if err := checkPow2("v", ok); err != nil {
+			t.Errorf("checkPow2(%d): %v", ok, err)
+		}
+	}
+	for _, bad := range []int{0, -4, 3, 12, 63} {
+		if err := checkPow2("v", bad); err == nil {
+			t.Errorf("checkPow2(%d) succeeded, want error", bad)
+		}
+	}
+}

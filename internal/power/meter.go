@@ -1,0 +1,64 @@
+package power
+
+import "fmt"
+
+// Meter integrates node power over virtual time to produce the energy of a
+// simulated run. The cluster simulator feeds it one sample per scheduling
+// interval: the P-state, the core utilization over the interval, and the
+// interval length.
+//
+// The zero value is an empty meter ready for use with a zero profile;
+// construct with NewMeter to attach a Profile.
+type Meter struct {
+	profile Profile
+	joules  float64
+	seconds float64
+	busy    float64
+}
+
+// NewMeter returns a meter that prices intervals with profile.
+func NewMeter(profile Profile) *Meter {
+	return &Meter{profile: profile}
+}
+
+// Accumulate adds an interval of dt seconds spent at operating point s with
+// the given core utilization. Negative durations are rejected so a
+// mis-ordered trace cannot silently produce negative energy.
+func (m *Meter) Accumulate(s PState, util, dt float64) error {
+	if dt < 0 {
+		return fmt.Errorf("power: negative interval %g s", dt)
+	}
+	m.joules += m.profile.NodePower(s, util) * dt
+	m.seconds += dt
+	m.busy += util * dt
+	return nil
+}
+
+// Joules returns the total energy accumulated so far.
+func (m *Meter) Joules() float64 { return m.joules }
+
+// Seconds returns the total time accumulated so far.
+func (m *Meter) Seconds() float64 { return m.seconds }
+
+// Utilization returns the time-weighted mean utilization, or 0 when nothing
+// has been accumulated.
+func (m *Meter) Utilization() float64 {
+	if m.seconds == 0 {
+		return 0
+	}
+	return m.busy / m.seconds
+}
+
+// Add merges another meter's totals into m. Both meters must have been
+// constructed from the same profile for the sum to be meaningful; Add does
+// not check this.
+func (m *Meter) Add(other *Meter) {
+	m.joules += other.joules
+	m.seconds += other.seconds
+	m.busy += other.busy
+}
+
+// Reset clears the accumulated totals, keeping the profile.
+func (m *Meter) Reset() {
+	m.joules, m.seconds, m.busy = 0, 0, 0
+}

@@ -1,0 +1,105 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterAccumulate(t *testing.T) {
+	p := PentiumM()
+	m := NewMeter(p)
+	s := p.BaseState()
+	if err := m.Accumulate(s, 1, 10); err != nil {
+		t.Fatalf("Accumulate: %v", err)
+	}
+	want := p.NodePower(s, 1) * 10
+	if math.Abs(m.Joules()-want) > 1e-9 {
+		t.Errorf("Joules = %g, want %g", m.Joules(), want)
+	}
+	if m.Seconds() != 10 {
+		t.Errorf("Seconds = %g, want 10", m.Seconds())
+	}
+	if m.Utilization() != 1 {
+		t.Errorf("Utilization = %g, want 1", m.Utilization())
+	}
+}
+
+func TestMeterRejectsNegativeInterval(t *testing.T) {
+	m := NewMeter(PentiumM())
+	if err := m.Accumulate(PentiumM().BaseState(), 1, -1); err == nil {
+		t.Error("Accumulate(-1s) succeeded, want error")
+	}
+}
+
+func TestMeterUtilizationWeighted(t *testing.T) {
+	p := PentiumM()
+	m := NewMeter(p)
+	s := p.TopState()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.Accumulate(s, 1.0, 1))
+	must(m.Accumulate(s, 0.0, 3))
+	if got, want := m.Utilization(), 0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Utilization = %g, want %g", got, want)
+	}
+}
+
+func TestMeterAddAndReset(t *testing.T) {
+	p := PentiumM()
+	a, b := NewMeter(p), NewMeter(p)
+	s := p.BaseState()
+	if err := a.Accumulate(s, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Accumulate(s, 0.5, 4); err != nil {
+		t.Fatal(err)
+	}
+	a.Add(b)
+	if a.Seconds() != 6 {
+		t.Errorf("after Add, Seconds = %g, want 6", a.Seconds())
+	}
+	a.Reset()
+	if a.Joules() != 0 || a.Seconds() != 0 || a.Utilization() != 0 {
+		t.Error("Reset did not clear totals")
+	}
+}
+
+func TestMeterEmptyUtilization(t *testing.T) {
+	if got := NewMeter(PentiumM()).Utilization(); got != 0 {
+		t.Errorf("empty meter Utilization = %g, want 0", got)
+	}
+}
+
+// Property: energy grows monotonically as intervals accumulate, and total
+// energy is at least Base power × time.
+func TestMeterMonotoneProperty(t *testing.T) {
+	p := PentiumM()
+	f := func(samples []struct {
+		State uint8
+		Util  uint8
+		Dt    uint16
+	}) bool {
+		m := NewMeter(p)
+		prev := 0.0
+		for _, s := range samples {
+			st := p.States[int(s.State)%len(p.States)]
+			dt := float64(s.Dt) / 1000
+			if err := m.Accumulate(st, float64(s.Util)/255, dt); err != nil {
+				return false
+			}
+			if m.Joules() < prev {
+				return false
+			}
+			prev = m.Joules()
+		}
+		return m.Joules() >= p.Base*m.Seconds()-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package simnet models the paper's interconnect: 16 nodes on a 100 Mb
+// switched Fast Ethernet (Cisco Catalyst 2950) running an MPICH-style TCP
+// message-passing stack.
+//
+// The model is LogGP-flavoured with two additions that matter for
+// power-aware speedup:
+//
+//  1. Endpoint CPU cost. Each message costs the sending and receiving CPU a
+//     fixed number of instructions plus a per-byte copy/checksum charge.
+//     These instructions execute at the core clock, so at low P-states
+//     large-message communication slows down — the effect the paper observed
+//     in Table 6 (310-double messages take 200 µs at 600 MHz but 167 µs at
+//     800 MHz and above) and the reason Assumption 2 ("parallel overhead is
+//     not affected by frequency") is only approximately true.
+//  2. Flow-concurrency limit. Dense patterns such as FT's transpose
+//     alltoall drive every port at once; TCP incast and switch buffering on
+//     Fast Ethernet limit how many flows sustain full bandwidth. The
+//     effective per-flow bandwidth is BW·min(1, C/flows). This is what makes
+//     FT's speedup flatten by 16 nodes. Setting FlowConcurrency to 0 removes
+//     the limit (used by the contention ablation).
+package simnet
+
+import "fmt"
+
+// Config holds the interconnect parameters.
+type Config struct {
+	// LatencySec is the one-way wire+switch latency per message in seconds.
+	LatencySec float64
+	// BandwidthBps is the per-port sustainable bandwidth in bytes per
+	// second (TCP goodput, not line rate).
+	BandwidthBps float64
+	// MsgCPUIns is the per-message instruction count executed on each
+	// endpoint (protocol traversal, matching, syscalls).
+	MsgCPUIns float64
+	// ByteCPUIns is the per-byte instruction count on each endpoint
+	// (buffer copies, checksum).
+	ByteCPUIns float64
+	// FlowConcurrency is the number of simultaneous flows the fabric
+	// sustains at full per-port bandwidth; beyond it, per-flow bandwidth
+	// degrades proportionally. 0 means unlimited (ideal switch).
+	FlowConcurrency int
+	// EagerBytes is the rendezvous threshold: messages strictly larger use
+	// the rendezvous protocol, which synchronizes sender with receiver.
+	EagerBytes int
+}
+
+// FastEthernet returns the model of the paper's network: 100 Mb switched
+// Ethernet with an MPICH ch_p4 (TCP) stack. Bandwidth is TCP goodput
+// (~11.5 MB/s of the 12.5 MB/s line rate); the CPU charges are calibrated
+// so small-message time is latency-bound (frequency-insensitive) while
+// multi-KB messages pick up tens of microseconds at the 600 MHz gear,
+// matching the shape of Table 6's communication rows.
+func FastEthernet() Config {
+	return Config{
+		LatencySec:      60e-6,
+		BandwidthBps:    11.5e6,
+		MsgCPUIns:       12000,
+		ByteCPUIns:      3.0,
+		FlowConcurrency: 8,
+		EagerBytes:      64 << 10,
+	}
+}
+
+// Validate reports an error for non-physical parameters.
+func (c Config) Validate() error {
+	if c.LatencySec < 0 {
+		return fmt.Errorf("simnet: negative latency")
+	}
+	if c.BandwidthBps <= 0 {
+		return fmt.Errorf("simnet: non-positive bandwidth")
+	}
+	if c.MsgCPUIns < 0 || c.ByteCPUIns < 0 {
+		return fmt.Errorf("simnet: negative CPU overhead")
+	}
+	if c.FlowConcurrency < 0 {
+		return fmt.Errorf("simnet: negative flow concurrency")
+	}
+	if c.EagerBytes < 0 {
+		return fmt.Errorf("simnet: negative eager threshold")
+	}
+	return nil
+}
+
+// CPUOverhead returns the endpoint CPU time in seconds to process one
+// message of the given size at core frequency freq.
+func (c Config) CPUOverhead(bytes int, freq float64) float64 {
+	return (c.MsgCPUIns + c.ByteCPUIns*float64(bytes)) / freq
+}
+
+// WireTime returns the serialization time of bytes on an uncontended port.
+func (c Config) WireTime(bytes int) float64 {
+	return float64(bytes) / c.BandwidthBps
+}
+
+// EffectiveBandwidth returns the per-flow bandwidth when flows transfers
+// share the fabric simultaneously.
+func (c Config) EffectiveBandwidth(flows int) float64 {
+	if flows <= 1 || c.FlowConcurrency == 0 || flows <= c.FlowConcurrency {
+		return c.BandwidthBps
+	}
+	return c.BandwidthBps * float64(c.FlowConcurrency) / float64(flows)
+}
+
+// ContendedWireTime returns the serialization time of bytes when flows
+// flows are active at once.
+func (c Config) ContendedWireTime(bytes, flows int) float64 {
+	return float64(bytes) / c.EffectiveBandwidth(flows)
+}
+
+// PointToPoint returns the end-to-end time of a single message on a quiet
+// network: sender CPU + latency + wire + receiver CPU, with the endpoints at
+// core frequencies fsrc and fdst.
+func (c Config) PointToPoint(bytes int, fsrc, fdst float64) float64 {
+	return c.CPUOverhead(bytes, fsrc) + c.LatencySec + c.WireTime(bytes) + c.CPUOverhead(bytes, fdst)
+}
+
+// Rendezvous reports whether a message of the given size uses the
+// rendezvous protocol.
+func (c Config) Rendezvous(bytes int) bool {
+	return c.EagerBytes > 0 && bytes > c.EagerBytes
+}

@@ -1,0 +1,149 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pasp/internal/stats"
+)
+
+func TestFastEthernetValid(t *testing.T) {
+	if err := FastEthernet().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*Config){
+		"negative latency":   func(c *Config) { c.LatencySec = -1 },
+		"zero bandwidth":     func(c *Config) { c.BandwidthBps = 0 },
+		"negative msg cpu":   func(c *Config) { c.MsgCPUIns = -1 },
+		"negative byte cpu":  func(c *Config) { c.ByteCPUIns = -1 },
+		"negative flows":     func(c *Config) { c.FlowConcurrency = -1 },
+		"negative threshold": func(c *Config) { c.EagerBytes = -1 },
+	}
+	for name, mutate := range cases {
+		c := FastEthernet()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", name)
+		}
+	}
+}
+
+// The Table 6 shape: small messages are latency-bound so their time barely
+// changes with frequency; multi-KB messages pick up measurable CPU time at
+// the lowest gear.
+func TestFrequencySensitivityShape(t *testing.T) {
+	c := FastEthernet()
+	small := 155 * 8 // 155 doubles
+	large := 310 * 8 // 310 doubles
+
+	smallSlow := c.PointToPoint(small, 600e6, 600e6)
+	smallFast := c.PointToPoint(small, 1400e6, 1400e6)
+	largeSlow := c.PointToPoint(large, 600e6, 600e6)
+	largeFast := c.PointToPoint(large, 1400e6, 1400e6)
+
+	// The absolute penalty of running the endpoints at the lowest gear grows
+	// with message size (per-byte CPU work), which is what erodes the SP
+	// parameterization's Assumption 2.
+	dSmall := smallSlow - smallFast
+	dLarge := largeSlow - largeFast
+	if dLarge <= dSmall {
+		t.Errorf("frequency penalty should grow with size: small %.1fµs vs large %.1fµs", dSmall*1e6, dLarge*1e6)
+	}
+	// Relative sensitivity stays modest: communication is latency/wire
+	// bound, so Assumption 2 is approximately — not exactly — true.
+	relSmall := dSmall / smallFast
+	relLarge := dLarge / largeFast
+	if relSmall > 0.35 || relLarge > 0.35 {
+		t.Errorf("frequency sensitivity too high (small %.3f, large %.3f); comm should be wire-bound", relSmall, relLarge)
+	}
+	if relLarge < 0.02 {
+		t.Errorf("large-message frequency sensitivity %.3f too low; Table 6 shows a visible 600 MHz penalty", relLarge)
+	}
+}
+
+func TestCPUOverheadScalesInverselyWithFrequency(t *testing.T) {
+	c := FastEthernet()
+	o600 := c.CPUOverhead(1000, 600e6)
+	o1200 := c.CPUOverhead(1000, 1200e6)
+	if !stats.AlmostEqual(o600, 2*o1200, 1e-12) {
+		t.Errorf("overhead should scale as 1/f: %g vs %g", o600, o1200)
+	}
+}
+
+func TestEffectiveBandwidth(t *testing.T) {
+	c := FastEthernet()
+	if got := c.EffectiveBandwidth(1); got != c.BandwidthBps {
+		t.Errorf("single flow = %g, want full %g", got, c.BandwidthBps)
+	}
+	if got := c.EffectiveBandwidth(c.FlowConcurrency); got != c.BandwidthBps {
+		t.Errorf("C flows = %g, want full %g", got, c.BandwidthBps)
+	}
+	if got := c.EffectiveBandwidth(2 * c.FlowConcurrency); !stats.AlmostEqual(got, c.BandwidthBps/2, 1e-12) {
+		t.Errorf("2C flows = %g, want half %g", got, c.BandwidthBps/2)
+	}
+	unlimited := c
+	unlimited.FlowConcurrency = 0
+	if got := unlimited.EffectiveBandwidth(100); got != c.BandwidthBps {
+		t.Errorf("unlimited fabric degraded: %g", got)
+	}
+}
+
+func TestWireTime(t *testing.T) {
+	c := Config{BandwidthBps: 1e6, LatencySec: 0}
+	if got := c.WireTime(1e6); got != 1 {
+		t.Errorf("WireTime = %g, want 1", got)
+	}
+	if got := c.ContendedWireTime(1e6, 1); got != 1 {
+		t.Errorf("uncontended ContendedWireTime = %g, want 1", got)
+	}
+}
+
+func TestRendezvousThreshold(t *testing.T) {
+	c := FastEthernet()
+	if c.Rendezvous(c.EagerBytes) {
+		t.Error("message at threshold should be eager")
+	}
+	if !c.Rendezvous(c.EagerBytes + 1) {
+		t.Error("message above threshold should rendezvous")
+	}
+	c.EagerBytes = 0
+	if c.Rendezvous(1 << 30) {
+		t.Error("zero threshold disables rendezvous")
+	}
+}
+
+// Property: point-to-point time is monotone in message size and never below
+// the wire latency.
+func TestP2PMonotoneProperty(t *testing.T) {
+	c := FastEthernet()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		tx := c.PointToPoint(x, 600e6, 600e6)
+		ty := c.PointToPoint(y, 600e6, 600e6)
+		return tx <= ty+1e-15 && tx >= c.LatencySec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: effective bandwidth is non-increasing in flow count.
+func TestEffBWMonotoneProperty(t *testing.T) {
+	c := FastEthernet()
+	f := func(a, b uint8) bool {
+		x, y := int(a)+1, int(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		return c.EffectiveBandwidth(x) >= c.EffectiveBandwidth(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

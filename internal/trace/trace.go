@@ -1,0 +1,168 @@
+// Package trace records what each simulated rank was doing over virtual
+// time. Traces let the experiment harness attribute execution time to
+// computation vs parallel overhead — the decomposition the paper's SP
+// parameterization performs analytically — and let the DVFS scheduler
+// (package dvfs) identify communication-bound phases.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies an interval of a rank's virtual time.
+type Kind int
+
+const (
+	// Compute is time spent executing kernel instructions.
+	Compute Kind = iota
+	// Comm is time spent inside a communication call (including the wait
+	// for the peer and the wire transfer).
+	Comm
+	// NumKinds is the number of interval classes.
+	NumKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Comm:
+		return "comm"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one interval on one rank.
+type Event struct {
+	// Rank is the MPI rank the interval belongs to.
+	Rank int
+	// Phase is the kernel-assigned label, e.g. "fft-z" or "exchange".
+	Phase string
+	// Kind classifies the interval.
+	Kind Kind
+	// Start and End are virtual-time seconds.
+	Start, End float64
+	// Watts is the node's power draw during the interval, letting the
+	// timeline double as a power profile.
+	Watts float64
+}
+
+// Duration returns End − Start.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Log is an append-only collection of events for one rank. Ranks each own a
+// Log (no locking needed); Merge combines them after the run.
+type Log struct {
+	events []Event
+}
+
+// Append adds one event. Events with non-positive duration are kept: zero
+// intervals are legal (e.g. empty compute), negative ones indicate a
+// simulator bug and are surfaced by Validate.
+func (l *Log) Append(e Event) { l.events = append(l.events, e) }
+
+// Events returns the recorded events in insertion order.
+func (l *Log) Events() []Event { return l.events }
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Validate reports an error when any event has negative duration or events
+// of the same rank overlap going backwards in time.
+func (l *Log) Validate() error {
+	lastEnd := map[int]float64{}
+	for i, e := range l.events {
+		if e.End < e.Start {
+			return fmt.Errorf("trace: event %d has negative duration: %+v", i, e)
+		}
+		if e.Start < lastEnd[e.Rank]-1e-12 {
+			return fmt.Errorf("trace: event %d starts before rank %d's previous end", i, e.Rank)
+		}
+		lastEnd[e.Rank] = e.End
+	}
+	return nil
+}
+
+// Merge returns a new log holding the events of all inputs, ordered by
+// (rank, start time).
+func Merge(logs ...*Log) *Log {
+	out := &Log{}
+	for _, l := range logs {
+		out.events = append(out.events, l.events...)
+	}
+	sort.SliceStable(out.events, func(i, j int) bool {
+		a, b := out.events[i], out.events[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.Start < b.Start
+	})
+	return out
+}
+
+// TotalByKind returns the summed duration of each kind across all ranks.
+func (l *Log) TotalByKind() [NumKinds]float64 {
+	var t [NumKinds]float64
+	for _, e := range l.events {
+		if e.Kind >= 0 && e.Kind < NumKinds {
+			t[e.Kind] += e.Duration()
+		}
+	}
+	return t
+}
+
+// ByPhase returns the summed duration per phase label across all ranks.
+func (l *Log) ByPhase() map[string]float64 {
+	m := map[string]float64{}
+	for _, e := range l.events {
+		m[e.Phase] += e.Duration()
+	}
+	return m
+}
+
+// RankSpan returns the earliest start and latest end recorded for a rank,
+// or (0,0) when the rank has no events.
+func (l *Log) RankSpan(rank int) (start, end float64) {
+	first := true
+	for _, e := range l.events {
+		if e.Rank != rank {
+			continue
+		}
+		if first || e.Start < start {
+			start = e.Start
+		}
+		if first || e.End > end {
+			end = e.End
+		}
+		first = false
+	}
+	return start, end
+}
+
+// Summary renders a per-phase duration table sorted by descending time, for
+// human inspection.
+func (l *Log) Summary() string {
+	type row struct {
+		phase string
+		sec   float64
+	}
+	var rows []row
+	for p, s := range l.ByPhase() {
+		rows = append(rows, row{p, s})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].sec != rows[j].sec {
+			return rows[i].sec > rows[j].sec
+		}
+		return rows[i].phase < rows[j].phase
+	})
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %12.6f s\n", r.phase, r.sec)
+	}
+	return b.String()
+}
