@@ -1,0 +1,45 @@
+# Verification chain for the pasp repository. `make verify` is the gate a
+# change must pass before merging; the individual targets are the tiers.
+#
+#   tier 1: build + test        (must always pass)
+#   tier 2: race + lint + fmt   (race detector over the goroutine-heavy
+#                                packages, go vet, the domain linter palint,
+#                                and gofmt cleanliness)
+
+GO ?= go
+
+.PHONY: all build test race lint fmt-check fuzz verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The mpi, cluster and simnet packages run ranks as goroutines; the race
+# detector is the check that the virtual-time synchronization is real
+# synchronization.
+race:
+	$(GO) test -race ./...
+
+# go vet plus palint, the repo's domain-aware analyzer (unguarded float
+# division, exact float comparison, dropped model-API errors, map-order
+# output, unsynchronized goroutine writes). Suppressions live in the source
+# as //palint:ignore comments with mandatory reasons.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/palint ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Short fuzz pass over the core model contract (finite, non-negative,
+# error-or-value). CI-sized; crank -fuzztime locally for a deeper run.
+fuzz:
+	$(GO) test -fuzz=FuzzTermsTime -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzTermsSpeedup -fuzztime=30s ./internal/core/
+
+verify: build test lint fmt-check race

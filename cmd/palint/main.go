@@ -1,0 +1,173 @@
+// Command palint runs the repository's domain-aware static-analysis suite
+// (package analysis): silent-failure checks for the power-aware speedup
+// model's arithmetic (unguarded float division, exact float equality,
+// dropped model-API errors), report determinism (map-ordered output), and
+// a cheap static race heuristic for goroutine literals.
+//
+// Usage:
+//
+//	palint [-json] [-only a,b] [-exclude glob,glob] [-list] [packages...]
+//
+// Packages follow the go tool's pattern shape ("./...", "./internal/core").
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Findings are silenced inline with
+//
+//	//palint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the flagged line or the line above — the reason is mandatory — or for
+// whole paths with -exclude (comma-separated path globs or substrings;
+// testdata and _test.go files are always excluded by the loader).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+
+	"pasp/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		only    = flag.String("only", "", "comma-separated analyzer subset to run")
+		exclude = flag.String("exclude", "", "comma-separated path globs/substrings to suppress")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		verbose = flag.Bool("v", false, "also show suppressed findings and their reasons")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "palint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(root, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "palint: %v\n", err)
+		os.Exit(2)
+	}
+	typeErrs := 0
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "palint: type error: %v\n", e)
+			typeErrs++
+		}
+	}
+	if typeErrs > 0 {
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	diags = applyPathExcludes(diags, root, *exclude)
+	active := analysis.Active(diags)
+
+	if *jsonOut {
+		shown := active
+		if *verbose {
+			shown = diags
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if shown == nil {
+			shown = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(shown); err != nil {
+			fmt.Fprintf(os.Stderr, "palint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			switch {
+			case !d.Suppressed:
+				fmt.Println(rel(root, d))
+			case *verbose:
+				fmt.Printf("%s [suppressed: %s]\n", rel(root, d), d.Reason)
+			}
+		}
+	}
+	if len(active) > 0 {
+		fmt.Fprintf(os.Stderr, "palint: %d finding(s)\n", len(active))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// applyPathExcludes marks diagnostics in excluded paths as suppressed, so
+// -v still shows them. Each pattern matches as a path.Match glob against
+// the module-relative file path, or as a plain substring.
+func applyPathExcludes(diags []analysis.Diagnostic, root, excludes string) []analysis.Diagnostic {
+	if excludes == "" {
+		return diags
+	}
+	pats := strings.Split(excludes, ",")
+	for i, d := range diags {
+		relPath := d.File
+		if r, err := filepath.Rel(root, d.File); err == nil {
+			relPath = filepath.ToSlash(r)
+		}
+		for _, pat := range pats {
+			pat = strings.TrimSpace(pat)
+			if pat == "" {
+				continue
+			}
+			if ok, _ := path.Match(pat, relPath); ok || strings.Contains(relPath, pat) {
+				diags[i].Suppressed = true
+				diags[i].Reason = "path excluded by -exclude " + pat
+				break
+			}
+		}
+	}
+	return diags
+}
+
+// rel shortens the diagnostic's file to a module-relative path for display.
+func rel(root string, d analysis.Diagnostic) string {
+	if r, err := filepath.Rel(root, d.File); err == nil {
+		d.File = r
+	}
+	return d.String()
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"pasp/internal/cluster"
 	"pasp/internal/dvfs"
@@ -69,7 +70,12 @@ func main() {
 	}
 	fmt.Printf("\nadaptive (online, no profile) FT N=8 over 24 iterations: %v\n", cmpA)
 	fmt.Println("rank-0 converged gears:")
-	for phase, st := range chosen {
-		fmt.Printf("  %-14s %v\n", phase, st)
+	phases := make([]string, 0, len(chosen))
+	for phase := range chosen {
+		phases = append(phases, phase)
+	}
+	sort.Strings(phases)
+	for _, phase := range phases {
+		fmt.Printf("  %-14s %v\n", phase, chosen[phase])
 	}
 }

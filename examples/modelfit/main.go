@@ -117,6 +117,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if meas.Seconds <= 0 {
+			log.Fatalf("degenerate zero-time measurement at N=%d", cfg.n)
+		}
 		fmt.Printf("  N=%d @ %4.0f MHz: predicted %6.3f s, measured %6.3f s (error %+.1f%%)\n",
 			cfg.n, cfg.mhz, pred, meas.Seconds, (pred-meas.Seconds)/meas.Seconds*100)
 	}

@@ -82,6 +82,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if res.Seconds <= 0 {
+		log.Fatalf("degenerate zero-time measurement at N=%d", n)
+	}
 	fmt.Printf("\npower-aware prediction for N=%d at %d MHz:\n", n, mhz)
 	fmt.Printf("  predicted time    %6.2f s, measured %6.2f s (error %.1f%%)\n",
 		predT, res.Seconds, (predT-res.Seconds)/res.Seconds*100)

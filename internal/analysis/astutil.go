@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// chainOf renders a pure identifier/selector chain ("a", "a.b.c") and
+// reports whether e is one. Conversions to a float type are looked through:
+// float64(n) keys as "n", because a positivity guard on n guards the
+// converted value too.
+func chainOf(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := chainOf(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.ParenExpr:
+		return chainOf(x.X)
+	}
+	return "", false
+}
+
+// render produces a compact source-like rendering of simple expressions for
+// diagnostics; falls back to a type-name placeholder for compound ones.
+func render(e ast.Expr) string {
+	if s, ok := chainOf(e); ok {
+		return s
+	}
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		if len(x.Args) == 1 {
+			if fn, ok := chainOf(x.Fun); ok {
+				return fn + "(" + render(x.Args[0]) + ")"
+			}
+		}
+		return "call"
+	case *ast.ParenExpr:
+		return render(x.X)
+	case *ast.UnaryExpr:
+		return x.Op.String() + render(x.X)
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.IndexExpr:
+		return render(x.X) + "[" + render(x.Index) + "]"
+	}
+	return "expression"
+}
+
+// collectChains gathers every identifier/selector chain appearing anywhere
+// inside e (including call arguments), longest-chain first for selectors.
+func collectChains(e ast.Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(s string) {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if s, ok := chainOf(x); ok {
+				add(s)
+				// Also add the base so a guard on the container counts.
+				if i := strings.LastIndex(s, "."); i > 0 {
+					add(s[:i])
+				}
+				return false
+			}
+		case *ast.Ident:
+			add(x.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// isFloatConversion reports whether call converts to a floating-point type.
+func isFloatConversion(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	t := pass.TypeOf(call.Fun)
+	if t == nil {
+		return false
+	}
+	// A conversion's Fun is the type itself.
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0 && pass.typeExprIsType(call.Fun)
+}
+
+// typeExprIsType reports whether e denotes a type (vs a value).
+func (p *Pass) typeExprIsType(e ast.Expr) bool {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.IsType()
+	}
+	return false
+}
+
+// isComparison reports whether op is an ordering or equality operator.
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// calleeName returns the bare name a call invokes ("Speedup" for both
+// Speedup(...) and m.Speedup(...)), or "" when the callee is not named.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// pkgQualifier returns the imported package path when the call's qualifier
+// is a package name (fmt.Fprintf → "fmt"), or "".
+func pkgQualifier(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.Pkg.Info.ObjectOf(id).(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}

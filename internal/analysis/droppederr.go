@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr flags calls into the model API whose error result is
+// discarded — either the whole call used as a statement, or the error
+// position assigned to the blank identifier. Time and Speedup return an
+// error precisely for the inputs (N < 1, r ≤ 0, negative or non-finite
+// components) that would otherwise propagate NaN/Inf silently; dropping
+// that error reintroduces the silent failure the API was designed to
+// surface.
+//
+// Scope: only functions whose name is in the model-API set (Time, Speedup,
+// Validate, Run, Sweep, …) or carries a model prefix (Fit*, Predict*,
+// Measure*). A general dropped-error linter would re-litigate fmt.Fprintf;
+// this one encodes the domain rule "model math is never fire-and-forget".
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "model-API call whose error result is discarded",
+	Run:  runDroppedErr,
+}
+
+// modelAPINames is the exact-name part of the model API surface.
+var modelAPINames = map[string]bool{
+	"Time":     true,
+	"Speedup":  true,
+	"Energy":   true,
+	"EDP":      true,
+	"Validate": true,
+	"Run":      true,
+	"Sweep":    true,
+	"Compare":  true,
+	"World":    true,
+}
+
+// modelAPIPrefixes matches families like FitSP/FitSeg, PredictTime,
+// MeasureFT.
+var modelAPIPrefixes = []string{"Fit", "Predict", "Measure"}
+
+func isModelAPI(name string) bool {
+	if modelAPINames[name] {
+		return true
+	}
+	for _, p := range modelAPIPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runDroppedErr(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscardedCall(pass, stmt.X)
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, stmt.Call)
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, stmt.Call)
+			case *ast.AssignStmt:
+				checkBlankError(pass, stmt)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscardedCall flags a model-API call used as a bare statement when
+// its results include an error.
+func checkDiscardedCall(pass *Pass, e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name := calleeName(call)
+	if !isModelAPI(name) {
+		return
+	}
+	if !resultsIncludeError(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "result of %s (returns error) is discarded", name)
+}
+
+// checkBlankError flags `v, _ := m.Speedup(...)` — the error position of a
+// model-API call assigned to the blank identifier.
+func checkBlankError(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name := calleeName(call)
+	if !isModelAPI(name) {
+		return
+	}
+	tuple, ok := pass.TypeOf(call).(*types.Tuple)
+	if !ok || tuple.Len() != len(as.Lhs) {
+		return
+	}
+	for i := 0; i < tuple.Len(); i++ {
+		if !isErrorType(tuple.At(i).Type()) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(id.Pos(), "error result of %s assigned to _", name)
+		}
+	}
+}
+
+// resultsIncludeError reports whether the call's result list contains an
+// error. Requires type information; a call we cannot type is not flagged.
+func resultsIncludeError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}

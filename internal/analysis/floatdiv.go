@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FloatDiv flags floating-point divisions whose denominator is a plain
+// parameter-like expression (identifier, field chain, or float conversion
+// of one) with no dominating positivity/non-zero guard in the enclosing
+// function. In this codebase such divisions sit on the model's hot path —
+// Eq. 9–11 divide by frequency ratios and processor counts — and an
+// unguarded zero silently turns a speedup table into ±Inf instead of
+// crashing.
+//
+// The guard heuristic: the enclosing function must contain, textually
+// before the division, a comparison (<, <=, >, >=, ==, !=) mentioning the
+// denominator — or, when the denominator is a local like fn := float64(n),
+// mentioning any identifier from its defining right-hand side. Early-return
+// validation (`if n < 1 { return … }`) and branch guards (`if x > 0 { … }`)
+// both satisfy it. Constant denominators are exempt (the compiler rejects
+// constant zero division), as are compound arithmetic denominators, whose
+// zero-ness is not a parameter-validation question.
+var FloatDiv = &Analyzer{
+	Name: "floatdiv",
+	Doc:  "float division by an unguarded parameter-like denominator",
+	Run:  runFloatDiv,
+}
+
+func runFloatDiv(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					checkDivisions(pass, d.Name.Name, d.Body)
+				}
+			case *ast.GenDecl:
+				// Package-level initializers have no guard context at all.
+				checkDivisions(pass, "package scope", d)
+			}
+		}
+	}
+}
+
+// checkDivisions walks one guard scope (a function body, or a declaration
+// with no guards) and reports unguarded float divisions inside it.
+func checkDivisions(pass *Pass, where string, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		div, ok := n.(*ast.BinaryExpr)
+		if !ok || div.Op != token.QUO {
+			return true
+		}
+		den := ast.Unparen(div.Y)
+		if !pass.IsFloat(den) {
+			return true
+		}
+		if tv, ok := pass.Pkg.Info.Types[den]; ok && tv.Value != nil {
+			return true // constant denominator
+		}
+		keys, simple := denominatorKeys(pass, den)
+		if !simple || len(keys) == 0 {
+			return true
+		}
+		keys = append(keys, definitionKeys(root, keys)...)
+		keys = append(keys, rangeOriginKeys(root, keys)...)
+		if hasDominatingGuard(root, keys, div.OpPos) {
+			return true
+		}
+		pass.Reportf(den.Pos(),
+			"division by %q has no dominating positivity guard in %s", render(den), where)
+		return true
+	})
+}
+
+// denominatorKeys extracts the guardable chains of a simple denominator.
+// Returns simple=false for compound arithmetic, calls (other than float
+// conversions), and indexing — expressions outside this check's scope.
+func denominatorKeys(pass *Pass, den ast.Expr) (keys []string, simple bool) {
+	switch x := ast.Unparen(den).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		s, ok := chainOf(x)
+		if !ok {
+			return nil, false
+		}
+		return []string{s}, true
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB {
+			return denominatorKeys(pass, x.X)
+		}
+	case *ast.CallExpr:
+		if isFloatConversion(pass, x) {
+			// float64(n): a guard on n guards the conversion.
+			inner, ok := denominatorKeys(pass, x.Args[0])
+			if !ok {
+				// float64(len(xs)) and friends: key every chain inside.
+				return collectChains(x.Args[0]), true
+			}
+			return inner, true
+		}
+	}
+	return nil, false
+}
+
+// definitionKeys augments plain-identifier keys with the chains of their
+// defining assignments inside root, so `fn := float64(n)` lets a guard on
+// n cover divisions by fn. One level of indirection is enough in practice.
+func definitionKeys(root ast.Node, keys []string) []string {
+	want := map[string]bool{}
+	for _, k := range keys {
+		if !hasDot(k) {
+			want[k] = true
+		}
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	var extra []string
+	ast.Inspect(root, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || !want[id.Name] {
+				continue
+			}
+			if i < len(as.Rhs) {
+				extra = append(extra, collectChains(as.Rhs[i])...)
+			} else if len(as.Rhs) == 1 {
+				extra = append(extra, collectChains(as.Rhs[0])...)
+			}
+		}
+		return true
+	})
+	return extra
+}
+
+// rangeOriginKeys maps range variables back to their container: in
+// `for i, c := range d.Classes`, a division by float64(i) is guarded by
+// anything that validated d.Classes (typically d.Validate()), so the
+// container's chains join the key set.
+func rangeOriginKeys(root ast.Node, keys []string) []string {
+	want := map[string]bool{}
+	for _, k := range keys {
+		if !hasDot(k) {
+			want[k] = true
+		}
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	var extra []string
+	ast.Inspect(root, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		for _, v := range []ast.Expr{rng.Key, rng.Value} {
+			if id, ok := v.(*ast.Ident); ok && want[id.Name] {
+				extra = append(extra, collectChains(rng.X)...)
+				break
+			}
+		}
+		return true
+	})
+	return extra
+}
+
+func hasDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDominatingGuard reports whether, textually before pos inside root,
+// either (a) a comparison mentions one of the keys, or (b) a Validate()
+// call covers a key's receiver — this repository's pervasive idiom is an
+// early `if err := x.Validate(); err != nil { return … }`, which
+// establishes the positivity invariants the later arithmetic relies on.
+// "Before" is textual order — a sound approximation of dominance for the
+// early-return and if-guard shapes Go code uses.
+func hasDominatingGuard(root ast.Node, keys []string, pos token.Pos) bool {
+	keySet := map[string]bool{}
+	for _, k := range keys {
+		keySet[k] = true
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if !isComparison(x.Op) || x.OpPos >= pos {
+				return true
+			}
+			for _, side := range []ast.Expr{x.X, x.Y} {
+				for _, chain := range collectChains(side) {
+					if keySet[chain] {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if x.Pos() >= pos || calleeName(x) != "Validate" {
+				return true
+			}
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := chainOf(sel.X)
+			if !ok {
+				return true
+			}
+			for k := range keySet {
+				if k == recv || strings.HasPrefix(k, recv+".") {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

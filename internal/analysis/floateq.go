@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point operands. The model's
+// predictions come out of chains of rounding arithmetic; exact equality on
+// them is either dead (never true) or flaky (true only at one operand
+// ordering), so comparisons must go through a tolerance helper.
+//
+// Two idioms are exempt:
+//
+//   - comparison against the exact constant 0, the sentinel/guard idiom
+//     (`if r.Seconds == 0 { return 0 }`): zero is exactly representable and
+//     assigned exactly, so the comparison is deliberate and well-defined;
+//   - self-comparison (`x != x`), the portable NaN test.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "exact floating-point equality comparison",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !pass.IsFloat(cmp.X) || !pass.IsFloat(cmp.Y) {
+				return true
+			}
+			if isConstZero(pass, cmp.X) || isConstZero(pass, cmp.Y) {
+				return true
+			}
+			if lx, okx := chainOf(cmp.X); okx {
+				if ly, oky := chainOf(cmp.Y); oky && lx == ly {
+					return true // x != x: the NaN test
+				}
+			}
+			pass.Reportf(cmp.OpPos,
+				"exact float comparison %s %s %s; use a tolerance helper",
+				render(cmp.X), cmp.Op, render(cmp.Y))
+			return true
+		})
+	}
+}
+
+// isConstZero reports whether e is a compile-time constant equal to zero.
+func isConstZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	return f == 0
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body feeds formatted output —
+// any fmt call, or a method from the table/trace/strings.Builder writing
+// vocabulary. Go randomizes map iteration order, so such loops make
+// reports differ byte-for-byte between runs; the fix is to collect and
+// sort the keys first (then the loop ranges over a slice and the analyzer
+// is satisfied). Loops that merely aggregate into sums, slices or other
+// maps are fine — order-insensitive accumulation is the intended use.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration feeding formatted output (nondeterministic reports)",
+	Run:  runMapOrder,
+}
+
+// sinkMethods is the output-writing method vocabulary: table.T row
+// builders, strings.Builder / io writers, and print-like names.
+var sinkMethods = map[string]bool{
+	"AddRow":      true,
+	"AddFloats":   true,
+	"AddPercents": true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Write":       true,
+	"Printf":      true,
+	"Print":       true,
+	"Println":     true,
+	"Fprintf":     true,
+	"Fprint":      true,
+	"Fprintln":    true,
+	"Sprintf":     true,
+	"Sprint":      true,
+	"Sprintln":    true,
+	"Appendf":     true,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findOutputSink(pass, rng.Body); sink != nil {
+				pass.Reportf(rng.For,
+					"map iteration feeds %s output; iterate sorted keys for a deterministic report",
+					sinkLabel(pass, sink))
+			}
+			return true
+		})
+	}
+}
+
+// findOutputSink returns the first output-writing call inside body, or nil.
+func findOutputSink(pass *Pass, body *ast.BlockStmt) *ast.CallExpr {
+	var sink *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		// fmt.Errorf constructs an error value, almost always followed by
+		// `return`: the loop visits one nondeterministic key, it does not
+		// emit a nondeterministic report. Flagging it would force sorted
+		// iteration onto every map-validation loop for no report benefit.
+		if pkgQualifier(pass, call) == "fmt" && name != "Errorf" {
+			sink = call
+			return false
+		}
+		if sinkMethods[name] {
+			sink = call
+			return false
+		}
+		return true
+	})
+	return sink
+}
+
+// sinkLabel names the sink for the diagnostic ("fmt.Fprintf", "AddRow").
+func sinkLabel(pass *Pass, call *ast.CallExpr) string {
+	name := calleeName(call)
+	if pkg := pkgQualifier(pass, call); pkg != "" {
+		return pkg + "." + name
+	}
+	return name
+}

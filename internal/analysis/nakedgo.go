@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NakedGo flags `go func` literals that assign to variables captured from
+// the enclosing scope with no synchronization primitive in the literal's
+// body — the cheap static complement to the runtime race detector. The
+// simulator's fan-out idiom (mpi.Run, cluster.Sweep) writes result slots
+// from worker goroutines; done correctly that is `slots[i] = v` with a
+// goroutine-local i, which this check deliberately permits:
+//
+//   - a write indexed by a goroutine-local variable (`errs[rank] = err`
+//     where rank is the literal's parameter or range variable) targets a
+//     distinct element per goroutine and is race-free without locks;
+//   - a literal that locks a mutex (Lock/RLock) or uses sync/atomic is
+//     assumed to know what it is doing — the race detector, not a
+//     heuristic, judges lock placement.
+//
+// Everything else — `counter++`, `shared = append(shared, x)`, writes
+// through a captured struct — is a data race the moment two goroutines
+// run, and is reported.
+var NakedGo = &Analyzer{
+	Name: "nakedgo",
+	Doc:  "goroutine writing captured state without synchronization",
+	Run:  runNakedGo,
+}
+
+func runNakedGo(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoLiteral(pass, lit)
+			return true
+		})
+	}
+}
+
+// checkGoLiteral reports unsynchronized captured-variable writes in one
+// goroutine literal.
+func checkGoLiteral(pass *Pass, lit *ast.FuncLit) {
+	if usesSyncPrimitive(pass, lit.Body) {
+		return
+	}
+	local := localObjects(pass, lit)
+	report := func(pos ast.Node, name string) {
+		pass.Reportf(pos.Pos(),
+			"goroutine writes captured variable %q without synchronization", name)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		// Nested goroutines get their own visit from runNakedGo with their
+		// own local set; descending here would double-report their writes.
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				if name, bad := capturedWrite(pass, lhs, local); bad {
+					report(lhs, name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if name, bad := capturedWrite(pass, stmt.X, local); bad {
+				report(stmt.X, name)
+			}
+		}
+		return true
+	})
+}
+
+// usesSyncPrimitive reports whether body calls a mutex method or anything
+// from sync/atomic.
+func usesSyncPrimitive(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleeName(call) {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			found = true
+		}
+		if pkgQualifier(pass, call) == "sync/atomic" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// localObjects collects every object declared inside the literal: its
+// parameters, named results, and all body definitions.
+func localObjects(pass *Pass, lit *ast.FuncLit) map[types.Object]bool {
+	local := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+			local[obj] = true
+		}
+		return true
+	})
+	return local
+}
+
+// capturedWrite analyzes one assignment target. It reports bad=true when
+// the target's base variable is captured from outside the literal and the
+// write is not the safe distinct-element pattern (an index expression whose
+// index is built purely from literal-local variables).
+func capturedWrite(pass *Pass, lhs ast.Expr, local map[types.Object]bool) (name string, bad bool) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return "", false
+	}
+	base, indexedByLocal := resolveTarget(pass, lhs, local)
+	if base == nil {
+		return "", false
+	}
+	if local[base] {
+		return "", false
+	}
+	if indexedByLocal {
+		return "", false
+	}
+	return base.Name(), true
+}
+
+// resolveTarget walks an assignment target down to its base object,
+// noting whether any indexing step on the way uses only literal-local
+// variables (the per-goroutine slot pattern).
+func resolveTarget(pass *Pass, e ast.Expr, local map[types.Object]bool) (types.Object, bool) {
+	indexedByLocal := false
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.Pkg.Info.ObjectOf(x), indexedByLocal
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			if indexIsLocal(pass, x.Index, local) {
+				indexedByLocal = true
+			}
+			e = x.X
+		default:
+			return nil, indexedByLocal
+		}
+	}
+}
+
+// indexIsLocal reports whether the index expression mentions at least one
+// variable and every variable it mentions is literal-local. A constant
+// index (`slots[0]`) is shared across goroutines and does not qualify.
+func indexIsLocal(pass *Pass, index ast.Expr, local map[types.Object]bool) bool {
+	sawVar, allLocal := false, true
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Pkg.Info.ObjectOf(id)
+		if v, isVar := obj.(*types.Var); isVar {
+			sawVar = true
+			if !local[v] {
+				allLocal = false
+			}
+		}
+		return true
+	})
+	return sawVar && allLocal
+}

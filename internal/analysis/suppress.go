@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Suppression comments have the form
+//
+//	//palint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either on the flagged line or on the line immediately above it.
+// "all" matches every analyzer. A reason is mandatory: a suppression that
+// cannot say why it exists is a finding, not an exemption — the comment is
+// ignored (and the diagnostic stays active) when the reason is empty.
+const ignorePrefix = "palint:ignore"
+
+// suppression is one parsed ignore directive.
+type suppression struct {
+	analyzers map[string]bool // nil means "all"
+	reason    string
+}
+
+// matches reports whether the directive covers the named analyzer.
+func (s suppression) matches(name string) bool {
+	return s.analyzers == nil || s.analyzers[name]
+}
+
+// parseSuppression extracts a directive from one comment's text, which
+// arrives without the // or /* markers. It returns ok=false for ordinary
+// comments and for directives missing a reason.
+func parseSuppression(text string) (suppression, bool) {
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return suppression{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		// Either no analyzer list or no reason: not a valid directive.
+		return suppression{}, false
+	}
+	s := suppression{reason: strings.Join(fields[1:], " ")}
+	if fields[0] != "all" {
+		s.analyzers = map[string]bool{}
+		for _, name := range strings.Split(fields[0], ",") {
+			s.analyzers[name] = true
+		}
+	}
+	return s, true
+}
+
+// suppressionIndex maps file → line → directives declared on that line.
+func buildSuppressionIndex(pkgs []*Package) map[string]map[int][]suppression {
+	index := map[string]map[int][]suppression{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimPrefix(text, "/*")
+					text = strings.TrimSuffix(text, "*/")
+					s, ok := parseSuppression(text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					byLine := index[pos.Filename]
+					if byLine == nil {
+						byLine = map[int][]suppression{}
+						index[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], s)
+				}
+			}
+		}
+	}
+	return index
+}
+
+// markSuppressed flags d when an ignore directive on its line or the line
+// above covers its analyzer.
+func markSuppressed(d *Diagnostic, index map[string]map[int][]suppression) {
+	byLine := index[d.File]
+	if byLine == nil {
+		return
+	}
+	for _, line := range []int{d.Line, d.Line - 1} {
+		for _, s := range byLine[line] {
+			if s.matches(d.Analyzer) {
+				d.Suppressed = true
+				d.Reason = s.reason
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package droppederr seeds violations and non-violations for the
+// droppederr analyzer's golden test.
+package droppederr
+
+type model struct{}
+
+func (model) Speedup(n int, r float64) (float64, error) { return float64(n) * r, nil }
+func (model) Time(n int, r float64) (float64, error)    { return 1, nil }
+func (model) Validate() error                           { return nil }
+
+// FitSP mimics the model-API Fit* family.
+func FitSP(x float64) (float64, error) { return x, nil }
+
+// helper is NOT part of the model API surface; discarding its error is out
+// of scope for this domain lint (a general errcheck would catch it).
+func helper() error { return nil }
+
+// Bad drops model-API errors three ways.
+func Bad() float64 {
+	var m model
+	m.Validate()            // seeded violation 1: whole result discarded
+	v, _ := m.Speedup(2, 1) // seeded violation 2: error assigned to _
+	FitSP(1)                // seeded violation 3: Fit* prefix discarded
+	return v
+}
+
+// Good checks every error.
+func Good() (float64, error) {
+	var m model
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	v, err := m.Speedup(2, 1)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := m.Time(2, 1); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// GoodOutOfScope discards a non-model error: not this analyzer's business.
+func GoodOutOfScope() {
+	helper()
+	_ = helper()
+}

@@ -1,0 +1,81 @@
+// Package floatdiv seeds violations and non-violations for the floatdiv
+// analyzer's golden test.
+package floatdiv
+
+import "fmt"
+
+// Bad1 divides with no guard anywhere in the function.
+func Bad1(a, b float64) float64 {
+	return a / b // seeded violation 1
+}
+
+// Bad2 guards the denominator only after the division — not dominating.
+func Bad2(t1, tn float64) float64 {
+	s := t1 / tn // seeded violation 2
+	if tn <= 0 {
+		return 0
+	}
+	return s
+}
+
+// Bad3 divides by a converted parameter with no guard on the source.
+func Bad3(sec float64, n int) float64 {
+	return sec / float64(n) // seeded violation 3
+}
+
+// GoodEarlyReturn uses the early-return validation idiom; the guard on n
+// covers the conversion-derived local fn.
+func GoodEarlyReturn(n int, r float64) (float64, error) {
+	if n < 1 || r <= 0 {
+		return 0, fmt.Errorf("bad input N=%d r=%g", n, r)
+	}
+	fn := float64(n)
+	return 1/fn + 1/r, nil
+}
+
+// GoodConstant divides by a constant; the compiler rejects constant zero.
+func GoodConstant(x float64) float64 {
+	return x / 2
+}
+
+// GoodBranchGuard divides inside the positive branch.
+func GoodBranchGuard(num, den float64) float64 {
+	if den > 0 {
+		return num / den
+	}
+	return 0
+}
+
+type terms struct {
+	Seq float64
+}
+
+// Validate establishes the invariants the arithmetic relies on.
+func (t terms) Validate() error {
+	if t.Seq <= 0 {
+		return fmt.Errorf("non-positive Seq %g", t.Seq)
+	}
+	return nil
+}
+
+// GoodValidateCall relies on the repo's Validate() idiom.
+func GoodValidateCall(t terms) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	return 1 / t.Seq, nil
+}
+
+// GoodRangeOrigin divides by a range key whose container was validated.
+func GoodRangeOrigin(t terms, classes map[int]float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	span := 0.0
+	for i, w := range t.classesOf(classes) {
+		span += w / float64(i)
+	}
+	return span, nil
+}
+
+func (t terms) classesOf(m map[int]float64) map[int]float64 { return m }

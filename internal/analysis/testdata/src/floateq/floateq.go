@@ -1,0 +1,52 @@
+// Package floateq seeds violations and non-violations for the floateq
+// analyzer's golden test.
+package floateq
+
+// Bad1 compares two computed floats exactly.
+func Bad1(a, b float64) bool {
+	return a == b // seeded violation 1
+}
+
+// Bad2 compares against a non-zero constant exactly.
+func Bad2(x float64) bool {
+	return x != 3.14 // seeded violation 2
+}
+
+// Bad3 compares float32 operands exactly.
+func Bad3(a, b float32) bool {
+	return a == b // seeded violation 3
+}
+
+// GoodZeroSentinel is the exempt guard idiom: zero is exactly
+// representable and exactly assigned.
+func GoodZeroSentinel(seconds float64) float64 {
+	if seconds == 0 {
+		return 0
+	}
+	return 1 / seconds
+}
+
+// GoodNaNTest is the exempt portable NaN check.
+func GoodNaNTest(x float64) bool {
+	return x != x
+}
+
+// GoodIntegers are not floats.
+func GoodIntegers(a, b int) bool {
+	return a == b
+}
+
+// GoodTolerance is what the analyzer pushes you toward.
+func GoodTolerance(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// GoodSuppressed shows an inline suppression with a mandatory reason.
+func GoodSuppressed(a, b float64) bool {
+	//palint:ignore floateq operands are bit-copied sentinels, not arithmetic results
+	return a == b
+}

@@ -1,0 +1,81 @@
+// Package nakedgo seeds violations and non-violations for the nakedgo
+// analyzer's golden test.
+package nakedgo
+
+import "sync"
+
+// Bad1 increments a captured counter from goroutines: a textbook race.
+func Bad1() int {
+	counter := 0
+	for i := 0; i < 4; i++ {
+		go func() {
+			counter++ // seeded violation 1
+		}()
+	}
+	return counter
+}
+
+// Bad2 appends to a captured slice from a goroutine.
+func Bad2() []int {
+	var shared []int
+	go func() {
+		shared = append(shared, 1) // seeded violation 2
+	}()
+	return shared
+}
+
+// Bad3 writes a captured struct field from a goroutine.
+type result struct{ seconds float64 }
+
+func Bad3() result {
+	var res result
+	go func() {
+		res.seconds = 1.5 // seeded violation 3
+	}()
+	return res
+}
+
+// GoodSlotWrite is the simulator's fan-out idiom: each goroutine owns a
+// distinct element, indexed by its own parameter.
+func GoodSlotWrite(n int) []error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = nil
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// GoodMutex locks around the shared write.
+func GoodMutex() int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// GoodLocal mutates only goroutine-local state.
+func GoodLocal(ch chan<- int) {
+	go func() {
+		sum := 0
+		for i := 0; i < 10; i++ {
+			sum += i
+		}
+		ch <- sum
+	}()
+}

@@ -164,15 +164,15 @@ func NewHierarchy(l1, l2 Config) (*Hierarchy, error) {
 
 // PentiumM returns a hierarchy with the paper platform's geometry:
 // 32 KB 8-way L1D and 1 MB 8-way L2, both with 64-byte lines.
-func PentiumM() *Hierarchy {
+func PentiumM() (*Hierarchy, error) {
 	h, err := NewHierarchy(
 		Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8},
 		Config{SizeBytes: 1 << 20, LineBytes: 64, Ways: 8},
 	)
 	if err != nil {
-		panic("cache: PentiumM geometry invalid: " + err.Error())
+		return nil, fmt.Errorf("cache: PentiumM geometry: %w", err)
 	}
-	return h
+	return h, nil
 }
 
 // Access touches addr and returns the level that served it.

@@ -112,7 +112,10 @@ func TestResetAndFlush(t *testing.T) {
 }
 
 func TestHierarchyLevels(t *testing.T) {
-	h := PentiumM()
+	h, err := PentiumM()
+	if err != nil {
+		t.Fatalf("PentiumM() = %v", err)
+	}
 	if got := h.Access(0); got != InMem {
 		t.Errorf("cold access = %v, want Mem", got)
 	}

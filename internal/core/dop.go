@@ -176,6 +176,12 @@ func UniformDOP(m int, onSec, offSec float64) (DOP, error) {
 // frequency ratio r as n → ∞ (overhead excluded): every class limited by
 // its own DOP.
 func (d DOP) SpeedupBound(r float64) (float64, error) {
+	if r <= 0 {
+		return 0, fmt.Errorf("core: frequency ratio %g not positive", r)
+	}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
 	t1, err := d.Time(1, 1)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// terms assembles a Terms whose overheads return the raw fuzzed values, so
+// the fuzzer can drive NaN, Inf, and negative overheads through the po
+// callbacks as well as the struct fields.
+func fuzzTerms(seqOn, seqOff, parOn, parOff, poOn, poOff float64) Terms {
+	return Terms{
+		SeqOn: seqOn, SeqOff: seqOff,
+		ParOn: parOn, ParOff: parOff,
+		POOn:  func(n int) float64 { return poOn * float64(n) },
+		POOff: func(n int) float64 { return poOff * float64(n) },
+	}
+}
+
+// FuzzTermsTime asserts the contract of Eq. 11's denominator: for arbitrary
+// inputs, Time returns either an error or a finite, non-negative time —
+// never NaN or ±Inf, and never a silent garbage value.
+func FuzzTermsTime(f *testing.F) {
+	f.Add(1.0, 0.5, 8.0, 2.0, 0.1, 0.05, 4, 1.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1, 1.0)
+	f.Add(math.NaN(), 1.0, 1.0, 1.0, 0.0, 0.0, 2, 0.75)
+	f.Add(1.0, 1.0, math.Inf(1), 1.0, 0.0, 0.0, 2, 1.0)
+	f.Add(1.0, 1.0, 1.0, 1.0, math.NaN(), 0.0, 2, 1.0)
+	f.Add(1e308, 1e308, 1e308, 1e308, 1e308, 1e308, 2, 5e-324)
+	f.Add(1.0, 1.0, 1.0, 1.0, 0.0, 0.0, -3, 1.0)
+	f.Add(1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 2, -1.0)
+	f.Fuzz(func(t *testing.T, seqOn, seqOff, parOn, parOff, poOn, poOff float64, n int, r float64) {
+		tm := fuzzTerms(seqOn, seqOff, parOn, parOff, poOn, poOff)
+		sec, err := tm.Time(n, r)
+		if err != nil {
+			if sec != 0 {
+				t.Fatalf("Time(%d, %g) = (%g, %v): non-zero value alongside an error", n, r, sec, err)
+			}
+			return
+		}
+		if math.IsNaN(sec) || math.IsInf(sec, 0) || sec < 0 {
+			t.Fatalf("Time(%d, %g) = %g with nil error for %+v", n, r, sec, tm)
+		}
+	})
+}
+
+// FuzzTermsSpeedup asserts the same contract for Eq. 11 itself: Speedup
+// returns either an error or a finite, non-negative ratio.
+func FuzzTermsSpeedup(f *testing.F) {
+	f.Add(1.0, 0.5, 8.0, 2.0, 0.1, 0.05, 4, 1.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 4, 1.0)
+	f.Add(math.Inf(1), 0.0, 0.0, 0.0, 0.0, 0.0, 2, 1.0)
+	f.Add(1e308, 0.0, 0.0, 0.0, 0.0, 0.0, 16, 1e300)
+	f.Add(5e-324, 0.0, 0.0, 0.0, 0.0, 0.0, 1024, 1e308)
+	f.Add(1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0, 1.0)
+	f.Fuzz(func(t *testing.T, seqOn, seqOff, parOn, parOff, poOn, poOff float64, n int, r float64) {
+		tm := fuzzTerms(seqOn, seqOff, parOn, parOff, poOn, poOff)
+		s, err := tm.Speedup(n, r)
+		if err != nil {
+			if s != 0 {
+				t.Fatalf("Speedup(%d, %g) = (%g, %v): non-zero value alongside an error", n, r, s, err)
+			}
+			return
+		}
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			t.Fatalf("Speedup(%d, %g) = %g with nil error for %+v", n, r, s, tm)
+		}
+	})
+}

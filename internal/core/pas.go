@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Terms is the execution-time decomposition of the paper's Eq. 11,
 // expressed as the time each component takes at the reference point
@@ -21,10 +24,15 @@ type Terms struct {
 	POOn, POOff   func(n int) float64
 }
 
-// Validate reports an error for negative components.
+// Validate reports an error for components that are not finite,
+// non-negative times. NaN and ±Inf are rejected explicitly: they satisfy
+// no ordering, so a plain sign check would silently accept them and
+// poison every downstream prediction.
 func (t Terms) Validate() error {
-	if t.SeqOn < 0 || t.SeqOff < 0 || t.ParOn < 0 || t.ParOff < 0 {
-		return fmt.Errorf("core: negative time component in %+v", t)
+	for _, c := range [...]float64{t.SeqOn, t.SeqOff, t.ParOn, t.ParOff} {
+		if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+			return fmt.Errorf("core: time component %g in %+v is not a finite non-negative time", c, t)
+		}
 	}
 	return nil
 }
@@ -49,15 +57,23 @@ func (t Terms) Time(n int, r float64) (float64, error) {
 	if n < 1 {
 		return 0, fmt.Errorf("core: N = %d", n)
 	}
-	if r <= 0 {
+	if math.IsNaN(r) || r <= 0 {
 		return 0, fmt.Errorf("core: frequency ratio %g not positive", r)
 	}
 	if err := t.Validate(); err != nil {
 		return 0, err
 	}
+	on, off := t.poOn(n), t.poOff(n)
+	if math.IsNaN(on) || math.IsInf(on, 0) || on < 0 ||
+		math.IsNaN(off) || math.IsInf(off, 0) || off < 0 {
+		return 0, fmt.Errorf("core: overhead (%g, %g) at N=%d is not a finite non-negative time", on, off, n)
+	}
 	fn := float64(n)
-	return (t.SeqOn+t.ParOn/fn)/r + t.SeqOff + t.ParOff/fn +
-		t.poOn(n)/r + t.poOff(n), nil
+	sec := (t.SeqOn+t.ParOn/fn)/r + t.SeqOff + t.ParOff/fn + on/r + off
+	if math.IsNaN(sec) || math.IsInf(sec, 0) {
+		return 0, fmt.Errorf("core: non-finite time %g at N=%d r=%g", sec, n, r)
+	}
+	return sec, nil
 }
 
 // Speedup evaluates the power-aware speedup of Eq. 11: the base sequential
@@ -74,7 +90,11 @@ func (t Terms) Speedup(n int, r float64) (float64, error) {
 	if tn <= 0 {
 		return 0, fmt.Errorf("core: degenerate zero execution time")
 	}
-	return t1 / tn, nil
+	s := t1 / tn
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return 0, fmt.Errorf("core: non-finite speedup %g at N=%d r=%g", s, n, r)
+	}
+	return s, nil
 }
 
 // EPSpeedup is the closed form of Eq. 12, valid for a fully parallelizable

@@ -149,6 +149,9 @@ func (m *SegModel) FrequencySensitivity(phase string, n int) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("core: phase %q not fitted at N=%d", phase, n)
 	}
+	if m.loMHz <= 0 {
+		return 0, fmt.Errorf("core: segment model has no base frequency (zero-value SegModel?)")
+	}
 	total := ab[0] + ab[1]/m.loMHz
 	if total == 0 {
 		return 0, nil

@@ -39,6 +39,9 @@ func FitSP(m *Measurements) (*SP, error) {
 		sp.t1[mhz] = t1
 	}
 	for _, n := range m.Ns() {
+		if n < 1 {
+			return nil, fmt.Errorf("core: measured processor count N = %d", n)
+		}
 		tn, err := m.Time(n, base)
 		if err != nil {
 			return nil, fmt.Errorf("core: SP fit needs the full base-frequency column: %w", err)
@@ -66,6 +69,9 @@ func (s *SP) Overhead(n int) (float64, error) {
 
 // PredictTime evaluates Eq. 18: T_N(w, f) = T_1(w, f)/N + T(wPO_OFF).
 func (s *SP) PredictTime(n int, mhz float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("core: N = %d", n)
+	}
 	t1, ok := s.t1[mhz]
 	if !ok {
 		return 0, fmt.Errorf("core: SP has no sequential time at %g MHz", mhz)

@@ -91,6 +91,9 @@ func (x *SPX) Overhead(n int) (float64, error) {
 // PredictTime predicts the execution time at any processor count and any
 // measured frequency: Eq. 18 with the modelled overhead.
 func (x *SPX) PredictTime(n int, mhz float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("core: N = %d", n)
+	}
 	t1, ok := x.sp.t1[mhz]
 	if !ok {
 		return 0, fmt.Errorf("core: SPX has no sequential time at %g MHz", mhz)

@@ -59,6 +59,9 @@ func Candidates(m *Measurements) ([]Candidate, error) {
 	for _, n := range m.Ns() {
 		for _, mhz := range m.Freqs() {
 			t, err := m.Time(n, mhz)
+			if err == nil && t <= 0 {
+				return nil, fmt.Errorf("core: non-positive measured time for %v", Config{n, mhz})
+			}
 			if err != nil {
 				continue
 			}

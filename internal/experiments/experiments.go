@@ -100,6 +100,7 @@ type Campaign struct {
 // Cell returns the raw result of one configuration.
 func (c *Campaign) Cell(n int, mhz float64) (*mpi.Result, error) {
 	for _, cell := range c.Cells {
+		//palint:ignore floateq cell frequencies are copied verbatim from Grid.MHz; lookup by exact key is intended
 		if cell.N == n && cell.MHz == mhz {
 			return cell.Res, nil
 		}

@@ -66,6 +66,9 @@ func (s Suite) Isoefficiency(kernel string, ns []int, runAt func(mult float64) f
 		if err != nil {
 			return 0, err
 		}
+		if rn.Seconds <= 0 {
+			return 0, fmt.Errorf("experiments: degenerate zero-time run at N=%d", n)
+		}
 		return r1.Seconds / rn.Seconds / float64(n), nil
 	}
 	target, err := eff(1, ns[0])

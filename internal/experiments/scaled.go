@@ -57,6 +57,9 @@ func (s Suite) scaledSweep(name string, runAt func(mult int) func(mpi.World) (*m
 			if err != nil {
 				return nil, err
 			}
+			if res.Seconds <= 0 {
+				return nil, fmt.Errorf("experiments: degenerate zero-time run at N=%d f=%g", n, f)
+			}
 			grid.V[i][j] = float64(n) * t1 / res.Seconds
 		}
 	}

@@ -14,6 +14,9 @@ import (
 func PhaseTimes(camp *Campaign) map[string]map[core.Config]float64 {
 	out := map[string]map[core.Config]float64{}
 	for _, cell := range camp.Cells {
+		if cell.N < 1 {
+			continue // malformed cell: nothing to attribute a share to
+		}
 		by := cell.Res.Trace.ByPhase()
 		for phase, sec := range by {
 			if out[phase] == nil {

@@ -174,6 +174,9 @@ func (s Suite) Table6() (*Table6Result, error) {
 		// Blended CPI over the ON-chip mix, from measured latencies.
 		onFr := t5.Work.Fractions()
 		onTotal := onFr[machine.Reg] + onFr[machine.L1] + onFr[machine.L2]
+		if onTotal <= 0 {
+			return nil, fmt.Errorf("experiments: workload has no ON-chip instructions to blend a CPI over")
+		}
 		cpi := (onFr[machine.Reg]*ln[machine.Reg] + onFr[machine.L1]*ln[machine.L1] +
 			onFr[machine.L2]*ln[machine.L2]) / onTotal * 1e-9 * (mhz * 1e6)
 		out.CPIOn = append(out.CPIOn, cpi)
@@ -244,6 +247,9 @@ func (s Suite) Table7From(camp *Campaign) (*Table7Result, error) {
 		tp, err := fp.PredictTime(n, f)
 		if err != nil {
 			return 0, err
+		}
+		if tp <= 0 {
+			return 0, fmt.Errorf("experiments: FP predicted non-positive time at N=%d f=%g", n, f)
 		}
 		return t1 / tp, nil
 	}

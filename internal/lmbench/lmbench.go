@@ -78,6 +78,9 @@ func Latency(m machine.Config, freq float64, wsBytes int) (float64, error) {
 		total += s
 		loads += n
 	}
+	if loads == 0 {
+		return 0, fmt.Errorf("lmbench: pointer chase issued no loads")
+	}
 	return total / float64(loads) * 1e9, nil
 }
 

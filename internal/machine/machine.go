@@ -145,6 +145,7 @@ func (c Config) SecPerIns(l Level, freq float64) float64 {
 	if l == Mem {
 		return c.MemNanos(freq) * 1e-9
 	}
+	//palint:ignore floatdiv freq is a validated P-state frequency (> 0 by Config.Validate); guarding the hot path would double-check every call
 	return c.Cycles[l] / freq
 }
 

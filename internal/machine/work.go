@@ -84,6 +84,7 @@ func (w Work) Validate() error {
 func (c Config) TimeFor(w Work, freq float64) float64 {
 	on := 0.0
 	for l := Reg; l <= L2; l++ {
+		//palint:ignore floatdiv freq is a validated P-state frequency (> 0 by Config.Validate); this is the model's hot inner loop
 		on += w.Ops[l] * c.Cycles[l] / freq
 	}
 	mem := w.Ops[Mem] * c.MemNanos(freq) * 1e-9

@@ -301,6 +301,9 @@ func (c CG) rank(ctx *mpi.Ctx) (CGResult, error) {
 			if err != nil {
 				return CGResult{}, err
 			}
+			if pq == 0 {
+				return CGResult{}, fmt.Errorf("npb: CG breakdown, p·q = 0 at iteration %d", it)
+			}
 			alpha := rho / pq
 			for i := range z {
 				z[i] += alpha * p[i]
@@ -312,6 +315,9 @@ func (c CG) rank(ctx *mpi.Ctx) (CGResult, error) {
 			rhoNew, err := s.dot(r, r)
 			if err != nil {
 				return CGResult{}, err
+			}
+			if rho == 0 {
+				return CGResult{}, fmt.Errorf("npb: CG breakdown, r·r = 0 at iteration %d", it)
 			}
 			beta := rhoNew / rho
 			rho = rhoNew
@@ -335,11 +341,17 @@ func (c CG) rank(ctx *mpi.Ctx) (CGResult, error) {
 			return CGResult{}, err
 		}
 		norm := math.Sqrt(zz)
+		if norm == 0 {
+			return CGResult{}, fmt.Errorf("npb: CG produced the zero vector after outer iteration %d", outer)
+		}
 		for i := range x {
 			x[i] = z[i] / norm
 		}
 		if err := s.billVector(1); err != nil {
 			return CGResult{}, err
+		}
+		if xz == 0 {
+			return CGResult{}, fmt.Errorf("npb: CG breakdown, x·z = 0 after outer iteration %d", outer)
 		}
 		result.Zeta = 1 / xz
 	}

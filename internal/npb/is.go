@@ -206,8 +206,10 @@ func (is IS) rank(c *mpi.Ctx) (ISResult, error) {
 		if err := c.Compute(machine.W(sf*isSortReg*scale, sf*isSortL1*scale, sf*isSortL2*scale, sf*isSortMem*scale)); err != nil {
 			return ISResult{}, err
 		}
-		if share := sf / (float64(total) / float64(n)); share > imbalance {
-			imbalance = share
+		if total > 0 && n > 0 {
+			if share := sf / (float64(total) / float64(n)); share > imbalance {
+				imbalance = share
+			}
 		}
 	}
 
@@ -244,6 +246,7 @@ func (is IS) rank(c *mpi.Ctx) (ISResult, error) {
 		}
 		totalKeys += b[3]
 	}
+	//palint:ignore floateq key counts are integer-valued floats carried through Allgather; conservation must be exact
 	if totalKeys != float64(total) {
 		allSorted = false
 	}
@@ -280,6 +283,9 @@ func splitBuckets(global []float64, n int) []int {
 		total += g
 	}
 	owner := make([]int, len(global))
+	if total == 0 {
+		return owner // no keys anywhere: rank 0 owns every (empty) bucket
+	}
 	cum := 0.0
 	for b, g := range global {
 		// Midpoint rule keeps single giant buckets stable.

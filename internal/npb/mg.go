@@ -577,6 +577,7 @@ func (m MG) rank(c *mpi.Ctx) (MGResult, error) {
 	// u* = 64·xyz(1−x)(1−y)(1−z), zero on the boundary.
 	c.SetPhase("mg-setup")
 	fin := s.levels[0]
+	//palint:ignore floatdiv m+1 >= 1 for any non-negative grid size, so the mesh spacing denominator is structurally positive
 	h := 1.0 / float64(fin.m+1)
 	exact := func(k, j, i int) float64 {
 		x, y, z := float64(i)*h, float64(j)*h, float64(k)*h

@@ -84,11 +84,13 @@ func (c Config) Validate() error {
 // CPUOverhead returns the endpoint CPU time in seconds to process one
 // message of the given size at core frequency freq.
 func (c Config) CPUOverhead(bytes int, freq float64) float64 {
+	//palint:ignore floatdiv freq is a validated P-state frequency (> 0); callers pass machine gear frequencies
 	return (c.MsgCPUIns + c.ByteCPUIns*float64(bytes)) / freq
 }
 
 // WireTime returns the serialization time of bytes on an uncontended port.
 func (c Config) WireTime(bytes int) float64 {
+	//palint:ignore floatdiv Config.Validate rejects non-positive BandwidthBps before any simulation runs
 	return float64(bytes) / c.BandwidthBps
 }
 

@@ -88,7 +88,10 @@ func (l *Log) CriticalPhase() (phase string, share float64) {
 	total := 0.0
 	for p, sec := range by {
 		total += sec
-		if sec > by[phase] || phase == "" {
+		// Strict-greater with a name tie-break keeps the result independent
+		// of map iteration order when two phases have equal durations.
+		//palint:ignore floateq exact equality is the tie-break condition itself; a tolerance would reintroduce order dependence
+		if phase == "" || sec > by[phase] || (sec == by[phase] && p < phase) {
 			phase = p
 		}
 	}
