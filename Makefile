@@ -26,8 +26,9 @@ race:
 
 # go vet plus palint, the repo's domain-aware analyzer (unguarded float
 # division, exact float comparison, dropped model-API errors, map-order
-# output, unsynchronized goroutine writes). Suppressions live in the source
-# as //palint:ignore comments with mandatory reasons.
+# output, unsynchronized goroutine writes, and unitcheck's dimensional
+# analysis over internal/units). Suppressions live in the source as
+# //palint:ignore comments with mandatory reasons.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/palint ./...

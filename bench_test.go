@@ -25,6 +25,7 @@ import (
 	"pasp/internal/experiments"
 	"pasp/internal/mpi"
 	"pasp/internal/npb"
+	"pasp/internal/power"
 )
 
 // printOnce guards each benchmark's table output so repeated iterations do
@@ -422,8 +423,8 @@ func BenchmarkEDPOptimalGears(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		base := cmp.BaselineJoules * cmp.BaselineSec
-		sched := cmp.ScheduledJoules * cmp.ScheduledSec
+		base := power.EDP(cmp.BaselineJoules, cmp.BaselineSec)
+		sched := power.EDP(cmp.ScheduledJoules, cmp.ScheduledSec)
 		b.ReportMetric((1-sched/base)*100, "edp_improve%")
 		emit("edp-gears", fmt.Sprintf(
 			"EDP-optimal gear schedule (%v)\nFT N=16@1400MHz: EDP %.0f → %.0f J·s (%.1f%% better); %v",

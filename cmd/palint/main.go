@@ -1,8 +1,10 @@
 // Command palint runs the repository's domain-aware static-analysis suite
 // (package analysis): silent-failure checks for the power-aware speedup
 // model's arithmetic (unguarded float division, exact float equality,
-// dropped model-API errors), report determinism (map-ordered output), and
-// a cheap static race heuristic for goroutine literals.
+// dropped model-API errors), report determinism (map-ordered output), a
+// cheap static race heuristic for goroutine literals, and dimensional
+// analysis over the typed units layer (cross-dimension conversions,
+// unlike-dimension arithmetic, bare scale literals).
 //
 // Usage:
 //

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pasp/internal/analysis"
+)
+
+// palintBin is the binary TestMain builds once for every driver test.
+var palintBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "palint-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	palintBin = filepath.Join(dir, "palint")
+	cmd := exec.Command("go", "build", "-o", palintBin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "go build: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// runPalint executes the binary from the module root and returns combined
+// stdout, stderr and the exit code.
+func runPalint(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(palintBin, args...)
+	cmd.Dir = filepath.Join("..", "..") // cmd/palint → module root
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("run palint %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+// seeded is a testdata package guaranteed to carry active findings.
+const seeded = "internal/analysis/testdata/src/floateq"
+
+func TestExitZeroOnCleanPackage(t *testing.T) {
+	stdout, stderr, code := runPalint(t, "./internal/units")
+	if code != 0 {
+		t.Fatalf("exit %d on clean package, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if strings.TrimSpace(stdout) != "" {
+		t.Errorf("clean run printed findings:\n%s", stdout)
+	}
+}
+
+func TestExitOneOnFindings(t *testing.T) {
+	stdout, stderr, code := runPalint(t, seeded)
+	if code != 1 {
+		t.Fatalf("exit %d on seeded violations, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "floateq") {
+		t.Errorf("findings output missing analyzer name:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr missing findings summary: %s", stderr)
+	}
+}
+
+func TestExitTwoOnUsageErrors(t *testing.T) {
+	if _, stderr, code := runPalint(t, "-only", "nosuch", "./internal/units"); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if _, stderr, code := runPalint(t, "./no/such/dir"); code != 2 {
+		t.Errorf("bad package pattern: exit %d, want 2 (stderr: %s)", code, stderr)
+	}
+}
+
+func TestOnlyRestrictsAnalyzers(t *testing.T) {
+	// The floatdiv testdata package seeds floatdiv violations; restricted
+	// to floateq, the same package must come back clean.
+	div := "internal/analysis/testdata/src/floatdiv"
+	if _, _, code := runPalint(t, div); code != 1 {
+		t.Fatalf("unrestricted run on %s: exit %d, want 1", div, code)
+	}
+	stdout, stderr, code := runPalint(t, "-only", "floateq", div)
+	if code != 0 {
+		t.Errorf("-only floateq on floatdiv seeds: exit %d, want 0\nstdout: %s\nstderr: %s",
+			code, stdout, stderr)
+	}
+}
+
+func TestExcludeSilencesPaths(t *testing.T) {
+	stdout, stderr, code := runPalint(t, "-exclude", "testdata", seeded)
+	if code != 0 {
+		t.Errorf("-exclude testdata: exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+}
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	stdout, _, code := runPalint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d, want 0", code)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if want := len(analysis.All()); len(lines) != want {
+		t.Errorf("-list printed %d analyzers, want %d:\n%s", len(lines), want, stdout)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(stdout, a.Name) {
+			t.Errorf("-list missing %s:\n%s", a.Name, stdout)
+		}
+	}
+}
+
+func TestJSONOutputShape(t *testing.T) {
+	stdout, stderr, code := runPalint(t, "-json", seeded)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, stdout)
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON output empty on seeded violations")
+	}
+	for _, d := range diags {
+		if d.Analyzer == "" || d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if d.Suppressed {
+			t.Errorf("non-verbose JSON should omit suppressed findings: %+v", d)
+		}
+	}
+}
+
+func TestJSONEmptyArrayOnCleanRun(t *testing.T) {
+	stdout, stderr, code := runPalint(t, "-json", "./internal/units")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("clean -json run must still emit a JSON array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean run returned %d diagnostics", len(diags))
+	}
+}

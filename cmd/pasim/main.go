@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"pasp/internal/experiments"
+	"pasp/internal/units"
 )
 
 func main() {
@@ -35,7 +36,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	st, err := s.Platform.Prof.StateAt(*mhz * 1e6)
+	st, err := s.Platform.Prof.StateAt(units.MHz(*mhz))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pasim: %v\n", err)
 		os.Exit(1)

@@ -16,6 +16,7 @@ import (
 	"pasp/internal/machine"
 	"pasp/internal/mpptest"
 	"pasp/internal/npb"
+	"pasp/internal/units"
 )
 
 func main() {
@@ -44,25 +45,25 @@ func main() {
 
 	// Step 2a — memory-level latencies at every gear (LMbench methodology).
 	fmt.Println("\nStep 2a — measured ns per instruction (pointer chase):")
-	secPerIns := map[float64][machine.NumLevels]float64{}
+	secPerIns := map[float64][machine.NumLevels]units.Seconds{}
 	for _, mhz := range freqs {
-		ln, err := lmbench.LevelNanos(platform.Mach, mhz*1e6)
+		ln, err := lmbench.LevelNanos(platform.Mach, units.MHz(mhz))
 		if err != nil {
 			log.Fatal(err)
 		}
-		var sec [machine.NumLevels]float64
+		var sec [machine.NumLevels]units.Seconds
 		for l := range ln {
-			sec[l] = ln[l] * 1e-9
+			sec[l] = ln[l].Sec()
 		}
 		secPerIns[mhz] = sec
 		fmt.Printf("  %4.0f MHz: reg %.2f  L1 %.2f  L2 %.2f  mem %.2f\n",
-			mhz, ln[machine.Reg], ln[machine.L1], ln[machine.L2], ln[machine.Mem])
+			mhz, float64(ln[machine.Reg]), float64(ln[machine.L1]), float64(ln[machine.L2]), float64(ln[machine.Mem]))
 	}
 
 	// Step 2b — communication time from the profiled message traffic and an
 	// MPPTEST-style ping-pong at the application's message size.
 	fmt.Println("\nStep 2b — communication profile and per-message times:")
-	comm := map[int]map[float64]float64{}
+	comm := map[int]map[float64]units.Seconds{}
 	for _, n := range []int{2, 4, 8} {
 		wn, err := platform.World(n, 600)
 		if err != nil {
@@ -79,7 +80,7 @@ func main() {
 			}
 		}
 		avg := bytes / msgs
-		comm[n] = map[float64]float64{}
+		comm[n] = map[float64]units.Seconds{}
 		for _, mhz := range freqs {
 			w2, err := platform.World(2, mhz)
 			if err != nil {
@@ -89,10 +90,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			comm[n][mhz] = float64(msgs) * per
+			comm[n][mhz] = per.Times(float64(msgs))
 		}
 		fmt.Printf("  N=%d: %5d messages, avg %5d B → overhead %.3f s at 600 MHz\n",
-			n, msgs, avg, comm[n][600])
+			n, msgs, avg, float64(comm[n][600]))
 	}
 
 	// Step 3 — compose and predict.
@@ -121,6 +122,6 @@ func main() {
 			log.Fatalf("degenerate zero-time measurement at N=%d", cfg.n)
 		}
 		fmt.Printf("  N=%d @ %4.0f MHz: predicted %6.3f s, measured %6.3f s (error %+.1f%%)\n",
-			cfg.n, cfg.mhz, pred, meas.Seconds, (pred-meas.Seconds)/meas.Seconds*100)
+			cfg.n, cfg.mhz, float64(pred), meas.Seconds, (float64(pred)-meas.Seconds)/meas.Seconds*100)
 	}
 }

@@ -41,6 +41,7 @@ func All() []*Analyzer {
 		FloatEq,
 		MapOrder,
 		NakedGo,
+		UnitCheck,
 	}
 }
 

@@ -168,6 +168,43 @@ func TestByName(t *testing.T) {
 	}
 }
 
+// TestRunOrdering pins Run's determinism contract across packages and
+// analyzers: diagnostics come back sorted by file, then line, then column,
+// then analyzer name, regardless of package load order or analyzer
+// interleaving. Report stability is what makes palint output diffable.
+func TestRunOrdering(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := Load(root, []string{
+		"internal/analysis/testdata/src/unitcheck",
+		"internal/analysis/testdata/src/floateq",
+		"internal/analysis/testdata/src/floatdiv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("loaded %d packages, want 3", len(pkgs))
+	}
+	diags := Run(pkgs, []*Analyzer{UnitCheck, FloatEq, FloatDiv})
+	files := map[string]bool{}
+	for _, d := range diags {
+		files[filepath.Base(d.File)] = true
+	}
+	if len(files) < 2 {
+		t.Fatalf("want findings from several files to exercise ordering, got %v", files)
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		after := a.File > b.File ||
+			(a.File == b.File && a.Line > b.Line) ||
+			(a.File == b.File && a.Line == b.Line && a.Col > b.Col) ||
+			(a.File == b.File && a.Line == b.Line && a.Col == b.Col && a.Analyzer > b.Analyzer)
+		if after {
+			t.Errorf("diagnostics out of order at %d:\n  %s\n  %s", i, a, b)
+		}
+	}
+}
+
 // TestRepoClean runs the full suite over the repository itself: the tree
 // must stay lint-clean (the same property `make lint` enforces).
 func TestRepoClean(t *testing.T) {

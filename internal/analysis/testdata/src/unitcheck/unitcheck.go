@@ -1,0 +1,62 @@
+// Package unitcheck seeds dimensional-analysis violations for the
+// unitcheck analyzer's golden test. Every function compiles — that is the
+// point: Go's type system accepts all of these, and only the analyzer's
+// derived dimensions tell the wrong ones apart.
+package unitcheck
+
+import "pasp/internal/units"
+
+// Cross-dimension conversions: Go treats them as ordinary numeric
+// conversions, but each one silently relabels a physical quantity.
+func crossConversions(f units.Hertz, n units.Nanos) {
+	_ = units.Seconds(f) // want: a frequency is not a duration
+	_ = units.Cycles(f)  // want: Hz is cyc/s, not cyc
+	_ = units.Ratio(f)   // want: dropping a dimension needs float64()
+	_ = units.Seconds(n) // want: ns → s without NanosToSec loses the 1e-9
+}
+
+// Derived dimensions: the static type of a/b and t*t is still Hertz and
+// Seconds, but the physical dimension is not.
+func derivedDimensions(a, b units.Hertz, t units.Seconds) bool {
+	_ = units.Hertz(a / b) // want: a frequency ratio is dimensionless
+	_ = t + t*t            // want: s plus s²
+	return t > t*t         // want: s compared against s²
+}
+
+// Bare scale literals: rescaling a dimensioned value inline instead of
+// through the units package's blessed helpers.
+func bareScaleLiterals(t units.Seconds, n units.Nanos) {
+	_ = t * 1e9 // want: use t.Nanos()
+	_ = n / 1e3 // want: rescaling ns by hand
+}
+
+// mhzToHertz hides the scale literal inside the conversion itself — the
+// shape that motivated the check: units.MHz(mhz) is the blessed spelling.
+func mhzToHertz(mhz float64) units.Hertz {
+	return units.Hertz(mhz * 1e6) // want: use units.MHz(mhz)
+}
+
+// legacyNanos is the sanctioned way to silence a finding: name the
+// analyzer and say why.
+func legacyNanos(t units.Seconds) float64 {
+	//palint:ignore unitcheck legacy CSV schema stores raw nanoseconds; helper landing separately
+	return float64(t * 1e9)
+}
+
+// goodArithmetic exercises the shapes that must stay quiet: blessed
+// helpers, like-dimension arithmetic, constant seeding, and the float64
+// escape hatch.
+func goodArithmetic(f units.Hertz, n units.Nanos, t units.Seconds, p units.Watts) float64 {
+	_ = n.Sec()               // blessed rescale
+	_ = units.MHz(1400)       // blessed scale constructor
+	_ = f.CyclesIn(t)         // Hz·s → cyc through a helper
+	_ = p.Energy(t)           // W·s → J through a helper
+	_ = units.Seconds(10)     // constants adapt to any dimension
+	_ = t + t.Times(2)        // s + s
+	_ = f.Per(units.MHz(600)) // ratio through the helper
+	sum := t + t
+	if sum > t.Div(2) { // like dimensions compare freely
+		return float64(f) // the escape hatch: explicit and visible
+	}
+	return float64(p)
+}

@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitCheck performs dimensional analysis over the typed units layer
+// (internal/units). Go's named types already stop a Hertz from being
+// assigned to a Seconds, but three mistakes still compile:
+//
+//   - an explicit conversion between unit types — units.Seconds(f) where f
+//     is a Hertz compiles like any numeric conversion, silently relabeling
+//     a frequency as a duration;
+//   - arithmetic whose derived dimension disagrees with its static type —
+//     t*t has static type Seconds but dimension s², so t + t*t and t > t*t
+//     type-check while mixing unlike quantities;
+//   - a bare scale literal (1e6, 1e-9, …) multiplying a dimensioned value,
+//     re-scaling it outside the blessed helpers the units package provides
+//     (MHz, Sec, Nanos, Micros).
+//
+// The analyzer seeds dimensions from the units package's named types,
+// derives them through arithmetic (Hz·s → cycles, W·s → J, same-dimension
+// division → dimensionless) and reports the three classes above. The
+// conversion float64(x) deliberately discards the dimension and is the
+// explicit, visible escape hatch into untyped code; expressions of plain
+// float64 type carry no dimension and are never flagged. Files of the
+// units package itself are exempt — scale conversions are its job.
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "dimension mismatch in typed-units arithmetic or conversion",
+	Run:  runUnitCheck,
+}
+
+// unitsPkgSuffix identifies the units package by import-path suffix so the
+// seeded testdata package (loaded under the same module) resolves the same
+// types the repository proper does.
+const unitsPkgSuffix = "internal/units"
+
+// dimension is a physical dimension: integer exponents over the base
+// quantities the model computes with, plus a power-of-ten scale exponent
+// relative to the SI member of the family (Nanos carries exp10 = -9).
+// Integer exponents keep every comparison exact.
+type dimension struct {
+	sec, cyc, joule, volt int
+	exp10                 int
+}
+
+// dimless is the dimension of a pure number.
+var dimless = dimension{}
+
+// unitDims maps each named type of the units package to its dimension.
+var unitDims = map[string]dimension{
+	"Hertz":   {cyc: 1, sec: -1},
+	"Seconds": {sec: 1},
+	"Nanos":   {sec: 1, exp10: -9},
+	"Cycles":  {cyc: 1},
+	"Watts":   {joule: 1, sec: -1},
+	"Joules":  {joule: 1},
+	"Volts":   {volt: 1},
+	"Ratio":   {},
+}
+
+// magicExp10 maps the bare scale literals unitcheck polices to their
+// power-of-ten exponent.
+var magicExp10 = map[float64]int{
+	1e3: 3, 1e6: 6, 1e9: 9, 1e-3: -3, 1e-6: -6, 1e-9: -9,
+}
+
+// sameBase reports whether two dimensions agree up to scale.
+func (d dimension) sameBase(o dimension) bool {
+	return d.sec == o.sec && d.cyc == o.cyc && d.joule == o.joule && d.volt == o.volt
+}
+
+func (d dimension) mul(o dimension) dimension {
+	return dimension{d.sec + o.sec, d.cyc + o.cyc, d.joule + o.joule, d.volt + o.volt, d.exp10 + o.exp10}
+}
+
+func (d dimension) div(o dimension) dimension {
+	return dimension{d.sec - o.sec, d.cyc - o.cyc, d.joule - o.joule, d.volt - o.volt, d.exp10 - o.exp10}
+}
+
+// String renders the dimension compactly: "s", "cyc·s⁻¹" prints as
+// "cyc/s", Nanos as "1e-9·s", a square as "s^2".
+func (d dimension) String() string {
+	var num, den []string
+	part := func(sym string, exp int) {
+		switch {
+		case exp == 1:
+			num = append(num, sym)
+		case exp > 1:
+			num = append(num, fmt.Sprintf("%s^%d", sym, exp))
+		case exp == -1:
+			den = append(den, sym)
+		case exp < -1:
+			den = append(den, fmt.Sprintf("%s^%d", sym, -exp))
+		}
+	}
+	part("s", d.sec)
+	part("cyc", d.cyc)
+	part("J", d.joule)
+	part("V", d.volt)
+	s := strings.Join(num, "·")
+	if s == "" {
+		s = "1"
+	}
+	if len(den) > 0 {
+		s += "/" + strings.Join(den, "·")
+	}
+	if d.exp10 != 0 {
+		s = fmt.Sprintf("1e%d·%s", d.exp10, s)
+	}
+	if s == "1" {
+		return "dimensionless"
+	}
+	return s
+}
+
+// unitDimOf returns the dimension of a units-package named type.
+func unitDimOf(t types.Type) (dimension, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return dimension{}, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), unitsPkgSuffix) {
+		return dimension{}, false
+	}
+	d, ok := unitDims[obj.Name()]
+	return d, ok
+}
+
+func runUnitCheck(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, unitsPkgSuffix) {
+		return // the units package is where scale conversions live
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkUnitBinary(pass, x)
+			case *ast.CallExpr:
+				checkUnitConversion(pass, x)
+			}
+			return true
+		})
+	}
+}
+
+// deriveDim computes the physical dimension of an expression, or ok=false
+// when it has none to speak of: plain float64 values, constants (untyped
+// constants adapt to either operand), and anything routed through the
+// float64() escape hatch.
+func deriveDim(pass *Pass, e ast.Expr) (dimension, bool) {
+	e = ast.Unparen(e)
+	if isConstExpr(pass, e) {
+		return dimension{}, false
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.MUL, token.QUO:
+			ld, lok := deriveDim(pass, x.X)
+			rd, rok := deriveDim(pass, x.Y)
+			// A constant or dimensionless-typed factor scales without
+			// changing the dimension.
+			if !lok && isConstExpr(pass, x.X) {
+				ld, lok = dimless, true
+			}
+			if !rok && isConstExpr(pass, x.Y) {
+				rd, rok = dimless, true
+			}
+			if !lok || !rok {
+				return dimension{}, false
+			}
+			if x.Op == token.MUL {
+				return ld.mul(rd), true
+			}
+			return ld.div(rd), true
+		case token.ADD, token.SUB:
+			ld, lok := deriveDim(pass, x.X)
+			rd, rok := deriveDim(pass, x.Y)
+			if lok && rok && ld == rd {
+				return ld, true
+			}
+			return dimension{}, false
+		}
+		return dimension{}, false
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB || x.Op == token.ADD {
+			return deriveDim(pass, x.X)
+		}
+		return dimension{}, false
+	case *ast.CallExpr:
+		if len(x.Args) == 1 && pass.typeExprIsType(x.Fun) {
+			if d, ok := unitDimOf(pass.TypeOf(x.Fun)); ok {
+				return d, true
+			}
+			return dimension{}, false // float64(x) and friends: the escape hatch
+		}
+	}
+	if t := pass.TypeOf(e); t != nil {
+		return unitDimOf(t)
+	}
+	return dimension{}, false
+}
+
+// isConstExpr reports whether e is a compile-time constant.
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// magicScaleLit returns the power-of-ten exponent when e is a bare scale
+// literal (1e3, 1e6, 1e9, 1e-3, 1e-6, 1e-9), possibly parenthesized.
+func magicScaleLit(pass *Pass, e ast.Expr) (int, bool) {
+	e = ast.Unparen(e)
+	if _, ok := e.(*ast.BasicLit); !ok {
+		return 0, false
+	}
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	exp, ok := magicExp10[f]
+	return exp, ok
+}
+
+// containsMagicScaleLit reports whether a bare scale literal appears
+// anywhere inside e, returning the first one's exponent.
+func containsMagicScaleLit(pass *Pass, e ast.Expr) (int, bool) {
+	found, exp := false, 0
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := n.(ast.Expr); ok {
+			if x, ok := magicScaleLit(pass, lit); ok {
+				exp, found = x, true
+				return false
+			}
+		}
+		return true
+	})
+	return exp, found
+}
+
+// checkUnitBinary reports addition/subtraction/comparison of unlike
+// dimensions and bare scale literals multiplying a dimensioned value.
+func checkUnitBinary(pass *Pass, x *ast.BinaryExpr) {
+	switch x.Op {
+	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		ld, lok := deriveDim(pass, x.X)
+		rd, rok := deriveDim(pass, x.Y)
+		if !lok || !rok || ld == rd {
+			return
+		}
+		what := "mixes scales"
+		if !ld.sameBase(rd) {
+			what = "mixes dimensions"
+		}
+		pass.Reportf(x.OpPos, "%q %s: %s %s %s", x.Op, what, ld, x.Op, rd)
+	case token.MUL, token.QUO:
+		for _, pair := range [2][2]ast.Expr{{x.X, x.Y}, {x.Y, x.X}} {
+			lit, other := pair[0], pair[1]
+			exp, ok := magicScaleLit(pass, lit)
+			if !ok {
+				continue
+			}
+			if d, ok := deriveDim(pass, other); ok {
+				pass.Reportf(lit.Pos(),
+					"bare scale literal 1e%d rescales a dimensioned value (%s); use a units helper (MHz, GHz, Sec, Nanos, Micros)",
+					exp, d)
+				return
+			}
+		}
+	}
+}
+
+// checkUnitConversion reports conversions to a units type that change the
+// operand's dimension or scale, and conversions whose operand hides a bare
+// scale literal (units.Hertz(mhz * 1e6)).
+func checkUnitConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 || !pass.typeExprIsType(call.Fun) {
+		return
+	}
+	target := pass.TypeOf(call.Fun)
+	td, ok := unitDimOf(target)
+	if !ok {
+		return // float64(x) and other non-units targets: the escape hatch
+	}
+	arg := call.Args[0]
+	if isConstExpr(pass, arg) {
+		return // units.Seconds(10): seeding a dimension onto a pure number
+	}
+	name := "units." + target.(*types.Named).Obj().Name()
+	if ad, ok := deriveDim(pass, arg); ok {
+		switch {
+		case ad == td:
+			return // redundant but harmless re-assertion of the same unit
+		case !ad.sameBase(td):
+			pass.Reportf(call.Pos(),
+				"cross-dimension conversion %s(%s): %s → %s; convert through float64() if the relabeling is intentional",
+				name, render(arg), ad, td)
+		default:
+			pass.Reportf(call.Pos(),
+				"conversion %s(%s) changes scale (%s → %s) outside the blessed helpers; use Sec/Nanos/MHz",
+				name, render(arg), ad, td)
+		}
+		return
+	}
+	if exp, ok := containsMagicScaleLit(pass, arg); ok {
+		pass.Reportf(call.Pos(),
+			"scale literal 1e%d inside conversion to %s; use a blessed helper (units.MHz, units.GHz, NanosToSec, …)",
+			exp, name)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"pasp/internal/mpi"
 	"pasp/internal/power"
 	"pasp/internal/simnet"
+	"pasp/internal/units"
 )
 
 // Platform bundles the hardware models of one cluster type.
@@ -62,7 +63,7 @@ func (p Platform) World(n int, mhz float64) (mpi.World, error) {
 	if n < 1 || n > p.MaxNodes {
 		return mpi.World{}, fmt.Errorf("cluster: %d nodes outside [1, %d]", n, p.MaxNodes)
 	}
-	st, err := p.Prof.StateAt(mhz * power.MHz)
+	st, err := p.Prof.StateAt(units.MHz(mhz))
 	if err != nil {
 		return mpi.World{}, err
 	}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pasp/internal/units"
+)
+
+// benchSink keeps the compiler from optimizing the benchmarked call away.
+var benchSink float64
+
+// benchTerms is a representative Eq. 11 decomposition: mostly parallel
+// ON-chip work with small serial and overhead components, the shape the
+// sweep experiments evaluate millions of times.
+var benchTerms = Terms{
+	SeqOn:  2,
+	SeqOff: 1,
+	ParOn:  80,
+	ParOff: 10,
+	POOn:   func(n int) float64 { return 0.05 * float64(n) },
+	POOff:  func(n int) float64 { return 0.02 * float64(n) },
+}
+
+// rawTermsTime is Terms.Time transliterated to take a plain float64
+// frequency ratio: identical validation and arithmetic, no units.Ratio in
+// the signature. BenchmarkTermsTime runs both; the typed wrapper is a
+// named float64, so the two must be indistinguishable beyond noise.
+func rawTermsTime(t Terms, n int, rf float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("core: N = %d", n)
+	}
+	if math.IsNaN(rf) || rf <= 0 {
+		return 0, fmt.Errorf("core: frequency ratio %g not positive", rf)
+	}
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	on, off := t.poOn(n), t.poOff(n)
+	if math.IsNaN(on) || math.IsInf(on, 0) || on < 0 ||
+		math.IsNaN(off) || math.IsInf(off, 0) || off < 0 {
+		return 0, fmt.Errorf("core: overhead (%g, %g) at N=%d is not a finite non-negative time", on, off, n)
+	}
+	fn := float64(n)
+	sec := (t.SeqOn+t.ParOn/fn)/rf + t.SeqOff + t.ParOff/fn + on/rf + off
+	if math.IsNaN(sec) || math.IsInf(sec, 0) {
+		return 0, fmt.Errorf("core: non-finite time %g at N=%d r=%g", sec, n, rf)
+	}
+	return sec, nil
+}
+
+// BenchmarkTermsTime measures the Eq. 11 hot path with the typed
+// units.Ratio parameter against the raw-float64 transliteration:
+//
+//	go test -bench BenchmarkTermsTime -count 5 ./internal/core
+func BenchmarkTermsTime(b *testing.B) {
+	r := units.MHz(600).Per(units.MHz(1400))
+	b.Run("typed-ratio", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sec, err := benchTerms.Time(16, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = sec
+		}
+	})
+	b.Run("raw-float64", func(b *testing.B) {
+		rf := float64(r)
+		for i := 0; i < b.N; i++ {
+			sec, err := rawTermsTime(benchTerms, 16, rf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = sec
+		}
+	})
+}
+
+// TestTypedRatioMatchesRawFloat pins the benchmark's premise: the typed
+// and raw paths compute bit-identical times.
+func TestTypedRatioMatchesRawFloat(t *testing.T) {
+	for _, n := range []int{1, 2, 16, 64} {
+		for _, rf := range []float64{600.0 / 1400.0, 1, 2.5} {
+			typed, err := benchTerms.Time(n, units.Ratio(rf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := rawTermsTime(benchTerms, n, rf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if typed != raw {
+				t.Errorf("N=%d r=%g: typed %v ≠ raw %v", n, rf, typed, raw)
+			}
+		}
+	}
+}

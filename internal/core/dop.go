@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"pasp/internal/units"
 )
 
 // DOPClass is the execution time, at the reference point (1 processor,
@@ -67,12 +69,13 @@ func speedupFactor(i, n int) float64 {
 }
 
 // Time evaluates Eq. 9 on n processors at frequency ratio r = f/f0.
-func (d DOP) Time(n int, r float64) (float64, error) {
+func (d DOP) Time(n int, r units.Ratio) (float64, error) {
 	if n < 1 {
 		return 0, fmt.Errorf("core: N = %d", n)
 	}
-	if r <= 0 {
-		return 0, fmt.Errorf("core: frequency ratio %g", r)
+	rf := float64(r)
+	if rf <= 0 {
+		return 0, fmt.Errorf("core: frequency ratio %g", rf)
 	}
 	if err := d.Validate(); err != nil {
 		return 0, err
@@ -80,11 +83,11 @@ func (d DOP) Time(n int, r float64) (float64, error) {
 	t := 0.0
 	for i, c := range d.Classes {
 		s := speedupFactor(i, n)
-		t += c.OnSec/(r*s) + c.OffSec/s
+		t += c.OnSec/(rf*s) + c.OffSec/s
 	}
 	if n > 1 {
 		if d.POOn != nil {
-			t += d.POOn(n) / r
+			t += d.POOn(n) / rf
 		}
 		if d.POOff != nil {
 			t += d.POOff(n)
@@ -94,7 +97,7 @@ func (d DOP) Time(n int, r float64) (float64, error) {
 }
 
 // Speedup evaluates Eq. 10: T(1, f0) / T(n, f).
-func (d DOP) Speedup(n int, r float64) (float64, error) {
+func (d DOP) Speedup(n int, r units.Ratio) (float64, error) {
 	t1, err := d.Time(1, 1)
 	if err != nil {
 		return 0, err
@@ -175,9 +178,10 @@ func UniformDOP(m int, onSec, offSec float64) (DOP, error) {
 // SpeedupBound returns the asymptotic speedup of the decomposition at
 // frequency ratio r as n → ∞ (overhead excluded): every class limited by
 // its own DOP.
-func (d DOP) SpeedupBound(r float64) (float64, error) {
-	if r <= 0 {
-		return 0, fmt.Errorf("core: frequency ratio %g not positive", r)
+func (d DOP) SpeedupBound(r units.Ratio) (float64, error) {
+	rf := float64(r)
+	if rf <= 0 {
+		return 0, fmt.Errorf("core: frequency ratio %g not positive", rf)
 	}
 	if err := d.Validate(); err != nil {
 		return 0, err
@@ -188,7 +192,7 @@ func (d DOP) SpeedupBound(r float64) (float64, error) {
 	}
 	tInf := 0.0
 	for i, c := range d.Classes {
-		tInf += c.OnSec/(r*float64(i)) + c.OffSec/float64(i)
+		tInf += c.OnSec/(rf*float64(i)) + c.OffSec/float64(i)
 	}
 	if tInf == 0 {
 		return math.Inf(1), nil

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"pasp/internal/stats"
+	"pasp/internal/units"
 )
 
 func TestDOPValidate(t *testing.T) {
@@ -54,7 +55,7 @@ func TestDOPMatchesTermsOnTwoClasses(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, n := range []int{1, 2, 8, 16} {
-		for _, r := range []float64{1, 2, 7.0 / 3} {
+		for _, r := range []units.Ratio{1, 2, 7.0 / 3} {
 			a, err := d.Time(n, r)
 			if err != nil {
 				t.Fatal(err)
@@ -64,7 +65,7 @@ func TestDOPMatchesTermsOnTwoClasses(t *testing.T) {
 				t.Fatal(err)
 			}
 			if !stats.AlmostEqual(a, b, 1e-12) {
-				t.Errorf("N=%d r=%g: Eq.9 %g ≠ Eq.11 %g", n, r, a, b)
+				t.Errorf("N=%d r=%g: Eq.9 %g ≠ Eq.11 %g", n, float64(r), a, b)
 			}
 		}
 	}
@@ -174,13 +175,13 @@ func TestDOPSpeedupMonotoneBoundedProperty(t *testing.T) {
 		if a > b {
 			a, b = b, a
 		}
-		r := 1 + float64(rRaw)/192
+		r := units.Ratio(1 + float64(rRaw)/192)
 		sa, err1 := d.Speedup(a, r)
 		sb, err2 := d.Speedup(b, r)
 		if err1 != nil || err2 != nil {
 			return false
 		}
-		return sa <= sb+1e-9 && sb <= float64(b)*r+1e-9
+		return sa <= sb+1e-9 && sb <= float64(b)*float64(r)+1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pasp/internal/power"
+	"pasp/internal/units"
 )
 
 // PredictEnergy estimates the cluster energy of a run from a predicted
@@ -14,7 +15,7 @@ import (
 //
 // Combined with a time model (SP or FP), this is how the paper predicts
 // "the power-aware performance and energy-delay products ... within 7%".
-func PredictEnergy(prof power.Profile, st power.PState, n int, seconds, util float64) (float64, error) {
+func PredictEnergy(prof power.Profile, st power.PState, n int, seconds units.Seconds, util float64) (units.Joules, error) {
 	if n < 1 {
 		return 0, fmt.Errorf("core: N = %d", n)
 	}
@@ -24,11 +25,11 @@ func PredictEnergy(prof power.Profile, st power.PState, n int, seconds, util flo
 	if util < 0 || util > 1 {
 		return 0, fmt.Errorf("core: utilization %g outside [0,1]", util)
 	}
-	return float64(n) * prof.NodePower(st, util) * seconds, nil
+	return prof.NodePower(st, util).Energy(seconds).Times(float64(n)), nil
 }
 
 // PredictEDP estimates the energy-delay product from a predicted time.
-func PredictEDP(prof power.Profile, st power.PState, n int, seconds, util float64) (float64, error) {
+func PredictEDP(prof power.Profile, st power.PState, n int, seconds units.Seconds, util float64) (float64, error) {
 	e, err := PredictEnergy(prof, st, n, seconds, util)
 	if err != nil {
 		return 0, err

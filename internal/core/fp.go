@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pasp/internal/machine"
+	"pasp/internal/units"
 )
 
 // FP is the fine-grain parameterization of Section 5.2. Instead of
@@ -20,13 +21,13 @@ import (
 type FP struct {
 	// Work is the per-level instruction mix of the whole program (Step 1).
 	Work machine.Work
-	// SecPerIns maps frequency (MHz) to the measured seconds per
-	// instruction at each level (Step 2).
-	SecPerIns map[float64][machine.NumLevels]float64
+	// SecPerIns maps frequency (MHz) to the measured time per instruction
+	// at each level (Step 2).
+	SecPerIns map[float64][machine.NumLevels]units.Seconds
 	// CommSec maps processor count, then frequency (MHz), to the total
 	// communication time of the run: profiled message count × measured
 	// per-message time (Step 2).
-	CommSec map[int]map[float64]float64
+	CommSec map[int]map[float64]units.Seconds
 }
 
 // Validate reports an error for a model missing its required parameters.
@@ -53,21 +54,21 @@ func (f *FP) Validate() error {
 // PredictT1 evaluates Eq. 14: the sequential execution time as the dot
 // product of the per-level workload and the per-level seconds per
 // instruction at the given frequency.
-func (f *FP) PredictT1(mhz float64) (float64, error) {
+func (f *FP) PredictT1(mhz float64) (units.Seconds, error) {
 	sec, ok := f.SecPerIns[mhz]
 	if !ok {
 		return 0, fmt.Errorf("core: FP has no level timings at %g MHz", mhz)
 	}
-	t := 0.0
+	t := units.Seconds(0)
 	for l := machine.Reg; l < machine.NumLevels; l++ {
-		t += f.Work.Ops[l] * sec[l]
+		t += sec[l].Times(f.Work.Ops[l])
 	}
 	return t, nil
 }
 
 // PredictTime evaluates Eq. 15: the fully-parallelized sequential time plus
 // the measured communication time for this processor count and frequency.
-func (f *FP) PredictTime(n int, mhz float64) (float64, error) {
+func (f *FP) PredictTime(n int, mhz float64) (units.Seconds, error) {
 	if n < 1 {
 		return 0, fmt.Errorf("core: N = %d", n)
 	}
@@ -75,7 +76,7 @@ func (f *FP) PredictTime(n int, mhz float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	comm := 0.0
+	comm := units.Seconds(0)
 	if n > 1 {
 		byN, ok := f.CommSec[n]
 		if !ok {
@@ -86,7 +87,7 @@ func (f *FP) PredictTime(n int, mhz float64) (float64, error) {
 			return 0, fmt.Errorf("core: FP has no communication time for N=%d at %g MHz", n, mhz)
 		}
 	}
-	return t1/float64(n) + comm, nil
+	return t1.Div(float64(n)) + comm, nil
 }
 
 // PredictSpeedup predicts power-aware speedup relative to the model's own
@@ -103,5 +104,6 @@ func (f *FP) PredictSpeedup(n int, mhz, baseMHz float64) (float64, error) {
 	if tn <= 0 {
 		return 0, fmt.Errorf("core: FP predicted non-positive time")
 	}
-	return t1 / tn, nil
+	//palint:ignore floatdiv guarded: tn <= 0 returns above
+	return float64(t1) / float64(tn), nil
 }

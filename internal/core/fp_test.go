@@ -5,18 +5,19 @@ import (
 
 	"pasp/internal/machine"
 	"pasp/internal/stats"
+	"pasp/internal/units"
 )
 
 // table6SecPerIns builds the per-level timing table of the paper's Table 6
 // for a blended CPION of 2.19 cycles... here split per level using the
 // PentiumM machine model's published values.
-func table6SecPerIns() map[float64][machine.NumLevels]float64 {
+func table6SecPerIns() map[float64][machine.NumLevels]units.Seconds {
 	m := machine.PentiumM()
-	out := map[float64][machine.NumLevels]float64{}
+	out := map[float64][machine.NumLevels]units.Seconds{}
 	for _, mhz := range []float64{600, 800, 1000, 1200, 1400} {
-		var sec [machine.NumLevels]float64
+		var sec [machine.NumLevels]units.Seconds
 		for l := machine.Reg; l < machine.NumLevels; l++ {
-			sec[l] = m.SecPerIns(l, mhz*1e6)
+			sec[l] = m.SecPerIns(l, units.MHz(mhz))
 		}
 		out[mhz] = sec
 	}
@@ -27,7 +28,7 @@ func testFP() *FP {
 	return &FP{
 		Work:      machine.W(145e9, 175e9, 4.71e9, 3.97e9), // Table 5
 		SecPerIns: table6SecPerIns(),
-		CommSec: map[int]map[float64]float64{
+		CommSec: map[int]map[float64]units.Seconds{
 			2: {600: 8, 800: 7, 1000: 7, 1200: 7, 1400: 7},
 			4: {600: 6, 800: 5, 1000: 5, 1200: 5, 1400: 5},
 		},
@@ -57,13 +58,13 @@ func TestFPPredictT1Eq14(t *testing.T) {
 	// Hand-evaluated dot product at 600 MHz: reg 1 cyc, L1 3 cyc, L2 9 cyc,
 	// mem 140 ns.
 	want := 145e9*(1.0/600e6) + 175e9*(3.0/600e6) + 4.71e9*(9.0/600e6) + 3.97e9*140e-9
-	if !stats.AlmostEqual(got, want, 1e-9) {
-		t.Errorf("T1(600) = %g, want %g", got, want)
+	if !stats.AlmostEqual(float64(got), want, 1e-9) {
+		t.Errorf("T1(600) = %g, want %g", float64(got), want)
 	}
 	// Frequency scaling is sublinear because the memory term is flat.
 	fast, _ := fp.PredictT1(1400)
-	if ratio := got / fast; ratio >= 1400.0/600 || ratio <= 1 {
-		t.Errorf("T1 ratio %g not in (1, 2.33)", ratio)
+	if ratio := got / fast; float64(ratio) >= 1400.0/600 || ratio <= 1 {
+		t.Errorf("T1 ratio %g not in (1, 2.33)", float64(ratio))
 	}
 }
 
@@ -74,8 +75,9 @@ func TestFPPredictTimeEq15(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !stats.AlmostEqual(got, t1/4+5, 1e-9) {
-		t.Errorf("T(4,800) = %g, want %g", got, t1/4+5)
+	want := t1.Div(4) + 5
+	if !stats.AlmostEqual(float64(got), float64(want), 1e-9) {
+		t.Errorf("T(4,800) = %g, want %g", float64(got), float64(want))
 	}
 	// N=1 needs no communication profile.
 	if _, err := fp.PredictTime(1, 800); err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"pasp/internal/units"
 	"testing"
 )
 
@@ -31,7 +32,7 @@ func FuzzTermsTime(f *testing.F) {
 	f.Add(1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 2, -1.0)
 	f.Fuzz(func(t *testing.T, seqOn, seqOff, parOn, parOff, poOn, poOff float64, n int, r float64) {
 		tm := fuzzTerms(seqOn, seqOff, parOn, parOff, poOn, poOff)
-		sec, err := tm.Time(n, r)
+		sec, err := tm.Time(n, units.Ratio(r))
 		if err != nil {
 			if sec != 0 {
 				t.Fatalf("Time(%d, %g) = (%g, %v): non-zero value alongside an error", n, r, sec, err)
@@ -55,7 +56,7 @@ func FuzzTermsSpeedup(f *testing.F) {
 	f.Add(1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0, 1.0)
 	f.Fuzz(func(t *testing.T, seqOn, seqOff, parOn, parOff, poOn, poOff float64, n int, r float64) {
 		tm := fuzzTerms(seqOn, seqOff, parOn, parOff, poOn, poOff)
-		s, err := tm.Speedup(n, r)
+		s, err := tm.Speedup(n, units.Ratio(r))
 		if err != nil {
 			if s != 0 {
 				t.Fatalf("Speedup(%d, %g) = (%g, %v): non-zero value alongside an error", n, r, s, err)

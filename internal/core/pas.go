@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"pasp/internal/units"
 )
 
 // Terms is the execution-time decomposition of the paper's Eq. 11,
@@ -53,12 +55,13 @@ func (t Terms) poOff(n int) float64 {
 
 // Time evaluates Eq. 11's denominator: the execution time on n processors
 // at frequency ratio r = f/f0.
-func (t Terms) Time(n int, r float64) (float64, error) {
+func (t Terms) Time(n int, r units.Ratio) (float64, error) {
 	if n < 1 {
 		return 0, fmt.Errorf("core: N = %d", n)
 	}
-	if math.IsNaN(r) || r <= 0 {
-		return 0, fmt.Errorf("core: frequency ratio %g not positive", r)
+	rf := float64(r)
+	if math.IsNaN(rf) || rf <= 0 {
+		return 0, fmt.Errorf("core: frequency ratio %g not positive", rf)
 	}
 	if err := t.Validate(); err != nil {
 		return 0, err
@@ -69,16 +72,16 @@ func (t Terms) Time(n int, r float64) (float64, error) {
 		return 0, fmt.Errorf("core: overhead (%g, %g) at N=%d is not a finite non-negative time", on, off, n)
 	}
 	fn := float64(n)
-	sec := (t.SeqOn+t.ParOn/fn)/r + t.SeqOff + t.ParOff/fn + on/r + off
+	sec := (t.SeqOn+t.ParOn/fn)/rf + t.SeqOff + t.ParOff/fn + on/rf + off
 	if math.IsNaN(sec) || math.IsInf(sec, 0) {
-		return 0, fmt.Errorf("core: non-finite time %g at N=%d r=%g", sec, n, r)
+		return 0, fmt.Errorf("core: non-finite time %g at N=%d r=%g", sec, n, rf)
 	}
 	return sec, nil
 }
 
 // Speedup evaluates the power-aware speedup of Eq. 11: the base sequential
 // time divided by Time(n, r).
-func (t Terms) Speedup(n int, r float64) (float64, error) {
+func (t Terms) Speedup(n int, r units.Ratio) (float64, error) {
 	t1, err := t.Time(1, 1)
 	if err != nil {
 		return 0, err
@@ -92,7 +95,7 @@ func (t Terms) Speedup(n int, r float64) (float64, error) {
 	}
 	s := t1 / tn
 	if math.IsNaN(s) || math.IsInf(s, 0) {
-		return 0, fmt.Errorf("core: non-finite speedup %g at N=%d r=%g", s, n, r)
+		return 0, fmt.Errorf("core: non-finite speedup %g at N=%d r=%g", s, n, float64(r))
 	}
 	return s, nil
 }
@@ -100,11 +103,11 @@ func (t Terms) Speedup(n int, r float64) (float64, error) {
 // EPSpeedup is the closed form of Eq. 12, valid for a fully parallelizable
 // ON-chip-only workload with no overhead (the EP benchmark): the speedup is
 // the plain product N·(f/f0).
-func EPSpeedup(n int, r float64) (float64, error) {
+func EPSpeedup(n int, r units.Ratio) (float64, error) {
 	if n < 1 || r <= 0 {
-		return 0, fmt.Errorf("core: EPSpeedup(%d, %g)", n, r)
+		return 0, fmt.Errorf("core: EPSpeedup(%d, %g)", n, float64(r))
 	}
-	return float64(n) * r, nil
+	return float64(n) * float64(r), nil
 }
 
 // FTTerms builds the Eq. 13 special case: a fully parallelizable mixed

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"pasp/internal/stats"
+	"pasp/internal/units"
 )
 
 func TestTermsEq12Reduction(t *testing.T) {
@@ -12,14 +13,14 @@ func TestTermsEq12Reduction(t *testing.T) {
 	// Eq. 11 to Eq. 12: S = N·(f/f0).
 	terms := Terms{ParOn: 100}
 	for _, n := range []int{1, 2, 8, 16} {
-		for _, r := range []float64{1, 4.0 / 3, 2, 7.0 / 3} {
+		for _, r := range []units.Ratio{1, 4.0 / 3, 2, 7.0 / 3} {
 			s, err := terms.Speedup(n, r)
 			if err != nil {
 				t.Fatal(err)
 			}
 			want, _ := EPSpeedup(n, r)
 			if !stats.AlmostEqual(s, want, 1e-12) {
-				t.Errorf("N=%d r=%g: Eq.11 %g ≠ Eq.12 %g", n, r, s, want)
+				t.Errorf("N=%d r=%g: Eq.11 %g ≠ Eq.12 %g", n, float64(r), s, want)
 			}
 		}
 	}
@@ -112,12 +113,12 @@ func TestSpeedupBoundedByIdealProperty(t *testing.T) {
 			ParOff: float64(parOff),
 		}
 		n := int(nRaw)%16 + 1
-		r := 1 + float64(rRaw)/128
+		r := units.Ratio(1 + float64(rRaw)/128)
 		s, err := terms.Speedup(n, r)
 		if err != nil {
 			return false
 		}
-		return s <= float64(n)*r+1e-9
+		return s <= float64(n)*float64(r)+1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -130,8 +131,8 @@ func TestSpeedupMonotoneInFrequencyProperty(t *testing.T) {
 		POOff: func(n int) float64 { return 0.5 * float64(n) }}
 	f := func(nRaw, aRaw, bRaw uint8) bool {
 		n := int(nRaw)%16 + 1
-		ra := 1 + float64(aRaw)/200
-		rb := 1 + float64(bRaw)/200
+		ra := units.Ratio(1 + float64(aRaw)/200)
+		rb := units.Ratio(1 + float64(bRaw)/200)
 		if ra > rb {
 			ra, rb = rb, ra
 		}

@@ -17,7 +17,7 @@ func energized() *Measurements {
 			st := prof.States[i]
 			t := 100*(600/mhz)/float64(n) + 2*float64(n) // compute + overhead
 			m.SetTime(n, mhz, t)
-			m.SetEnergy(n, mhz, float64(n)*prof.NodePower(st, 1)*t)
+			m.SetEnergy(n, mhz, float64(n)*float64(prof.NodePower(st, 1))*t)
 		}
 	}
 	return m
@@ -140,16 +140,16 @@ func TestPredictEnergyAndEDP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := 4 * prof.NodePower(st, 1) * 10
-	if !stats.AlmostEqual(e, want, 1e-12) {
-		t.Errorf("energy %g, want %g", e, want)
+	want := 4 * float64(prof.NodePower(st, 1)) * 10
+	if !stats.AlmostEqual(float64(e), want, 1e-12) {
+		t.Errorf("energy %g, want %g", float64(e), want)
 	}
 	edp, err := PredictEDP(prof, st, 4, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !stats.AlmostEqual(edp, e*10, 1e-12) {
-		t.Errorf("EDP %g, want %g", edp, e*10)
+	if !stats.AlmostEqual(edp, float64(e)*10, 1e-12) {
+		t.Errorf("EDP %g, want %g", edp, float64(e)*10)
 	}
 	if _, err := PredictEnergy(prof, st, 0, 1, 1); err == nil {
 		t.Error("N=0 accepted")

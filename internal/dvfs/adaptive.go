@@ -6,6 +6,7 @@ import (
 
 	"pasp/internal/mpi"
 	"pasp/internal/power"
+	"pasp/internal/units"
 )
 
 // Adaptive is an online per-phase gear tuner: with no offline model or
@@ -24,7 +25,7 @@ type Adaptive struct {
 	// Prof supplies the operating points and the power law.
 	Prof power.Profile
 	// SwitchSec is the gear-transition stall.
-	SwitchSec float64
+	SwitchSec units.Seconds
 	// Explore is how many visits each gear gets per phase before the tuner
 	// commits; 0 selects 2.
 	Explore int
@@ -98,8 +99,8 @@ func (a *Adaptive) pick(ps *phaseStats) int {
 	}
 	best, bestEDP := len(a.Prof.States)-1, -1.0
 	for g, st := range a.Prof.States {
-		mean := ps.total[g] / float64(ps.visits[g])
-		edp := a.Prof.NodePower(st, 1) * mean * mean
+		mean := units.Seconds(ps.total[g] / float64(ps.visits[g]))
+		edp := power.EDP(a.Prof.NodePower(st, 1).Energy(mean), mean)
 		if bestEDP < 0 || edp < bestEDP {
 			bestEDP, best = edp, g
 		}
@@ -187,9 +188,9 @@ func CompareAdaptive(w mpi.World, a *Adaptive, run func(w mpi.World) (*mpi.Resul
 		return Comparison{}, nil, fmt.Errorf("dvfs: adaptive: %w", err)
 	}
 	return Comparison{
-		BaselineSec:     baseRes.Seconds,
-		BaselineJoules:  baseRes.Joules,
-		ScheduledSec:    schedRes.Seconds,
-		ScheduledJoules: schedRes.Joules,
+		BaselineSec:     units.Seconds(baseRes.Seconds),
+		BaselineJoules:  units.Joules(baseRes.Joules),
+		ScheduledSec:    units.Seconds(schedRes.Seconds),
+		ScheduledJoules: units.Joules(schedRes.Joules),
 	}, a.Chosen(0), nil
 }

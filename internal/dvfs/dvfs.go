@@ -17,6 +17,7 @@ import (
 
 	"pasp/internal/mpi"
 	"pasp/internal/power"
+	"pasp/internal/units"
 )
 
 // Policy is a static phase-to-gear schedule.
@@ -30,7 +31,7 @@ type Policy struct {
 	// CommPhases lists the phase labels scheduled at CommState.
 	CommPhases map[string]bool
 	// SwitchSec is the gear-transition stall applied by the runtime.
-	SwitchSec float64
+	SwitchSec units.Seconds
 }
 
 // Validate reports an error for an unusable policy.
@@ -73,9 +74,11 @@ func (p Policy) Apply(w mpi.World) (mpi.World, error) {
 // Comparison quantifies a policy against the all-top-gear baseline.
 type Comparison struct {
 	// BaselineSec/BaselineJoules are the fixed top-gear run's costs.
-	BaselineSec, BaselineJoules float64
+	BaselineSec    units.Seconds
+	BaselineJoules units.Joules
 	// ScheduledSec/ScheduledJoules are the policy run's costs.
-	ScheduledSec, ScheduledJoules float64
+	ScheduledSec    units.Seconds
+	ScheduledJoules units.Joules
 }
 
 // EnergySavings returns the fractional energy saved by the policy.
@@ -83,7 +86,8 @@ func (c Comparison) EnergySavings() float64 {
 	if c.BaselineJoules == 0 {
 		return 0
 	}
-	return 1 - c.ScheduledJoules/c.BaselineJoules
+	//palint:ignore floatdiv guarded: BaselineJoules == 0 returns above
+	return 1 - float64(c.ScheduledJoules)/float64(c.BaselineJoules)
 }
 
 // Slowdown returns the fractional execution-time increase of the policy.
@@ -91,14 +95,16 @@ func (c Comparison) Slowdown() float64 {
 	if c.BaselineSec == 0 {
 		return 0
 	}
-	return c.ScheduledSec/c.BaselineSec - 1
+	//palint:ignore floatdiv guarded: BaselineSec == 0 returns above
+	return float64(c.ScheduledSec)/float64(c.BaselineSec) - 1
 }
 
 // String summarizes the tradeoff.
 func (c Comparison) String() string {
 	return fmt.Sprintf("energy %.1f%% lower, execution time %.2f%% higher (%.2f s / %.0f J vs %.2f s / %.0f J)",
 		c.EnergySavings()*100, c.Slowdown()*100,
-		c.ScheduledSec, c.ScheduledJoules, c.BaselineSec, c.BaselineJoules)
+		float64(c.ScheduledSec), float64(c.ScheduledJoules),
+		float64(c.BaselineSec), float64(c.BaselineJoules))
 }
 
 // Compare runs the kernel twice on the given world — once pinned at the
@@ -124,10 +130,10 @@ func Compare(w mpi.World, p Policy, run func(w mpi.World) (*mpi.Result, error)) 
 		return Comparison{}, fmt.Errorf("dvfs: scheduled: %w", err)
 	}
 	return Comparison{
-		BaselineSec:     baseRes.Seconds,
-		BaselineJoules:  baseRes.Joules,
-		ScheduledSec:    schedRes.Seconds,
-		ScheduledJoules: schedRes.Joules,
+		BaselineSec:     units.Seconds(baseRes.Seconds),
+		BaselineJoules:  units.Joules(baseRes.Joules),
+		ScheduledSec:    units.Seconds(schedRes.Seconds),
+		ScheduledJoules: units.Joules(schedRes.Joules),
 	}, nil
 }
 
@@ -142,7 +148,7 @@ func FTPolicy(prof power.Profile) Policy {
 			"ft-alltoall": true,
 			"ft-checksum": true,
 		},
-		SwitchSec: 50e-6,
+		SwitchSec: units.MicrosToSec(50),
 	}
 }
 
@@ -158,6 +164,6 @@ func LUPolicy(prof power.Profile) Policy {
 			"lu-lower-ghost": true,
 			"lu-upper-ghost": true,
 		},
-		SwitchSec: 50e-6,
+		SwitchSec: units.MicrosToSec(50),
 	}
 }

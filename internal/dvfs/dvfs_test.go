@@ -181,8 +181,8 @@ func TestScheduledPowerProfileDips(t *testing.T) {
 	if len(profile) == 0 {
 		t.Fatal("empty power profile")
 	}
-	top := p.Prof.NodePower(p.Prof.TopState(), 1) * 4
-	low := p.Prof.NodePower(p.Prof.BaseState(), 1) * 4
+	top := float64(p.Prof.NodePower(p.Prof.TopState(), 1)) * 4
+	low := float64(p.Prof.NodePower(p.Prof.BaseState(), 1)) * 4
 	sawHigh, sawLow := false, false
 	for _, watts := range profile {
 		if watts > 0.95*top {

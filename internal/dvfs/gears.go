@@ -6,6 +6,7 @@ import (
 
 	"pasp/internal/mpi"
 	"pasp/internal/power"
+	"pasp/internal/units"
 )
 
 // GearPolicy is the general form of a phase schedule: any phase may run at
@@ -18,7 +19,7 @@ type GearPolicy struct {
 	// Phases maps phase labels to their gear.
 	Phases map[string]power.PState
 	// SwitchSec is the gear-transition stall applied by the runtime.
-	SwitchSec float64
+	SwitchSec units.Seconds
 }
 
 // Validate reports an error for an unusable policy.
@@ -96,10 +97,10 @@ func CompareGears(w mpi.World, p GearPolicy, run func(w mpi.World) (*mpi.Result,
 		return Comparison{}, fmt.Errorf("dvfs: scheduled: %w", err)
 	}
 	return Comparison{
-		BaselineSec:     baseRes.Seconds,
-		BaselineJoules:  baseRes.Joules,
-		ScheduledSec:    schedRes.Seconds,
-		ScheduledJoules: schedRes.Joules,
+		BaselineSec:     units.Seconds(baseRes.Seconds),
+		BaselineJoules:  units.Joules(baseRes.Joules),
+		ScheduledSec:    units.Seconds(schedRes.Seconds),
+		ScheduledJoules: units.Joules(schedRes.Joules),
 	}, nil
 }
 
@@ -113,8 +114,9 @@ type PhaseModel struct {
 }
 
 // Time returns the predicted phase time at a gear.
-func (m PhaseModel) Time(st power.PState) float64 {
-	t := m.FlatSec + m.ScaledSecMHz/(st.Freq/power.MHz)
+func (m PhaseModel) Time(st power.PState) units.Seconds {
+	//palint:ignore floatdiv MHz() of a validated P-state frequency is > 0
+	t := units.Seconds(m.FlatSec + m.ScaledSecMHz/st.Freq.MHz())
 	if t < 0 {
 		return 0
 	}
@@ -127,7 +129,7 @@ func (m PhaseModel) Time(st power.PState) float64 {
 // for a fully scaled phase the top gear wins (P ∝ V²f grows slower than
 // the T² delay shrinks); partially sensitive phases land on intermediate
 // gears — the schedule only a power-aware model can find.
-func OptimizeEDP(prof power.Profile, n int, phases map[string]PhaseModel, switchSec float64) (GearPolicy, error) {
+func OptimizeEDP(prof power.Profile, n int, phases map[string]PhaseModel, switchSec units.Seconds) (GearPolicy, error) {
 	if err := prof.Validate(); err != nil {
 		return GearPolicy{}, err
 	}
@@ -150,7 +152,7 @@ func OptimizeEDP(prof power.Profile, n int, phases map[string]PhaseModel, switch
 		bestEDP := -1.0
 		for _, st := range prof.States {
 			t := m.Time(st)
-			edp := float64(n) * prof.NodePower(st, 1) * t * t
+			edp := float64(n) * power.EDP(prof.NodePower(st, 1).Energy(t), t)
 			if bestEDP < 0 || edp < bestEDP {
 				bestEDP, best = edp, st
 			}

@@ -111,8 +111,8 @@ func TestCompareGearsImprovesEDP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseEDP := cmp.BaselineJoules * cmp.BaselineSec
-	schedEDP := cmp.ScheduledJoules * cmp.ScheduledSec
+	baseEDP := power.EDP(cmp.BaselineJoules, cmp.BaselineSec)
+	schedEDP := power.EDP(cmp.ScheduledJoules, cmp.ScheduledSec)
 	if schedEDP >= baseEDP {
 		t.Errorf("scheduled EDP %g not below baseline %g", schedEDP, baseEDP)
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"pasp/internal/core"
+	"pasp/internal/units"
 )
 
 // EDPResult holds the energy-delay prediction experiment for one kernel:
@@ -38,11 +39,11 @@ func (s Suite) EDPFrom(name string, camp *Campaign, ns []int, mhz []float64) (*E
 		if err != nil {
 			return 0, err
 		}
-		st, err := s.Platform.Prof.StateAt(f * 1e6)
+		st, err := s.Platform.Prof.StateAt(units.MHz(f))
 		if err != nil {
 			return 0, err
 		}
-		return core.PredictEDP(s.Platform.Prof, st, n, t, 1.0)
+		return core.PredictEDP(s.Platform.Prof, st, n, units.Seconds(t), 1.0)
 	}
 	measuredEDP := func(n int, f float64) (float64, error) {
 		return camp.Meas.EDP(n, f)
@@ -103,16 +104,16 @@ func (s Suite) SweetSpotFrom(camp *Campaign) (measured, predicted core.Candidate
 			if err != nil {
 				return core.Candidate{}, core.Candidate{}, err
 			}
-			st, err := s.Platform.Prof.StateAt(f * 1e6)
+			st, err := s.Platform.Prof.StateAt(units.MHz(f))
 			if err != nil {
 				return core.Candidate{}, core.Candidate{}, err
 			}
-			e, err := core.PredictEnergy(s.Platform.Prof, st, n, t, 1.0)
+			e, err := core.PredictEnergy(s.Platform.Prof, st, n, units.Seconds(t), 1.0)
 			if err != nil {
 				return core.Candidate{}, core.Candidate{}, err
 			}
 			predictedMeas.SetTime(n, f, t)
-			predictedMeas.SetEnergy(n, f, e)
+			predictedMeas.SetEnergy(n, f, float64(e))
 		}
 	}
 	predicted, err = core.SweetSpot(predictedMeas, core.MinEDP, 0)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"pasp/internal/core"
 	"pasp/internal/dvfs"
 	"pasp/internal/machine"
+	"pasp/internal/power"
 	"pasp/internal/stats"
 )
 
@@ -144,12 +146,12 @@ func TestTable6Shapes(t *testing.T) {
 		}
 	}
 	// Memory row: 140 ns at the 600 MHz gear, 110 ns at 1400.
-	if !stats.AlmostEqual(r.LevelNanos[0][machine.Mem], 140, 0.05) {
-		t.Errorf("mem ns at base = %g, want ≈ 140", r.LevelNanos[0][machine.Mem])
+	if !stats.AlmostEqual(float64(r.LevelNanos[0][machine.Mem]), 140, 0.05) {
+		t.Errorf("mem ns at base = %g, want ≈ 140", float64(r.LevelNanos[0][machine.Mem]))
 	}
 	last := len(r.MHz) - 1
-	if !stats.AlmostEqual(r.LevelNanos[last][machine.Mem], 110, 0.05) {
-		t.Errorf("mem ns at top = %g, want ≈ 110", r.LevelNanos[last][machine.Mem])
+	if !stats.AlmostEqual(float64(r.LevelNanos[last][machine.Mem]), 110, 0.05) {
+		t.Errorf("mem ns at top = %g, want ≈ 110", float64(r.LevelNanos[last][machine.Mem]))
 	}
 	// Communication: 310 doubles cost more than 155, and more at 600 MHz
 	// than at the top gear.
@@ -505,7 +507,7 @@ func TestEDPOptimalGears(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sched, base := cmp.ScheduledJoules*cmp.ScheduledSec, cmp.BaselineJoules*cmp.BaselineSec; sched >= base {
+	if sched, base := power.EDP(cmp.ScheduledJoules, cmp.ScheduledSec), power.EDP(cmp.BaselineJoules, cmp.BaselineSec); sched >= base {
 		t.Errorf("optimized EDP %g not below baseline %g", sched, base)
 	}
 }
@@ -669,7 +671,10 @@ func TestFPAppliedToFT(t *testing.T) {
 		if err != nil {
 			return 0, err
 		}
-		return t1 / tp, nil
+		if tp <= 0 {
+			return 0, fmt.Errorf("FP predicted non-positive time at N=%d f=%g", n, f)
+		}
+		return t1 / float64(tp), nil
 	}
 	grid, err := errorGridFrom("FT FP", s.Grid.Ns, s.Grid.MHz, predict, speedupOf(camp.Meas))
 	if err != nil {

@@ -9,8 +9,8 @@ import (
 	"pasp/internal/machine"
 	"pasp/internal/mpptest"
 	"pasp/internal/papi"
-	"pasp/internal/power"
 	"pasp/internal/table"
+	"pasp/internal/units"
 )
 
 // Table1 reproduces the paper's motivating example: predicting FT's
@@ -42,7 +42,7 @@ func (s Suite) Table2() string {
 	t := table.New("Table 2: operating points", "Frequency", "Supply voltage")
 	for i := len(s.Platform.Prof.States) - 1; i >= 0; i-- {
 		st := s.Platform.Prof.States[i]
-		t.AddRow(fmt.Sprintf("%.0fMHz", st.Freq/power.MHz), fmt.Sprintf("%.3fV", st.Voltage))
+		t.AddRow(fmt.Sprintf("%.0fMHz", st.Freq.MHz()), fmt.Sprintf("%.3fV", float64(st.Voltage)))
 	}
 	return t.String()
 }
@@ -127,7 +127,7 @@ type Table6Result struct {
 	MHz []float64
 	// LevelNanos[f][l] is the measured nanoseconds per instruction at each
 	// level (LMbench methodology).
-	LevelNanos [][machine.NumLevels]float64
+	LevelNanos [][machine.NumLevels]units.Nanos
 	// CPIOn[f] is the blended ON-chip CPI under the LU instruction mix.
 	CPIOn []float64
 	// CommSmall and CommLarge are the measured one-way message times in
@@ -147,7 +147,7 @@ func (r *Table6Result) String() string {
 	for l := machine.Reg; l < machine.NumLevels; l++ {
 		row := make([]float64, len(r.MHz))
 		for i := range r.MHz {
-			row[i] = r.LevelNanos[i][l]
+			row[i] = float64(r.LevelNanos[i][l])
 		}
 		t.AddFloats(l.String()+" (ns/ins)", "%.2f", row...)
 	}
@@ -166,19 +166,23 @@ func (s Suite) Table6() (*Table6Result, error) {
 	}
 	out := &Table6Result{MHz: s.Grid.MHz}
 	for _, mhz := range s.Grid.MHz {
-		ln, err := lmbench.LevelNanos(s.Platform.Mach, mhz*1e6)
+		ln, err := lmbench.LevelNanos(s.Platform.Mach, units.MHz(mhz))
 		if err != nil {
 			return nil, err
 		}
 		out.LevelNanos = append(out.LevelNanos, ln)
-		// Blended CPI over the ON-chip mix, from measured latencies.
+		// Blended CPI over the ON-chip mix, from measured latencies: the
+		// fraction-weighted ON-chip time per instruction, re-expressed in
+		// cycles at this gear.
 		onFr := t5.Work.Fractions()
 		onTotal := onFr[machine.Reg] + onFr[machine.L1] + onFr[machine.L2]
 		if onTotal <= 0 {
 			return nil, fmt.Errorf("experiments: workload has no ON-chip instructions to blend a CPI over")
 		}
-		cpi := (onFr[machine.Reg]*ln[machine.Reg] + onFr[machine.L1]*ln[machine.L1] +
-			onFr[machine.L2]*ln[machine.L2]) / onTotal * 1e-9 * (mhz * 1e6)
+		wns := ln[machine.Reg].Times(onFr[machine.Reg]) +
+			ln[machine.L1].Times(onFr[machine.L1]) +
+			ln[machine.L2].Times(onFr[machine.L2])
+		cpi := float64(units.MHz(mhz).CyclesIn(wns.Div(onTotal).Sec()))
 		out.CPIOn = append(out.CPIOn, cpi)
 
 		w2, err := s.Platform.World(2, mhz)
@@ -193,8 +197,8 @@ func (s Suite) Table6() (*Table6Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		out.CommSmall = append(out.CommSmall, small*1e6)
-		out.CommLarge = append(out.CommLarge, large*1e6)
+		out.CommSmall = append(out.CommSmall, small.Micros())
+		out.CommLarge = append(out.CommLarge, large.Micros())
 	}
 	return out, nil
 }
@@ -251,7 +255,8 @@ func (s Suite) Table7From(camp *Campaign) (*Table7Result, error) {
 		if tp <= 0 {
 			return 0, fmt.Errorf("experiments: FP predicted non-positive time at N=%d f=%g", n, f)
 		}
-		return t1 / tp, nil
+		//palint:ignore floatdiv guarded: tp <= 0 returns above
+		return t1 / float64(tp), nil
 	}
 	fpGrid, err := errorGridFrom("Table 7 (FP): LU speedup error, fine-grain parameterization",
 		s.LUGrid.Ns, s.LUGrid.MHz, fpPredict, speedupOf(camp.Meas))
@@ -287,17 +292,17 @@ func (s Suite) FitFP(camp *Campaign, grid cluster.Grid) (*core.FP, error) {
 	}
 	fp := &core.FP{
 		Work:      work,
-		SecPerIns: map[float64][machine.NumLevels]float64{},
-		CommSec:   map[int]map[float64]float64{},
+		SecPerIns: map[float64][machine.NumLevels]units.Seconds{},
+		CommSec:   map[int]map[float64]units.Seconds{},
 	}
 	for _, mhz := range grid.MHz {
-		ln, err := lmbench.LevelNanos(s.Platform.Mach, mhz*1e6)
+		ln, err := lmbench.LevelNanos(s.Platform.Mach, units.MHz(mhz))
 		if err != nil {
 			return nil, err
 		}
-		var sec [machine.NumLevels]float64
+		var sec [machine.NumLevels]units.Seconds
 		for l := range ln {
-			sec[l] = ln[l] * 1e-9
+			sec[l] = ln[l].Sec()
 		}
 		fp.SecPerIns[mhz] = sec
 	}
@@ -321,7 +326,7 @@ func (s Suite) FitFP(camp *Campaign, grid cluster.Grid) (*core.FP, error) {
 			return nil, fmt.Errorf("experiments: LU at N=%d sent no messages", n)
 		}
 		avg := bytes / msgs
-		fp.CommSec[n] = map[float64]float64{}
+		fp.CommSec[n] = map[float64]units.Seconds{}
 		for _, mhz := range grid.MHz {
 			w2, err := s.Platform.World(2, mhz)
 			if err != nil {
@@ -331,7 +336,7 @@ func (s Suite) FitFP(camp *Campaign, grid cluster.Grid) (*core.FP, error) {
 			if err != nil {
 				return nil, err
 			}
-			fp.CommSec[n][mhz] = float64(msgs) * per
+			fp.CommSec[n][mhz] = per.Times(float64(msgs))
 		}
 	}
 	if err := fp.Validate(); err != nil {

@@ -17,14 +17,15 @@ import (
 
 	"pasp/internal/cache"
 	"pasp/internal/machine"
+	"pasp/internal/units"
 )
 
 // Point is one working-set measurement.
 type Point struct {
 	// WSBytes is the working-set size.
 	WSBytes int
-	// Nanos is the measured average time per load in nanoseconds.
-	Nanos float64
+	// Nanos is the measured average time per load.
+	Nanos units.Nanos
 }
 
 // hierarchyFor builds a cache hierarchy matching the machine's geometry
@@ -36,10 +37,10 @@ func hierarchyFor(m machine.Config) (*cache.Hierarchy, error) {
 	)
 }
 
-// Latency measures the average nanoseconds per load of a pointer chase
-// over wsBytes at the given core frequency: one warm-up pass fills the
-// caches, then two measured passes run at one access per line.
-func Latency(m machine.Config, freq float64, wsBytes int) (float64, error) {
+// Latency measures the average time per load of a pointer chase over
+// wsBytes at the given core frequency: one warm-up pass fills the caches,
+// then two measured passes run at one access per line.
+func Latency(m machine.Config, freq units.Hertz, wsBytes int) (units.Nanos, error) {
 	if err := m.Validate(); err != nil {
 		return 0, err
 	}
@@ -51,7 +52,7 @@ func Latency(m machine.Config, freq float64, wsBytes int) (float64, error) {
 		return 0, err
 	}
 	lines := wsBytes / m.LineBytes
-	chase := func(count bool) (sec float64, loads int) {
+	chase := func(count bool) (sec units.Seconds, loads int) {
 		for i := 0; i < lines; i++ {
 			addr := uint64(i * m.LineBytes)
 			where := h.Access(addr)
@@ -71,7 +72,7 @@ func Latency(m machine.Config, freq float64, wsBytes int) (float64, error) {
 		return sec, loads
 	}
 	chase(false) // warm up
-	var total float64
+	var total units.Seconds
 	var loads int
 	for pass := 0; pass < 2; pass++ {
 		s, n := chase(true)
@@ -81,12 +82,12 @@ func Latency(m machine.Config, freq float64, wsBytes int) (float64, error) {
 	if loads == 0 {
 		return 0, fmt.Errorf("lmbench: pointer chase issued no loads")
 	}
-	return total / float64(loads) * 1e9, nil
+	return total.Div(float64(loads)).Nanos(), nil
 }
 
 // Sweep measures latency over a doubling working-set schedule from 1 KiB
 // to maxBytes.
-func Sweep(m machine.Config, freq float64, maxBytes int) ([]Point, error) {
+func Sweep(m machine.Config, freq units.Hertz, maxBytes int) ([]Point, error) {
 	var out []Point
 	for ws := 1 << 10; ws <= maxBytes; ws <<= 1 {
 		ns, err := Latency(m, freq, ws)
@@ -102,9 +103,9 @@ func Sweep(m machine.Config, freq float64, maxBytes int) ([]Point, error) {
 // memory level at the given frequency — the rows of Table 6. The register
 // cost is not observable by a memory-latency benchmark; as on real
 // hardware, it comes from the architecture manual (the machine config).
-func LevelNanos(m machine.Config, freq float64) ([machine.NumLevels]float64, error) {
-	var out [machine.NumLevels]float64
-	out[machine.Reg] = m.SecPerIns(machine.Reg, freq) * 1e9
+func LevelNanos(m machine.Config, freq units.Hertz) ([machine.NumLevels]units.Nanos, error) {
+	var out [machine.NumLevels]units.Nanos
+	out[machine.Reg] = m.SecPerIns(machine.Reg, freq).Nanos()
 	// Sample well inside each plateau: half of L1, the L2 region past 2×L1,
 	// and 4× L2 for memory.
 	l1, err := Latency(m, freq, m.L1Bytes/2)

@@ -5,24 +5,26 @@ import (
 
 	"pasp/internal/machine"
 	"pasp/internal/stats"
+	"pasp/internal/units"
 )
 
 func TestLatencyPlateaus(t *testing.T) {
 	m := machine.PentiumM()
-	f := 1000e6
+	f := units.GHz(1)
 	l1, err := Latency(m, f, m.L1Bytes/2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !stats.AlmostEqual(l1, m.SecPerIns(machine.L1, f)*1e9, 0.05) {
-		t.Errorf("L1 plateau %g ns, want ≈ %g ns", l1, m.SecPerIns(machine.L1, f)*1e9)
+	wantL1 := m.SecPerIns(machine.L1, f).Nanos()
+	if !stats.AlmostEqual(float64(l1), float64(wantL1), 0.05) {
+		t.Errorf("L1 plateau %g ns, want ≈ %g ns", float64(l1), float64(wantL1))
 	}
 	mem, err := Latency(m, f, 4*m.L2Bytes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !stats.AlmostEqual(mem, m.MemNanos(f), 0.05) {
-		t.Errorf("memory plateau %g ns, want ≈ %g ns", mem, m.MemNanos(f))
+	if !stats.AlmostEqual(float64(mem), float64(m.MemNanos(f)), 0.05) {
+		t.Errorf("memory plateau %g ns, want ≈ %g ns", float64(mem), float64(m.MemNanos(f)))
 	}
 }
 
@@ -41,8 +43,8 @@ func TestSweepMonotoneAcrossLevels(t *testing.T) {
 		}
 	}
 	// The last point (8 MB) must sit at memory latency, the first at L1.
-	if !stats.AlmostEqual(pts[len(pts)-1].Nanos, m.MemNanos(600e6), 0.05) {
-		t.Errorf("tail latency %g, want memory %g", pts[len(pts)-1].Nanos, m.MemNanos(600e6))
+	if !stats.AlmostEqual(float64(pts[len(pts)-1].Nanos), float64(m.MemNanos(600e6)), 0.05) {
+		t.Errorf("tail latency %g, want memory %g", float64(pts[len(pts)-1].Nanos), float64(m.MemNanos(600e6)))
 	}
 }
 
@@ -61,16 +63,16 @@ func TestLevelNanosTable6(t *testing.T) {
 	}
 	// ON-chip: halving comes from doubling the clock.
 	for _, l := range []machine.Level{machine.Reg, machine.L1, machine.L2} {
-		if !stats.AlmostEqual(at600[l], 2*at1200[l], 0.05) {
-			t.Errorf("%v: %g ns at 600 vs %g ns at 1200; want 2×", l, at600[l], at1200[l])
+		if !stats.AlmostEqual(float64(at600[l]), 2*float64(at1200[l]), 0.05) {
+			t.Errorf("%v: %g ns at 600 vs %g ns at 1200; want 2×", l, float64(at600[l]), float64(at1200[l]))
 		}
 	}
 	// OFF-chip: 140 ns at 600 MHz, 110 ns at 1200 MHz (bus drop).
-	if !stats.AlmostEqual(at600[machine.Mem], 140, 0.05) {
-		t.Errorf("mem at 600 MHz = %g ns, want ≈ 140", at600[machine.Mem])
+	if !stats.AlmostEqual(float64(at600[machine.Mem]), 140, 0.05) {
+		t.Errorf("mem at 600 MHz = %g ns, want ≈ 140", float64(at600[machine.Mem]))
 	}
-	if !stats.AlmostEqual(at1200[machine.Mem], 110, 0.05) {
-		t.Errorf("mem at 1200 MHz = %g ns, want ≈ 110", at1200[machine.Mem])
+	if !stats.AlmostEqual(float64(at1200[machine.Mem]), 110, 0.05) {
+		t.Errorf("mem at 1200 MHz = %g ns, want ≈ 110", float64(at1200[machine.Mem]))
 	}
 }
 

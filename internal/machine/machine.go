@@ -12,7 +12,11 @@
 // so a memory instruction costs 140 ns instead of 110 ns.
 package machine
 
-import "fmt"
+import (
+	"fmt"
+
+	"pasp/internal/units"
+)
 
 // Level identifies where an instruction's data resides at execution time.
 // Reg, L1 and L2 are ON-chip in the paper's terminology; Mem is OFF-chip.
@@ -58,16 +62,16 @@ type Config struct {
 	// instruction whose data resides at ON-chip level l. Cycles[Mem] is
 	// ignored: memory instructions are priced in wall-clock nanoseconds.
 	Cycles [NumLevels]float64
-	// MemNanosFast is the cost in nanoseconds of one OFF-chip (main-memory)
-	// instruction when the front-side bus runs at full speed.
-	MemNanosFast float64
-	// MemNanosSlow is the cost in nanoseconds of one OFF-chip instruction at
-	// the P-states below BusDropBelowHz, where the platform reduces the bus
-	// divider (the Table 6 effect: 140 ns vs 110 ns).
-	MemNanosSlow float64
+	// MemNanosFast is the cost of one OFF-chip (main-memory) instruction
+	// when the front-side bus runs at full speed.
+	MemNanosFast units.Nanos
+	// MemNanosSlow is the cost of one OFF-chip instruction at the P-states
+	// below BusDropBelowHz, where the platform reduces the bus divider (the
+	// Table 6 effect: 140 ns vs 110 ns).
+	MemNanosSlow units.Nanos
 	// BusDropBelowHz is the core frequency under which the slow bus timing
 	// applies. Set to 0 (with BusDrop true or false) to disable the effect.
-	BusDropBelowHz float64
+	BusDropBelowHz units.Hertz
 	// BusDrop enables the low-frequency bus-speed reduction. The paper
 	// observed it on the Pentium M platform; the ablation benchmark turns it
 	// off to quantify its contribution to prediction error.
@@ -97,7 +101,7 @@ func PentiumM() Config {
 		Cycles:         [NumLevels]float64{Reg: 1.0, L1: 3.0, L2: 9.0},
 		MemNanosFast:   110,
 		MemNanosSlow:   140,
-		BusDropBelowHz: 900e6,
+		BusDropBelowHz: units.MHz(900),
 		BusDrop:        true,
 		L1Bytes:        32 << 10,
 		L2Bytes:        1 << 20,
@@ -128,25 +132,22 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// MemNanos returns the wall-clock cost in nanoseconds of one OFF-chip
-// instruction at core frequency freq, applying the low-gear bus-speed drop
-// when enabled.
-func (c Config) MemNanos(freq float64) float64 {
+// MemNanos returns the wall-clock cost of one OFF-chip instruction at core
+// frequency freq, applying the low-gear bus-speed drop when enabled.
+func (c Config) MemNanos(freq units.Hertz) units.Nanos {
 	if c.BusDrop && freq < c.BusDropBelowHz {
 		return c.MemNanosSlow
 	}
 	return c.MemNanosFast
 }
 
-// SecPerIns returns the wall-clock seconds consumed by one instruction at
-// the given level and core frequency — the quantity Table 6 tabulates as
-// CPI/f.
-func (c Config) SecPerIns(l Level, freq float64) float64 {
+// SecPerIns returns the wall-clock time consumed by one instruction at the
+// given level and core frequency — the quantity Table 6 tabulates as CPI/f.
+func (c Config) SecPerIns(l Level, freq units.Hertz) units.Seconds {
 	if l == Mem {
-		return c.MemNanos(freq) * 1e-9
+		return c.MemNanos(freq).Sec()
 	}
-	//palint:ignore floatdiv freq is a validated P-state frequency (> 0 by Config.Validate); guarding the hot path would double-check every call
-	return c.Cycles[l] / freq
+	return units.Cycles(c.Cycles[l]).At(freq)
 }
 
 // LevelFor returns the cache level a working set of the given size (bytes)

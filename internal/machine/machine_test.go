@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"pasp/internal/stats"
+	"pasp/internal/units"
 )
 
 func TestPentiumMValid(t *testing.T) {
@@ -72,12 +73,12 @@ func TestSecPerInsTable6(t *testing.T) {
 		{1200, 1.83, 110},
 		{1400, 1.56, 110},
 	} {
-		f := tc.mhz * 1e6
-		on := cpi / f * 1e9
+		f := units.MHz(tc.mhz)
+		on := float64(units.Cycles(cpi).At(f).Nanos())
 		if !stats.AlmostEqual(on, tc.wantOn, 0.02) {
 			t.Errorf("%g MHz: sec/ON-ins = %.2f ns, want ≈ %.2f ns", tc.mhz, on, tc.wantOn)
 		}
-		if got := c.MemNanos(f); !stats.AlmostEqual(got, tc.wantMem, 1e-9) {
+		if got := float64(c.MemNanos(f)); !stats.AlmostEqual(got, tc.wantMem, 1e-9) {
 			t.Errorf("%g MHz: mem ns = %g, want %g", tc.mhz, got, tc.wantMem)
 		}
 	}
@@ -95,8 +96,8 @@ func TestTimeForEq6(t *testing.T) {
 	c := PentiumM()
 	// Pure register work: w instructions at 1 cycle each.
 	w := W(1e9, 0, 0, 0)
-	f := 1e9
-	if got := c.TimeFor(w, f); !stats.AlmostEqual(got, 1.0, 1e-12) {
+	f := units.GHz(1)
+	if got := c.TimeFor(w, f); !stats.AlmostEqual(float64(got), 1.0, 1e-12) {
 		t.Errorf("1e9 reg ins at 1GHz = %g s, want 1", got)
 	}
 	// Pure memory work is frequency-independent above the bus threshold.
@@ -107,7 +108,7 @@ func TestTimeForEq6(t *testing.T) {
 	// ON-chip time at 600 MHz is 1400/600 × the time at 1400 MHz.
 	on := W(1e8, 1e8, 1e7, 0)
 	ratio := c.TimeFor(on, 600e6) / c.TimeFor(on, 1400e6)
-	if !stats.AlmostEqual(ratio, 1400.0/600.0, 1e-9) {
+	if !stats.AlmostEqual(float64(ratio), 1400.0/600.0, 1e-9) {
 		t.Errorf("ON-chip frequency scaling ratio = %g, want %g", ratio, 1400.0/600.0)
 	}
 }
@@ -202,14 +203,14 @@ func TestBlendedCPIErrorOnNoOnChip(t *testing.T) {
 func TestTimeForAdditiveProperty(t *testing.T) {
 	c := PentiumM()
 	c.MemOverlap = 0
-	freqs := []float64{600e6, 800e6, 1000e6, 1200e6, 1400e6}
+	freqs := []units.Hertz{600e6, 800e6, 1000e6, 1200e6, 1400e6}
 	f := func(a, b [NumLevels]uint32, fi uint8) bool {
 		wa := W(float64(a[0]), float64(a[1]), float64(a[2]), float64(a[3]))
 		wb := W(float64(b[0]), float64(b[1]), float64(b[2]), float64(b[3]))
 		freq := freqs[int(fi)%len(freqs)]
 		lhs := c.TimeFor(wa.Add(wb), freq)
 		rhs := c.TimeFor(wa, freq) + c.TimeFor(wb, freq)
-		return stats.AlmostEqual(lhs, rhs, 1e-9)
+		return stats.AlmostEqual(float64(lhs), float64(rhs), 1e-9)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -220,7 +221,7 @@ func TestTimeForAdditiveProperty(t *testing.T) {
 // flat, on-chip time shrinks).
 func TestTimeMonotoneInFrequencyProperty(t *testing.T) {
 	c := PentiumM()
-	freqs := []float64{600e6, 800e6, 1000e6, 1200e6, 1400e6}
+	freqs := []units.Hertz{600e6, 800e6, 1000e6, 1200e6, 1400e6}
 	f := func(ops [NumLevels]uint32, i, j uint8) bool {
 		w := W(float64(ops[0]), float64(ops[1]), float64(ops[2]), float64(ops[3]))
 		a, b := int(i)%len(freqs), int(j)%len(freqs)
@@ -243,7 +244,7 @@ func TestTimeForZeroWork(t *testing.T) {
 func TestMemTimeFreqIndependentWithinRegime(t *testing.T) {
 	c := PentiumM()
 	w := W(0, 0, 0, 1e7)
-	if a, b := c.TimeFor(w, 600e6), c.TimeFor(w, 800e6); math.Abs(a-b) > 1e-15 {
+	if a, b := c.TimeFor(w, 600e6), c.TimeFor(w, 800e6); math.Abs(float64(a-b)) > 1e-15 {
 		t.Errorf("mem time differs within slow regime: %g vs %g", a, b)
 	}
 }

@@ -3,6 +3,8 @@ package machine
 import (
 	"fmt"
 	"math"
+
+	"pasp/internal/units"
 )
 
 // Work is an instruction mix: how many instructions execute with data at
@@ -76,19 +78,18 @@ func (w Work) Validate() error {
 	return nil
 }
 
-// TimeFor returns the wall-clock seconds the mix takes on one node at core
+// TimeFor returns the wall-clock time the mix takes on one node at core
 // frequency freq. ON-chip instructions cost Cycles[l]/freq; OFF-chip
 // instructions cost MemNanos(freq); a MemOverlap share of whichever side is
 // shorter is hidden by out-of-order execution. With MemOverlap = 0 this is
 // exactly the paper's additive Eq. 6.
-func (c Config) TimeFor(w Work, freq float64) float64 {
-	on := 0.0
+func (c Config) TimeFor(w Work, freq units.Hertz) units.Seconds {
+	on := units.Seconds(0)
 	for l := Reg; l <= L2; l++ {
-		//palint:ignore floatdiv freq is a validated P-state frequency (> 0 by Config.Validate); this is the model's hot inner loop
-		on += w.Ops[l] * c.Cycles[l] / freq
+		on += units.Cycles(w.Ops[l] * c.Cycles[l]).At(freq)
 	}
-	mem := w.Ops[Mem] * c.MemNanos(freq) * 1e-9
-	hidden := c.MemOverlap * math.Min(on, mem)
+	mem := c.MemNanos(freq).Sec().Times(w.Ops[Mem])
+	hidden := units.Seconds(c.MemOverlap * math.Min(float64(on), float64(mem)))
 	return on + mem - hidden
 }
 

@@ -143,7 +143,7 @@ func (c *Ctx) reduceCost(b int) float64 {
 	rounds := float64(log2ceil(n))
 	c.noteMsgs(log2ceil(n), b)
 	perRound := 2*net.CPUOverhead(b, c.Freq()) + net.LatencySec +
-		net.ContendedWireTime(b, n) + ReduceInsPerByte*float64(b)/c.Freq()
+		net.ContendedWireTime(b, n) + ReduceInsPerByte*float64(b)/c.hz()
 	return rounds * perRound
 }
 

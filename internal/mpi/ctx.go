@@ -7,6 +7,7 @@ import (
 	"pasp/internal/papi"
 	"pasp/internal/power"
 	"pasp/internal/trace"
+	"pasp/internal/units"
 )
 
 // Ctx is one rank's handle on the job: its identity, virtual clock,
@@ -54,9 +55,12 @@ func (c *Ctx) Size() int { return c.rt.w.N }
 // Now returns the rank's current virtual time in seconds.
 func (c *Ctx) Now() float64 { return c.clock }
 
-// Freq returns the core clock frequency in hertz of the node's current
-// P-state.
-func (c *Ctx) Freq() float64 { return c.state.Freq }
+// Freq returns the core clock frequency of the node's current P-state.
+func (c *Ctx) Freq() units.Hertz { return c.state.Freq }
+
+// hz returns the current frequency as a plain float64 for virtual-clock
+// arithmetic that divides instruction counts by it.
+func (c *Ctx) hz() float64 { return float64(c.state.Freq) }
 
 // State returns the node's current operating point.
 func (c *Ctx) State() power.PState { return c.state }
@@ -72,13 +76,13 @@ func (c *Ctx) SetPState(st power.PState) {
 	dt := c.rt.w.GearSwitchSec
 	if dt > 0 {
 		start := c.clock
-		c.clock += dt
+		c.clock += float64(dt)
 		// The transition is billed at the old gear's busy power: the PLL
 		// relock stalls the pipeline but the core stays powered.
 		_ = c.meter.Accumulate(c.state, 1, dt)
 		c.log.Append(trace.Event{Rank: c.rank, Phase: "dvfs-switch", Kind: trace.Comm, Start: start, End: c.clock,
-			Watts: c.rt.w.Prof.NodePower(c.state, 1)})
-		c.commSec += dt
+			Watts: float64(c.rt.w.Prof.NodePower(c.state, 1))})
+		c.commSec += float64(dt)
 	}
 	c.state = st
 }
@@ -112,14 +116,14 @@ func (c *Ctx) Compute(w machine.Work) error {
 	}
 	dt := c.rt.w.Mach.TimeFor(w, c.Freq())
 	start := c.clock
-	c.clock += dt
-	c.computeSec += dt
+	c.clock += float64(dt)
+	c.computeSec += float64(dt)
 	c.counters.AddWork(w)
 	if err := c.meter.Accumulate(c.state, 1, dt); err != nil {
 		return err
 	}
 	c.log.Append(trace.Event{Rank: c.rank, Phase: c.phase, Kind: trace.Compute, Start: start, End: c.clock,
-		Watts: c.rt.w.Prof.NodePower(c.state, 1)})
+		Watts: float64(c.rt.w.Prof.NodePower(c.state, 1))})
 	return nil
 }
 
@@ -133,11 +137,11 @@ func (c *Ctx) advanceComm(end float64) error {
 	start := c.clock
 	c.clock = end
 	c.commSec += dt
-	if err := c.meter.Accumulate(c.state, c.rt.w.PollUtil, dt); err != nil {
+	if err := c.meter.Accumulate(c.state, c.rt.w.PollUtil, units.Seconds(dt)); err != nil {
 		return err
 	}
 	c.log.Append(trace.Event{Rank: c.rank, Phase: c.phase, Kind: trace.Comm, Start: start, End: end,
-		Watts: c.rt.w.Prof.NodePower(c.state, c.rt.w.PollUtil)})
+		Watts: float64(c.rt.w.Prof.NodePower(c.state, c.rt.w.PollUtil))})
 	return nil
 }
 

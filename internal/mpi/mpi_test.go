@@ -12,11 +12,12 @@ import (
 	"pasp/internal/power"
 	"pasp/internal/simnet"
 	"pasp/internal/stats"
+	"pasp/internal/units"
 )
 
 func testWorld(n int, mhz float64) World {
 	prof := power.PentiumM()
-	st, err := prof.StateAt(mhz * 1e6)
+	st, err := prof.StateAt(units.MHz(mhz))
 	if err != nil {
 		panic(err)
 	}
@@ -50,7 +51,7 @@ func TestSingleRankCompute(t *testing.T) {
 	if got := res.Counters.Get(0); got != 6e8 { // TOT_INS
 		t.Errorf("TOT_INS = %g, want 6e8", got)
 	}
-	wantJ := w.Prof.NodePower(w.State, 1) * 1.0
+	wantJ := float64(w.Prof.NodePower(w.State, 1)) * 1.0
 	if !stats.AlmostEqual(res.Joules, wantJ, 1e-9) {
 		t.Errorf("Joules = %g, want %g", res.Joules, wantJ)
 	}
@@ -272,7 +273,7 @@ func TestBarrierEqualizesClocks(t *testing.T) {
 		}
 	}
 	// The barrier completes after the slowest rank's compute.
-	slowest := machine.PentiumM().TimeFor(machine.W(3e8, 0, 0, 0), 600e6)
+	slowest := float64(machine.PentiumM().TimeFor(machine.W(3e8, 0, 0, 0), 600e6))
 	if clocks[0] < slowest {
 		t.Errorf("barrier exit %g before slowest rank %g", clocks[0], slowest)
 	}
@@ -569,8 +570,8 @@ func TestEnergyAccountsIdleTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idleFloor := w.Prof.NodePower(w.State, 0) * res.Seconds
-	busyPart := w.Prof.NodePower(w.State, 1) * res.Seconds
+	idleFloor := float64(w.Prof.NodePower(w.State, 0)) * res.Seconds
+	busyPart := float64(w.Prof.NodePower(w.State, 1)) * res.Seconds
 	if res.Joules < idleFloor+busyPart-1e-9 {
 		t.Errorf("Joules = %g, want ≥ idle(%g) + busy(%g)", res.Joules, idleFloor, busyPart)
 	}
@@ -878,8 +879,8 @@ func TestEnergyBoundsProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		floor := 3 * w.Prof.NodePower(w.State, 0) * res.Seconds
-		ceil := 3 * w.Prof.NodePower(w.State, 1) * res.Seconds
+		floor := 3 * float64(w.Prof.NodePower(w.State, 0)) * res.Seconds
+		ceil := 3 * float64(w.Prof.NodePower(w.State, 1)) * res.Seconds
 		return res.Joules >= floor-1e-9 && res.Joules <= ceil+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {

@@ -25,6 +25,7 @@ import (
 	"pasp/internal/power"
 	"pasp/internal/simnet"
 	"pasp/internal/trace"
+	"pasp/internal/units"
 )
 
 // ErrAborted is returned by communication calls after another rank has
@@ -61,7 +62,7 @@ type World struct {
 	// GearSwitchSec is the stall charged to a rank each time SetPState
 	// actually changes the operating point (Enhanced SpeedStep transition
 	// plus driver overhead).
-	GearSwitchSec float64
+	GearSwitchSec units.Seconds
 }
 
 // Validate reports an error for an unusable configuration.
@@ -136,7 +137,9 @@ func (r *Result) AvgWatts() float64 {
 }
 
 // EDP returns the run's energy-delay product.
-func (r *Result) EDP() float64 { return power.EDP(r.Joules, r.Seconds) }
+func (r *Result) EDP() float64 {
+	return power.EDP(units.Joules(r.Joules), units.Seconds(r.Seconds))
+}
 
 // ComputeSec returns the summed compute time across ranks.
 func (r *Result) ComputeSec() float64 {
@@ -292,17 +295,17 @@ func aggregate(w World, ctxs []*Ctx) *Result {
 		logs[i] = &c.log
 	}
 	for i, c := range ctxs {
-		idleTail := res.Seconds - c.clock
-		idleJ := w.Prof.NodePower(w.State, 0) * idleTail
+		idleTail := units.Seconds(res.Seconds - c.clock)
+		idleJ := w.Prof.NodePower(w.State, 0).Energy(idleTail)
 		res.PerRank[i] = RankStats{
 			Seconds:    c.clock,
 			ComputeSec: c.computeSec,
 			CommSec:    c.commSec,
-			Joules:     c.meter.Joules(),
+			Joules:     float64(c.meter.Joules()),
 			Msgs:       c.msgs,
 			MsgBytes:   c.msgBytes,
 		}
-		res.Joules += c.meter.Joules() + idleJ
+		res.Joules += float64(c.meter.Joules() + idleJ)
 		res.RankCounters[i] = c.counters
 		res.Counters.Add(c.counters)
 	}

@@ -10,19 +10,20 @@ import (
 	"fmt"
 
 	"pasp/internal/mpi"
+	"pasp/internal/units"
 )
 
 // Point is one message-size measurement.
 type Point struct {
 	// Bytes is the message size.
 	Bytes int
-	// Sec is the measured one-way time per message in seconds.
-	Sec float64
+	// Sec is the measured one-way time per message.
+	Sec units.Seconds
 }
 
 // PingPong measures the one-way message time for msgBytes on the given
 // two-rank world by timing reps round trips.
-func PingPong(w mpi.World, msgBytes, reps int) (float64, error) {
+func PingPong(w mpi.World, msgBytes, reps int) (units.Seconds, error) {
 	if w.N != 2 {
 		return 0, fmt.Errorf("mpptest: ping-pong needs exactly 2 ranks, got %d", w.N)
 	}
@@ -53,7 +54,7 @@ func PingPong(w mpi.World, msgBytes, reps int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return res.Seconds / float64(2*reps), nil
+	return units.Seconds(res.Seconds).Div(float64(2 * reps)), nil
 }
 
 // Sweep measures one-way times over a doubling size schedule between

@@ -8,11 +8,12 @@ import (
 	"pasp/internal/power"
 	"pasp/internal/simnet"
 	"pasp/internal/stats"
+	"pasp/internal/units"
 )
 
 func world(n int, mhz float64) mpi.World {
 	prof := power.PentiumM()
-	st, err := prof.StateAt(mhz * 1e6)
+	st, err := prof.StateAt(units.MHz(mhz))
 	if err != nil {
 		panic(err)
 	}
@@ -26,8 +27,8 @@ func TestPingPongMatchesModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := w.Net.PointToPoint(1240, w.State.Freq, w.State.Freq)
-	if !stats.AlmostEqual(got, want, 0.02) {
-		t.Errorf("ping-pong %g s, model point-to-point %g s", got, want)
+	if !stats.AlmostEqual(float64(got), want, 0.02) {
+		t.Errorf("ping-pong %g s, model point-to-point %g s", float64(got), want)
 	}
 }
 
@@ -103,14 +104,14 @@ func TestLinearFitRecoversNetworkParameters(t *testing.T) {
 	ys := make([]float64, len(pts))
 	for i, p := range pts {
 		xs[i] = float64(p.Bytes)
-		ys[i] = p.Sec
+		ys[i] = float64(p.Sec)
 	}
 	intercept, slope, err := stats.LinearFit(xs, ys)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Slope ≈ 1/BW + 2·per-byte-CPU/f.
-	wantSlope := 1/w.Net.BandwidthBps + 2*w.Net.ByteCPUIns/w.State.Freq
+	wantSlope := 1/w.Net.BandwidthBps + 2*w.Net.ByteCPUIns/float64(w.State.Freq)
 	if !stats.AlmostEqual(slope, wantSlope, 0.05) {
 		t.Errorf("slope %g, want ≈ %g", slope, wantSlope)
 	}

@@ -10,11 +10,12 @@ import (
 	"pasp/internal/power"
 	"pasp/internal/simnet"
 	"pasp/internal/stats"
+	"pasp/internal/units"
 )
 
 func npbWorld(n int, mhz float64) mpi.World {
 	prof := power.PentiumM()
-	st, err := prof.StateAt(mhz * 1e6)
+	st, err := prof.StateAt(units.MHz(mhz))
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,10 @@
 package power
 
-import "fmt"
+import (
+	"fmt"
+
+	"pasp/internal/units"
+)
 
 // Meter integrates node power over virtual time to produce the energy of a
 // simulated run. The cluster simulator feeds it one sample per scheduling
@@ -11,8 +15,8 @@ import "fmt"
 // construct with NewMeter to attach a Profile.
 type Meter struct {
 	profile Profile
-	joules  float64
-	seconds float64
+	joules  units.Joules
+	seconds units.Seconds
 	busy    float64
 }
 
@@ -21,24 +25,24 @@ func NewMeter(profile Profile) *Meter {
 	return &Meter{profile: profile}
 }
 
-// Accumulate adds an interval of dt seconds spent at operating point s with
-// the given core utilization. Negative durations are rejected so a
-// mis-ordered trace cannot silently produce negative energy.
-func (m *Meter) Accumulate(s PState, util, dt float64) error {
+// Accumulate adds an interval of dt spent at operating point s with the
+// given core utilization. Negative durations are rejected so a mis-ordered
+// trace cannot silently produce negative energy.
+func (m *Meter) Accumulate(s PState, util float64, dt units.Seconds) error {
 	if dt < 0 {
 		return fmt.Errorf("power: negative interval %g s", dt)
 	}
-	m.joules += m.profile.NodePower(s, util) * dt
+	m.joules += m.profile.NodePower(s, util).Energy(dt)
 	m.seconds += dt
-	m.busy += util * dt
+	m.busy += util * float64(dt)
 	return nil
 }
 
 // Joules returns the total energy accumulated so far.
-func (m *Meter) Joules() float64 { return m.joules }
+func (m *Meter) Joules() units.Joules { return m.joules }
 
 // Seconds returns the total time accumulated so far.
-func (m *Meter) Seconds() float64 { return m.seconds }
+func (m *Meter) Seconds() units.Seconds { return m.seconds }
 
 // Utilization returns the time-weighted mean utilization, or 0 when nothing
 // has been accumulated.
@@ -46,7 +50,7 @@ func (m *Meter) Utilization() float64 {
 	if m.seconds == 0 {
 		return 0
 	}
-	return m.busy / m.seconds
+	return m.busy / float64(m.seconds)
 }
 
 // Add merges another meter's totals into m. Both meters must have been

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"pasp/internal/units"
 )
 
 func TestMeterAccumulate(t *testing.T) {
@@ -13,8 +15,8 @@ func TestMeterAccumulate(t *testing.T) {
 	if err := m.Accumulate(s, 1, 10); err != nil {
 		t.Fatalf("Accumulate: %v", err)
 	}
-	want := p.NodePower(s, 1) * 10
-	if math.Abs(m.Joules()-want) > 1e-9 {
+	want := p.NodePower(s, 1).Energy(10)
+	if math.Abs(float64(m.Joules()-want)) > 1e-9 {
 		t.Errorf("Joules = %g, want %g", m.Joules(), want)
 	}
 	if m.Seconds() != 10 {
@@ -85,10 +87,10 @@ func TestMeterMonotoneProperty(t *testing.T) {
 		Dt    uint16
 	}) bool {
 		m := NewMeter(p)
-		prev := 0.0
+		prev := units.Joules(0)
 		for _, s := range samples {
 			st := p.States[int(s.State)%len(p.States)]
-			dt := float64(s.Dt) / 1000
+			dt := units.Seconds(s.Dt) / 1000
 			if err := m.Accumulate(st, float64(s.Util)/255, dt); err != nil {
 				return false
 			}
@@ -97,7 +99,7 @@ func TestMeterMonotoneProperty(t *testing.T) {
 			}
 			prev = m.Joules()
 		}
-		return m.Joules() >= p.Base*m.Seconds()-1e-9
+		return float64(m.Joules()) >= p.Base*float64(m.Seconds())-1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -11,25 +11,23 @@ package power
 
 import (
 	"fmt"
-	"math"
 	"sort"
-)
 
-// MHz converts a megahertz count to hertz.
-const MHz = 1e6
+	"pasp/internal/units"
+)
 
 // PState is a single operating point: a (frequency, supply voltage) pair the
 // processor can be switched to at run time.
 type PState struct {
-	// Freq is the core clock frequency in hertz.
-	Freq float64
-	// Voltage is the supply voltage in volts at this operating point.
-	Voltage float64
+	// Freq is the core clock frequency.
+	Freq units.Hertz
+	// Voltage is the supply voltage at this operating point.
+	Voltage units.Volts
 }
 
 // String renders the operating point in the paper's style, e.g. "1400MHz@1.484V".
 func (s PState) String() string {
-	return fmt.Sprintf("%.0fMHz@%.3fV", s.Freq/MHz, s.Voltage)
+	return fmt.Sprintf("%.0fMHz@%.3fV", s.Freq.MHz(), float64(s.Voltage))
 }
 
 // Profile describes the power characteristics of one cluster node: the
@@ -43,8 +41,8 @@ type Profile struct {
 	// CEff is the effective switched capacitance in farads for the dynamic
 	// power term C·V²·f.
 	CEff float64
-	// Static is the CPU leakage power in watts, modelled as proportional to
-	// voltage (Static·V) to first order.
+	// Static is the CPU leakage coefficient in watts per volt: leakage is
+	// modelled as proportional to voltage (Static·V) to first order.
 	Static float64
 	// Base is the frequency-independent power in watts drawn by the rest of
 	// the node: DRAM, NIC, chipset, disk.
@@ -63,11 +61,11 @@ type Profile struct {
 func PentiumM() Profile {
 	return Profile{
 		States: []PState{
-			{Freq: 600 * MHz, Voltage: 0.956},
-			{Freq: 800 * MHz, Voltage: 1.180},
-			{Freq: 1000 * MHz, Voltage: 1.308},
-			{Freq: 1200 * MHz, Voltage: 1.436},
-			{Freq: 1400 * MHz, Voltage: 1.484},
+			{Freq: units.MHz(600), Voltage: 0.956},
+			{Freq: units.MHz(800), Voltage: 1.180},
+			{Freq: units.MHz(1000), Voltage: 1.308},
+			{Freq: units.MHz(1200), Voltage: 1.436},
+			{Freq: units.MHz(1400), Voltage: 1.484},
 		},
 		CEff:       6.8e-9,
 		Static:     1.5,
@@ -115,53 +113,59 @@ func (p Profile) TopState() PState { return p.States[len(p.States)-1] }
 
 // StateAt returns the operating point whose frequency matches freq to within
 // 0.5%, or an error naming the available points.
-func (p Profile) StateAt(freq float64) (PState, error) {
+func (p Profile) StateAt(freq units.Hertz) (PState, error) {
 	for _, s := range p.States {
-		if math.Abs(s.Freq-freq) <= 0.005*s.Freq {
+		diff := s.Freq - freq
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff <= s.Freq.Times(0.005) {
 			return s, nil
 		}
 	}
-	return PState{}, fmt.Errorf("power: no P-state at %.0f MHz (available: %v)", freq/MHz, p.States)
+	return PState{}, fmt.Errorf("power: no P-state at %.0f MHz (available: %v)", freq.MHz(), p.States)
 }
 
 // Frequencies returns the frequencies of all P-states in ascending order.
-func (p Profile) Frequencies() []float64 {
-	fs := make([]float64, len(p.States))
+func (p Profile) Frequencies() []units.Hertz {
+	fs := make([]units.Hertz, len(p.States))
 	for i, s := range p.States {
 		fs[i] = s.Freq
 	}
 	return fs
 }
 
-// Dynamic returns the dynamic (switching) power in watts at operating point
-// s when the core is fully busy: C·V²·f.
-func (p Profile) Dynamic(s PState) float64 {
-	return p.CEff * s.Voltage * s.Voltage * s.Freq
+// Dynamic returns the dynamic (switching) power at operating point s when
+// the core is fully busy: C·V²·f. CEff carries the farads, so the product
+// is assembled over plain float64 and typed at the end.
+func (p Profile) Dynamic(s PState) units.Watts {
+	v := float64(s.Voltage)
+	return units.Watts(p.CEff * v * v * float64(s.Freq))
 }
 
-// CPUPower returns the total processor power in watts at operating point s
-// with the given utilization in [0,1]: leakage plus dynamic power, where an
-// idle core still dissipates IdleFactor of its dynamic power.
-func (p Profile) CPUPower(s PState, util float64) float64 {
+// CPUPower returns the total processor power at operating point s with the
+// given utilization in [0,1]: leakage plus dynamic power, where an idle core
+// still dissipates IdleFactor of its dynamic power.
+func (p Profile) CPUPower(s PState, util float64) units.Watts {
 	if util < 0 {
 		util = 0
 	}
 	if util > 1 {
 		util = 1
 	}
-	dyn := p.Dynamic(s)
+	leak := units.Watts(p.Static * float64(s.Voltage))
 	eff := p.IdleFactor + (1-p.IdleFactor)*util
-	return p.Static*s.Voltage + dyn*eff
+	return leak + p.Dynamic(s).Times(eff)
 }
 
-// NodePower returns the total node power in watts: CPU power plus the
+// NodePower returns the total node power: CPU power plus the
 // frequency-independent rest-of-node draw.
-func (p Profile) NodePower(s PState, util float64) float64 {
-	return p.Base + p.CPUPower(s, util)
+func (p Profile) NodePower(s PState, util float64) units.Watts {
+	return units.Watts(p.Base) + p.CPUPower(s, util)
 }
 
 // nearestState returns the index of the P-state closest in frequency to freq.
-func (p Profile) nearestState(freq float64) int {
+func (p Profile) nearestState(freq units.Hertz) int {
 	return sort.Search(len(p.States), func(i int) bool { return p.States[i].Freq >= freq })
 }
 
@@ -169,7 +173,7 @@ func (p Profile) nearestState(freq float64) int {
 // top state when freq exceeds every operating point. It is used by DVFS
 // schedulers that compute an ideal frequency and must round to hardware
 // gears.
-func (p Profile) ClampState(freq float64) PState {
+func (p Profile) ClampState(freq units.Hertz) PState {
 	i := p.nearestState(freq)
 	if i >= len(p.States) {
 		return p.TopState()
@@ -179,9 +183,14 @@ func (p Profile) ClampState(freq float64) PState {
 
 // EDP returns the energy-delay product E·T of a run that consumed energy
 // joules and took seconds of wall time. Lower is better; EDP balances the
-// energy savings of a slow gear against its slowdown.
-func EDP(energy, seconds float64) float64 { return energy * seconds }
+// energy savings of a slow gear against its slowdown. The product is J·s,
+// which has no dedicated units type, so the result is a plain float64.
+func EDP(energy units.Joules, seconds units.Seconds) float64 {
+	return float64(energy) * float64(seconds)
+}
 
 // ED2P returns the energy-delay-squared product E·T², which weights delay
 // more heavily than EDP and is preferred when performance dominates.
-func ED2P(energy, seconds float64) float64 { return energy * seconds * seconds }
+func ED2P(energy units.Joules, seconds units.Seconds) float64 {
+	return float64(energy) * float64(seconds) * float64(seconds)
+}

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"pasp/internal/units"
 )
 
 func TestPentiumMTable2(t *testing.T) {
@@ -13,11 +15,11 @@ func TestPentiumMTable2(t *testing.T) {
 	}
 	// The five operating points of Table 2.
 	want := []PState{
-		{600 * MHz, 0.956},
-		{800 * MHz, 1.180},
-		{1000 * MHz, 1.308},
-		{1200 * MHz, 1.436},
-		{1400 * MHz, 1.484},
+		{units.MHz(600), 0.956},
+		{units.MHz(800), 1.180},
+		{units.MHz(1000), 1.308},
+		{units.MHz(1200), 1.436},
+		{units.MHz(1400), 1.484},
 	}
 	if len(p.States) != len(want) {
 		t.Fatalf("got %d states, want %d", len(p.States), len(want))
@@ -27,35 +29,35 @@ func TestPentiumMTable2(t *testing.T) {
 			t.Errorf("state %d = %v, want %v", i, p.States[i], w)
 		}
 	}
-	if p.BaseState().Freq != 600*MHz {
+	if p.BaseState().Freq != units.MHz(600) {
 		t.Errorf("BaseState = %v, want 600 MHz", p.BaseState())
 	}
-	if p.TopState().Freq != 1400*MHz {
+	if p.TopState().Freq != units.MHz(1400) {
 		t.Errorf("TopState = %v, want 1400 MHz", p.TopState())
 	}
 }
 
 func TestStateAt(t *testing.T) {
 	p := PentiumM()
-	s, err := p.StateAt(800 * MHz)
+	s, err := p.StateAt(units.MHz(800))
 	if err != nil {
 		t.Fatalf("StateAt(800MHz): %v", err)
 	}
 	if s.Voltage != 1.180 {
 		t.Errorf("voltage = %g, want 1.180", s.Voltage)
 	}
-	if _, err := p.StateAt(700 * MHz); err == nil {
+	if _, err := p.StateAt(units.MHz(700)); err == nil {
 		t.Error("StateAt(700MHz) succeeded, want error")
 	}
 	// Frequencies within 0.5% resolve to the same state.
-	if _, err := p.StateAt(801 * MHz); err != nil {
+	if _, err := p.StateAt(units.MHz(801)); err != nil {
 		t.Errorf("StateAt(801MHz): %v", err)
 	}
 }
 
 func TestDynamicPowerMonotone(t *testing.T) {
 	p := PentiumM()
-	prev := 0.0
+	prev := units.Watts(0)
 	for _, s := range p.States {
 		d := p.Dynamic(s)
 		if d <= prev {
@@ -96,7 +98,7 @@ func TestCPUPowerUtilization(t *testing.T) {
 func TestNodePowerIncludesBase(t *testing.T) {
 	p := PentiumM()
 	s := p.BaseState()
-	if diff := p.NodePower(s, 1) - p.CPUPower(s, 1); math.Abs(diff-p.Base) > 1e-12 {
+	if diff := p.NodePower(s, 1) - p.CPUPower(s, 1); math.Abs(float64(diff)-p.Base) > 1e-12 {
 		t.Errorf("node−cpu power = %g, want Base %g", diff, p.Base)
 	}
 }
@@ -104,19 +106,19 @@ func TestNodePowerIncludesBase(t *testing.T) {
 func TestClampState(t *testing.T) {
 	p := PentiumM()
 	cases := []struct {
-		in   float64
-		want float64
+		in   units.Hertz
+		want units.Hertz
 	}{
-		{100 * MHz, 600 * MHz},
-		{600 * MHz, 600 * MHz},
-		{601 * MHz, 800 * MHz},
-		{1100 * MHz, 1200 * MHz},
-		{1400 * MHz, 1400 * MHz},
-		{2000 * MHz, 1400 * MHz},
+		{units.MHz(100), units.MHz(600)},
+		{units.MHz(600), units.MHz(600)},
+		{units.MHz(601), units.MHz(800)},
+		{units.MHz(1100), units.MHz(1200)},
+		{units.MHz(1400), units.MHz(1400)},
+		{units.MHz(2000), units.MHz(1400)},
 	}
 	for _, c := range cases {
 		if got := p.ClampState(c.in); got.Freq != c.want {
-			t.Errorf("ClampState(%.0fMHz) = %.0fMHz, want %.0fMHz", c.in/MHz, got.Freq/MHz, c.want/MHz)
+			t.Errorf("ClampState(%.0fMHz) = %.0fMHz, want %.0fMHz", c.in.MHz(), got.Freq.MHz(), c.want.MHz())
 		}
 	}
 }
@@ -127,7 +129,7 @@ func TestValidateRejectsMalformed(t *testing.T) {
 		"no states":        func(p *Profile) { p.States = nil },
 		"zero frequency":   func(p *Profile) { p.States[0].Freq = 0 },
 		"zero voltage":     func(p *Profile) { p.States[2].Voltage = 0 },
-		"unsorted":         func(p *Profile) { p.States[1].Freq = 500 * MHz },
+		"unsorted":         func(p *Profile) { p.States[1].Freq = units.MHz(500) },
 		"voltage inverted": func(p *Profile) { p.States[1].Voltage = 0.5 },
 		"zero ceff":        func(p *Profile) { p.CEff = 0 },
 		"negative static":  func(p *Profile) { p.Static = -1 },
@@ -160,7 +162,7 @@ func TestNodePowerBoundsProperty(t *testing.T) {
 		s := p.States[int(stateIdx)%len(p.States)]
 		util := float64(utilRaw) / 65535
 		w := p.NodePower(s, util)
-		return w >= p.NodePower(s, 0) && w <= p.NodePower(s, 1) && w > p.Base
+		return w >= p.NodePower(s, 0) && w <= p.NodePower(s, 1) && float64(w) > p.Base
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -20,7 +20,11 @@
 //     the limit (used by the contention ablation).
 package simnet
 
-import "fmt"
+import (
+	"fmt"
+
+	"pasp/internal/units"
+)
 
 // Config holds the interconnect parameters.
 type Config struct {
@@ -82,10 +86,11 @@ func (c Config) Validate() error {
 }
 
 // CPUOverhead returns the endpoint CPU time in seconds to process one
-// message of the given size at core frequency freq.
-func (c Config) CPUOverhead(bytes int, freq float64) float64 {
+// message of the given size at core frequency freq. The result is plain
+// float64 seconds: it feeds the simulator's virtual clock.
+func (c Config) CPUOverhead(bytes int, freq units.Hertz) float64 {
 	//palint:ignore floatdiv freq is a validated P-state frequency (> 0); callers pass machine gear frequencies
-	return (c.MsgCPUIns + c.ByteCPUIns*float64(bytes)) / freq
+	return (c.MsgCPUIns + c.ByteCPUIns*float64(bytes)) / float64(freq)
 }
 
 // WireTime returns the serialization time of bytes on an uncontended port.
@@ -112,7 +117,7 @@ func (c Config) ContendedWireTime(bytes, flows int) float64 {
 // PointToPoint returns the end-to-end time of a single message on a quiet
 // network: sender CPU + latency + wire + receiver CPU, with the endpoints at
 // core frequencies fsrc and fdst.
-func (c Config) PointToPoint(bytes int, fsrc, fdst float64) float64 {
+func (c Config) PointToPoint(bytes int, fsrc, fdst units.Hertz) float64 {
 	return c.CPUOverhead(bytes, fsrc) + c.LatencySec + c.WireTime(bytes) + c.CPUOverhead(bytes, fdst)
 }
 

@@ -1,0 +1,143 @@
+// Package units declares dimensioned scalar types for the quantities the
+// power-aware speedup model computes with — frequencies, wall-clock times,
+// cycle counts, power, energy, voltages and dimensionless ratios — plus the
+// blessed conversion helpers between scales (MHz→Hz, ns→s, s→µs).
+//
+// Every type is a named float64: the wrappers compile to exactly the raw
+// arithmetic they replace (BenchmarkTermsTime in internal/core measures
+// this), but Go will no longer implicitly mix a Hertz with a Seconds. The
+// unitcheck analyzer (internal/analysis) extends the protection to what Go
+// does still allow: it derives the physical dimension of expressions
+// through arithmetic (Hz·s→cycles, W·s→J, same-dimension division→Ratio)
+// and rejects cross-dimension conversions such as units.Seconds(f) where f
+// is a Hertz, addition or comparison of unlike dimensions, and bare scale
+// literals (1e6, 1e-9, …) multiplying a dimensioned value outside this
+// package. Scale conversions therefore live here and only here; call-site
+// code writes units.MHz(1400) or n.Sec(), never *1e6 or *1e-9.
+//
+// Repo-wide conventions (see README.md): frequencies are Hertz internally
+// and megahertz (plain float64 grid axes) in tables and CLI flags; memory
+// latencies are Nanos in the lmbench layer and Seconds everywhere else;
+// energy integration happens in Joules and Seconds.
+//
+// Escape hatch: float64(x) deliberately discards the dimension. It is the
+// boundary conversion into untyped code (the mpi virtual clock, table
+// renderers, fmt verbs that need a plain float) and unitcheck treats it as
+// an explicit, visible opt-out.
+package units
+
+// Hertz is a frequency: core clock cycles per second.
+type Hertz float64
+
+// Seconds is a wall-clock duration.
+type Seconds float64
+
+// Nanos is a wall-clock duration expressed in nanoseconds. It shares the
+// time dimension with Seconds but not the scale, so converting between the
+// two without NanosToSec/SecToNanos is a unitcheck violation.
+type Nanos float64
+
+// Cycles is a count of core clock cycles (possibly fractional: blended CPI
+// values are averages over an instruction mix).
+type Cycles float64
+
+// Watts is power.
+type Watts float64
+
+// Joules is energy.
+type Joules float64
+
+// Volts is electric potential.
+type Volts float64
+
+// Ratio is a dimensionless quotient of like quantities: frequency ratios
+// (f/f0), efficiencies, fractional savings.
+type Ratio float64
+
+// MHz converts a megahertz count (the unit of the paper's tables and this
+// repo's CLI flags and grid axes) to Hertz.
+func MHz(x float64) Hertz { return Hertz(x * 1e6) }
+
+// GHz converts a gigahertz count to Hertz.
+func GHz(x float64) Hertz { return Hertz(x * 1e9) }
+
+// MHz converts the frequency back to megahertz for display and grid keys.
+func (f Hertz) MHz() float64 { return float64(f) / 1e6 }
+
+// Times scales the frequency by a dimensionless factor.
+func (f Hertz) Times(k float64) Hertz { return Hertz(float64(f) * k) }
+
+// Per returns the dimensionless frequency ratio f/f0 — the r of Eqs. 9–12.
+func (f Hertz) Per(f0 Hertz) Ratio {
+	//palint:ignore floatdiv pure unit arithmetic; profiles validate P-state frequencies > 0 before the model runs
+	return Ratio(float64(f) / float64(f0))
+}
+
+// CyclesIn returns how many core cycles elapse in t at frequency f
+// (Hz · s → cycles).
+func (f Hertz) CyclesIn(t Seconds) Cycles { return Cycles(float64(f) * float64(t)) }
+
+// NanosToSec rescales a nanosecond duration to seconds.
+func NanosToSec(n Nanos) Seconds { return Seconds(float64(n) * 1e-9) }
+
+// SecToNanos rescales a second duration to nanoseconds.
+func SecToNanos(s Seconds) Nanos { return Nanos(float64(s) * 1e9) }
+
+// Sec is the method form of NanosToSec.
+func (n Nanos) Sec() Seconds { return NanosToSec(n) }
+
+// Nanos is the method form of SecToNanos.
+func (s Seconds) Nanos() Nanos { return SecToNanos(s) }
+
+// Micros returns the duration in microseconds as a plain float64, for
+// display (Table 6 prints per-message times in µs).
+func (s Seconds) Micros() float64 { return float64(s) * 1e6 }
+
+// MicrosToSec rescales a microsecond count to seconds.
+func MicrosToSec(us float64) Seconds { return Seconds(us * 1e-6) }
+
+// Times scales the duration by a dimensionless count (e.g. instructions ×
+// seconds-per-instruction).
+func (s Seconds) Times(k float64) Seconds { return Seconds(float64(s) * k) }
+
+// Div divides the duration by a dimensionless count.
+func (s Seconds) Div(k float64) Seconds {
+	//palint:ignore floatdiv pure unit arithmetic; callers guard the count (loads, reps) before dividing
+	return Seconds(float64(s) / k)
+}
+
+// Times scales the nanosecond duration by a dimensionless count.
+func (n Nanos) Times(k float64) Nanos { return Nanos(float64(n) * k) }
+
+// Div divides the nanosecond duration by a dimensionless count.
+func (n Nanos) Div(k float64) Nanos {
+	//palint:ignore floatdiv pure unit arithmetic; callers guard the count before dividing
+	return Nanos(float64(n) / k)
+}
+
+// Times scales the cycle count by a dimensionless count (instructions ×
+// cycles-per-instruction).
+func (c Cycles) Times(k float64) Cycles { return Cycles(float64(c) * k) }
+
+// Div divides the cycle count by a dimensionless count.
+func (c Cycles) Div(k float64) Cycles {
+	//palint:ignore floatdiv pure unit arithmetic; callers guard the count (ON-chip instruction total) before dividing
+	return Cycles(float64(c) / k)
+}
+
+// At returns the wall-clock time to execute c cycles at frequency f
+// (cycles / Hz → s) — the CPI/f quantity Table 6 tabulates.
+func (c Cycles) At(f Hertz) Seconds {
+	//palint:ignore floatdiv pure unit arithmetic; Config/Profile.Validate reject non-positive frequencies before the hot path
+	return Seconds(float64(c) / float64(f))
+}
+
+// Times scales the power by a dimensionless factor (utilization, node
+// count).
+func (p Watts) Times(k float64) Watts { return Watts(float64(p) * k) }
+
+// Energy integrates the power over a duration (W · s → J).
+func (p Watts) Energy(t Seconds) Joules { return Joules(float64(p) * float64(t)) }
+
+// Times scales the energy by a dimensionless factor (node count).
+func (e Joules) Times(k float64) Joules { return Joules(float64(e) * k) }

@@ -1,0 +1,96 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin the blessed helpers to the repo's unit conventions (Hz
+// internally, MHz in tables and CLI flags, ns in the lmbench layer).
+// Positive powers of ten are exactly representable, so the up-scaling
+// comparisons are exact; down-scaling multiplies by an inexact 1e-6/1e-9
+// and is checked to relative precision instead.
+
+// closeTo reports a relative error below 1e-12 — far tighter than any
+// model tolerance, loose enough for one rounding of an inexact scale.
+func closeTo(got, want float64) bool {
+	return math.Abs(got-want) <= 1e-12*math.Abs(want)
+}
+
+func TestFrequencyScales(t *testing.T) {
+	if got := MHz(600); float64(got) != 600e6 {
+		t.Errorf("MHz(600) = %g Hz, want 6e8", float64(got))
+	}
+	if got := GHz(1.4); float64(got) != 1.4e9 {
+		t.Errorf("GHz(1.4) = %g Hz, want 1.4e9", float64(got))
+	}
+	if got := MHz(1400).MHz(); got != 1400 {
+		t.Errorf("MHz roundtrip = %g, want 1400", got)
+	}
+}
+
+func TestTimeScales(t *testing.T) {
+	if got := NanosToSec(110); !closeTo(float64(got), 110e-9) {
+		t.Errorf("NanosToSec(110) = %g s, want 1.1e-7", float64(got))
+	}
+	if got := SecToNanos(2); float64(got) != 2e9 {
+		t.Errorf("SecToNanos(2) = %g ns, want 2e9", float64(got))
+	}
+	if got := Nanos(140).Sec().Nanos(); !closeTo(float64(got), 140) {
+		t.Errorf("ns→s→ns roundtrip = %g, want 140", float64(got))
+	}
+	if got := Seconds(0.5).Micros(); got != 5e5 {
+		t.Errorf("Micros(0.5s) = %g µs, want 5e5", got)
+	}
+	if got := MicrosToSec(50); !closeTo(float64(got), 50e-6) {
+		t.Errorf("MicrosToSec(50) = %g s, want 5e-5", float64(got))
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	// Hz·s → cycles and its inverse cycles/Hz → s.
+	if got := MHz(1000).CyclesIn(2); float64(got) != 2e9 {
+		t.Errorf("1 GHz × 2 s = %g cycles, want 2e9", float64(got))
+	}
+	if got := Cycles(3).At(MHz(1000)); float64(got) != 3e-9 {
+		t.Errorf("3 cycles at 1 GHz = %g s, want 3e-9", float64(got))
+	}
+	// W·s → J.
+	if got := Watts(25).Energy(4); float64(got) != 100 {
+		t.Errorf("25 W × 4 s = %g J, want 100", float64(got))
+	}
+	// Same-dimension division → dimensionless ratio.
+	if got := MHz(600).Per(MHz(1400)); math.Abs(float64(got)-600.0/1400.0) > 1e-15 {
+		t.Errorf("600/1400 MHz = %g, want %g", float64(got), 600.0/1400.0)
+	}
+}
+
+func TestScalingHelpers(t *testing.T) {
+	if got := Hertz(100).Times(3); float64(got) != 300 {
+		t.Errorf("Hertz.Times = %g, want 300", float64(got))
+	}
+	if got := Seconds(10).Times(0.5); float64(got) != 5 {
+		t.Errorf("Seconds.Times = %g, want 5", float64(got))
+	}
+	if got := Seconds(10).Div(4); float64(got) != 2.5 {
+		t.Errorf("Seconds.Div = %g, want 2.5", float64(got))
+	}
+	if got := Nanos(110).Times(2); float64(got) != 220 {
+		t.Errorf("Nanos.Times = %g, want 220", float64(got))
+	}
+	if got := Nanos(220).Div(2); float64(got) != 110 {
+		t.Errorf("Nanos.Div = %g, want 110", float64(got))
+	}
+	if got := Cycles(6).Times(1.5); float64(got) != 9 {
+		t.Errorf("Cycles.Times = %g, want 9", float64(got))
+	}
+	if got := Cycles(9).Div(3); float64(got) != 3 {
+		t.Errorf("Cycles.Div = %g, want 3", float64(got))
+	}
+	if got := Watts(7).Times(2); float64(got) != 14 {
+		t.Errorf("Watts.Times = %g, want 14", float64(got))
+	}
+	if got := Joules(50).Times(4); float64(got) != 200 {
+		t.Errorf("Joules.Times = %g, want 200", float64(got))
+	}
+}
