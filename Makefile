@@ -8,7 +8,14 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt-check fuzz verify
+# Benchmark harness knobs: BENCHTIME feeds -benchtime (1x = one reproduction
+# pass), BENCHJSON names the machine-readable artifact pabench writes, and
+# PASP_BENCH_SUITE=quick (exported to the test process) swaps in the reduced
+# suite for smoke runs.
+BENCHTIME ?= 1x
+BENCHJSON ?= BENCH_1.json
+
+.PHONY: all build test race lint fmt-check fuzz bench verify
 
 all: build
 
@@ -36,6 +43,12 @@ lint:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Full benchmark harness with allocation counts, teed through pabench which
+# writes $(BENCHJSON). pabench is the pipeline's last stage, so a FAILing or
+# empty benchmark stream fails the target even without pipefail.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/pabench -o $(BENCHJSON)
 
 # Short fuzz pass over the core model contract (finite, non-negative,
 # error-or-value). CI-sized; crank -fuzztime locally for a deeper run.

@@ -12,10 +12,15 @@
 //	BenchmarkEDP     — energy-delay-product prediction errors  (abstract)
 //	BenchmarkDVFSSchedule — phase-level DVFS tradeoff          (intro)
 //	BenchmarkAblation*    — design-choice ablations            (DESIGN.md §5)
+//
+// PASP_BENCH_SUITE=quick swaps in the reduced suite for smoke runs (the CI
+// bench-smoke job); probe points are derived from the suite's grid so both
+// scales exercise the same code paths.
 package pasp
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -38,8 +43,35 @@ func emit(key, text string) {
 	}
 }
 
+// benchSuite selects the harness scale: unset or "paper" runs the full
+// paper reproduction, "quick" the reduced suite.
+func benchSuite(b *testing.B) experiments.Suite {
+	b.Helper()
+	switch v := os.Getenv("PASP_BENCH_SUITE"); v {
+	case "", "paper":
+		return experiments.Paper()
+	case "quick":
+		return experiments.Quick()
+	default:
+		b.Fatalf("unknown PASP_BENCH_SUITE %q (want \"paper\" or \"quick\")", v)
+		panic("unreachable")
+	}
+}
+
+// Probe points derived from the suite's grid: the largest measured N, the
+// base and top gears, and a preferred count capped to the grid.
+func maxN(s experiments.Suite) int      { return s.Grid.Ns[len(s.Grid.Ns)-1] }
+func baseF(s experiments.Suite) float64 { return s.Grid.MHz[0] }
+func topF(s experiments.Suite) float64  { return s.Grid.MHz[len(s.Grid.MHz)-1] }
+func capN(s experiments.Suite, n int) int {
+	if m := maxN(s); m < n {
+		return m
+	}
+	return n
+}
+
 func BenchmarkTable1(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		grid, err := s.Table1()
 		if err != nil {
@@ -52,7 +84,7 @@ func BenchmarkTable1(b *testing.B) {
 }
 
 func BenchmarkTable3(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		grid, err := s.Table3()
 		if err != nil {
@@ -65,7 +97,7 @@ func BenchmarkTable3(b *testing.B) {
 }
 
 func BenchmarkTable5(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Table5()
 		if err != nil {
@@ -77,7 +109,7 @@ func BenchmarkTable5(b *testing.B) {
 }
 
 func BenchmarkTable6(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Table6()
 		if err != nil {
@@ -89,7 +121,7 @@ func BenchmarkTable6(b *testing.B) {
 }
 
 func BenchmarkTable7(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Table7()
 		if err != nil {
@@ -102,39 +134,39 @@ func BenchmarkTable7(b *testing.B) {
 }
 
 func BenchmarkFigure1(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		fig, err := s.Figure1()
 		if err != nil {
 			b.Fatal(err)
 		}
-		top, err := fig.Speedup.At(16, 1400)
+		top, err := fig.Speedup.At(maxN(s), topF(s))
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(top, "speedup@16x1400")
+		b.ReportMetric(top, fmt.Sprintf("speedup@%dx%.0f", maxN(s), topF(s)))
 		emit("figure1", fig.String())
 	}
 }
 
 func BenchmarkFigure2(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		fig, err := s.Figure2()
 		if err != nil {
 			b.Fatal(err)
 		}
-		flat, err := fig.Speedup.At(16, 600)
+		flat, err := fig.Speedup.At(maxN(s), baseF(s))
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(flat, "speedup@16x600")
+		b.ReportMetric(flat, fmt.Sprintf("speedup@%dx%.0f", maxN(s), baseF(s)))
 		emit("figure2", fig.String())
 	}
 }
 
 func BenchmarkEDP(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.EDPForFT()
 		if err != nil {
@@ -147,8 +179,8 @@ func BenchmarkEDP(b *testing.B) {
 }
 
 func BenchmarkDVFSSchedule(b *testing.B) {
-	s := experiments.Paper()
-	w, err := s.Platform.World(16, 1400)
+	s := benchSuite(b)
+	w, err := s.Platform.World(maxN(s), topF(s))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -159,18 +191,19 @@ func BenchmarkDVFSSchedule(b *testing.B) {
 		}
 		b.ReportMetric(cmp.EnergySavings()*100, "energysave%")
 		b.ReportMetric(cmp.Slowdown()*100, "slowdown%")
-		emit("dvfs", "DVFS phase schedule, FT N=16@1400MHz: "+cmp.String())
+		emit("dvfs", fmt.Sprintf("DVFS phase schedule, FT N=%d@%.0fMHz: %s",
+			maxN(s), topF(s), cmp.String()))
 	}
 }
 
-// ftSpeedupAt measures FT's speedup at (16, 600 MHz) on a platform variant.
-func ftSpeedupAt(b *testing.B, p cluster.Platform, ft npb.FT) float64 {
+// ftSpeedupAt measures FT's speedup at (n, f MHz) on a platform variant.
+func ftSpeedupAt(b *testing.B, p cluster.Platform, ft npb.FT, n int, f float64) float64 {
 	b.Helper()
 	run := func(w mpi.World) (*mpi.Result, error) {
 		_, r, err := ft.Run(w)
 		return r, err
 	}
-	w1, err := p.World(1, 600)
+	w1, err := p.World(1, f)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -178,31 +211,32 @@ func ftSpeedupAt(b *testing.B, p cluster.Platform, ft npb.FT) float64 {
 	if err != nil {
 		b.Fatal(err)
 	}
-	w16, err := p.World(16, 600)
+	wn, err := p.World(n, f)
 	if err != nil {
 		b.Fatal(err)
 	}
-	r16, err := run(w16)
+	rn, err := run(wn)
 	if err != nil {
 		b.Fatal(err)
 	}
-	return r1.Seconds / r16.Seconds
+	return r1.Seconds / rn.Seconds
 }
 
 // BenchmarkAblationContention removes the fabric's flow-concurrency limit:
 // with an ideal switch the FT transpose stops flattening, demonstrating the
 // mechanism behind Figure 2's saturation.
 func BenchmarkAblationContention(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	ideal := s.Platform
 	ideal.Net.FlowConcurrency = 0
 	for i := 0; i < b.N; i++ {
-		limited := ftSpeedupAt(b, s.Platform, s.FT)
-		unlimited := ftSpeedupAt(b, ideal, s.FT)
+		limited := ftSpeedupAt(b, s.Platform, s.FT, maxN(s), baseF(s))
+		unlimited := ftSpeedupAt(b, ideal, s.FT, maxN(s), baseF(s))
 		b.ReportMetric(limited, "speedup_contended")
 		b.ReportMetric(unlimited, "speedup_ideal")
 		emit("abl-contention", fmt.Sprintf(
-			"Ablation, flow contention: FT speedup at (16, 600MHz) = %.2f contended vs %.2f on an ideal switch", limited, unlimited))
+			"Ablation, flow contention: FT speedup at (%d, %.0fMHz) = %.2f contended vs %.2f on an ideal switch",
+			maxN(s), baseF(s), limited, unlimited))
 	}
 }
 
@@ -210,7 +244,7 @@ func BenchmarkAblationContention(b *testing.B) {
 // cost: communication becomes frequency-insensitive and the SP model's
 // Assumption 2 holds exactly, shrinking the Table 3 errors.
 func BenchmarkAblationCommCPU(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	noCPU := s
 	noCPU.Platform.Net.MsgCPUIns = 0
 	noCPU.Platform.Net.ByteCPUIns = 0
@@ -235,7 +269,7 @@ func BenchmarkAblationCommCPU(b *testing.B) {
 // memory row of Table 6 flattens to 110 ns and FT's sequential frequency
 // speedup grows.
 func BenchmarkAblationBusDrop(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	flat := s
 	flat.Platform.Mach.BusDrop = false
 	freqSpeedup := func(p cluster.Platform) float64 {
@@ -243,7 +277,7 @@ func BenchmarkAblationBusDrop(b *testing.B) {
 			_, r, err := s.FT.Run(w)
 			return r, err
 		}
-		slow, err := p.World(1, 600)
+		slow, err := p.World(1, baseF(s))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -251,7 +285,7 @@ func BenchmarkAblationBusDrop(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		fast, err := p.World(1, 1400)
+		fast, err := p.World(1, topF(s))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -267,7 +301,8 @@ func BenchmarkAblationBusDrop(b *testing.B) {
 		b.ReportMetric(with, "fspeedup_busdrop")
 		b.ReportMetric(without, "fspeedup_flat")
 		emit("abl-busdrop", fmt.Sprintf(
-			"Ablation, bus-speed drop: FT sequential 600→1400 speedup %.2f with the 140ns low-gear bus vs %.2f without", with, without))
+			"Ablation, bus-speed drop: FT sequential %.0f→%.0f speedup %.2f with the 140ns low-gear bus vs %.2f without",
+			baseF(s), topF(s), with, without))
 	}
 }
 
@@ -277,7 +312,10 @@ func BenchmarkAblationBusDrop(b *testing.B) {
 // This is the quantity the SP model folds into T(wPO) and the FP model
 // misses (Table 7's error growth with N).
 func BenchmarkAblationWavefront(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
+	fitNs := s.LUGrid.Ns[1:] // overhead exists at N ≥ 2; N=1 anchors the fit
+	last := fitNs[len(fitNs)-1]
+	f0 := s.LUGrid.MHz[0]
 	for i := 0; i < b.N; i++ {
 		camp, err := s.MeasureLU()
 		if err != nil {
@@ -288,19 +326,19 @@ func BenchmarkAblationWavefront(b *testing.B) {
 			b.Fatal(err)
 		}
 		var lines string
-		for _, n := range []int{2, 4, 8} {
+		for _, n := range fitNs {
 			tpo, err := sp.Overhead(n)
 			if err != nil {
 				b.Fatal(err)
 			}
-			t, err := camp.Meas.Time(n, 600)
+			t, err := camp.Meas.Time(n, f0)
 			if err != nil {
 				b.Fatal(err)
 			}
 			share := tpo / t
-			lines += fmt.Sprintf("  N=%d: overhead %.2f s = %.1f%% of T(N, 600MHz)\n", n, tpo, share*100)
-			if n == 8 {
-				b.ReportMetric(share*100, "overhead@8%")
+			lines += fmt.Sprintf("  N=%d: overhead %.2f s = %.1f%% of T(N, %.0fMHz)\n", n, tpo, share*100, f0)
+			if n == last {
+				b.ReportMetric(share*100, fmt.Sprintf("overhead@%d%%", last))
 			}
 		}
 		emit("abl-wavefront",
@@ -333,23 +371,23 @@ func kernelFigure(b *testing.B, key, name string, s experiments.Suite,
 // BenchmarkFigureCG extends the evaluation to the NAS CG kernel: strongly
 // memory-bound, allreduce-chained — frequency scaling buys little.
 func BenchmarkFigureCG(b *testing.B) {
-	s := experiments.Paper()
-	kernelFigure(b, "figure-cg", "CG (extension)", s, s.MeasureCG, 16, 600)
+	s := benchSuite(b)
+	kernelFigure(b, "figure-cg", "CG (extension)", s, s.MeasureCG, maxN(s), baseF(s))
 }
 
 // BenchmarkFigureMG extends the evaluation to the NAS MG kernel:
 // hierarchical communication with coarse-grid agglomeration; it peaks at an
 // interior processor count on Fast Ethernet.
 func BenchmarkFigureMG(b *testing.B) {
-	s := experiments.Paper()
-	kernelFigure(b, "figure-mg", "MG (extension)", s, s.MeasureMG, 4, 600)
+	s := benchSuite(b)
+	kernelFigure(b, "figure-mg", "MG (extension)", s, s.MeasureMG, capN(s, 4), baseF(s))
 }
 
 // BenchmarkFigureIS extends the evaluation to the NAS IS kernel: integer
 // bucket sort with skewed all-to-all exchanges.
 func BenchmarkFigureIS(b *testing.B) {
-	s := experiments.Paper()
-	kernelFigure(b, "figure-is", "IS (extension)", s, s.MeasureIS, 8, 600)
+	s := benchSuite(b)
+	kernelFigure(b, "figure-is", "IS (extension)", s, s.MeasureIS, capN(s, 8), baseF(s))
 }
 
 // BenchmarkSegmentModel runs the §7 future-work experiment: the
@@ -357,7 +395,7 @@ func BenchmarkFigureIS(b *testing.B) {
 // whole-program SP at interior frequencies, plus the per-phase frequency
 // sensitivities.
 func BenchmarkSegmentModel(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		camp, err := s.MeasureFT()
 		if err != nil {
@@ -376,7 +414,7 @@ func BenchmarkSegmentModel(b *testing.B) {
 // BenchmarkModelDrivenDVFS closes the §7 loop: the segment model's phase
 // classification drives the DVFS schedule with no hand-written phase list.
 func BenchmarkModelDrivenDVFS(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	camp, err := s.MeasureFT()
 	if err != nil {
 		b.Fatal(err)
@@ -385,7 +423,7 @@ func BenchmarkModelDrivenDVFS(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	w, err := s.Platform.World(16, 1400)
+	w, err := s.Platform.World(maxN(s), topF(s))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -397,7 +435,8 @@ func BenchmarkModelDrivenDVFS(b *testing.B) {
 		b.ReportMetric(cmp.EnergySavings()*100, "energysave%")
 		b.ReportMetric(cmp.Slowdown()*100, "slowdown%")
 		emit("model-dvfs", fmt.Sprintf(
-			"Model-driven DVFS (auto-classified low-gear phases %v), FT N=16@1400MHz: %v", phases, cmp))
+			"Model-driven DVFS (auto-classified low-gear phases %v), FT N=%d@%.0fMHz: %v",
+			phases, maxN(s), topF(s), cmp))
 	}
 }
 
@@ -405,7 +444,7 @@ func BenchmarkModelDrivenDVFS(b *testing.B) {
 // segment model — each phase at its predicted-EDP-optimal operating point —
 // and scores it against the all-top baseline.
 func BenchmarkEDPOptimalGears(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	camp, err := s.MeasureFT()
 	if err != nil {
 		b.Fatal(err)
@@ -414,7 +453,7 @@ func BenchmarkEDPOptimalGears(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	w, err := s.Platform.World(16, 1400)
+	w, err := s.Platform.World(maxN(s), topF(s))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -427,8 +466,8 @@ func BenchmarkEDPOptimalGears(b *testing.B) {
 		sched := power.EDP(cmp.ScheduledJoules, cmp.ScheduledSec)
 		b.ReportMetric((1-sched/base)*100, "edp_improve%")
 		emit("edp-gears", fmt.Sprintf(
-			"EDP-optimal gear schedule (%v)\nFT N=16@1400MHz: EDP %.0f → %.0f J·s (%.1f%% better); %v",
-			pol, base, sched, (1-sched/base)*100, cmp))
+			"EDP-optimal gear schedule (%v)\nFT N=%d@%.0fMHz: EDP %.0f → %.0f J·s (%.1f%% better); %v",
+			pol, maxN(s), topF(s), base, sched, (1-sched/base)*100, cmp))
 	}
 }
 
@@ -437,23 +476,22 @@ func BenchmarkEDPOptimalGears(b *testing.B) {
 // faces ∝ volume^(2/3) — recovers the scalability its fixed-size surface
 // loses on Fast Ethernet (the Sun–Ni memory-bounded argument).
 func BenchmarkScaledSpeedup(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		mg, err := s.ScaledMG()
 		if err != nil {
 			b.Fatal(err)
 		}
-		maxN := s.Grid.Ns[len(s.Grid.Ns)-1]
-		sc, err := mg.Scaled.At(maxN, 600)
+		sc, err := mg.Scaled.At(maxN(s), baseF(s))
 		if err != nil {
 			b.Fatal(err)
 		}
-		fx, err := mg.Fixed.At(maxN, 600)
+		fx, err := mg.Fixed.At(maxN(s), baseF(s))
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(sc, "mg_scaled@16x600")
-		b.ReportMetric(fx, "mg_fixed@16x600")
+		b.ReportMetric(sc, fmt.Sprintf("mg_scaled@%dx%.0f", maxN(s), baseF(s)))
+		b.ReportMetric(fx, fmt.Sprintf("mg_fixed@%dx%.0f", maxN(s), baseF(s)))
 		emit("scaled", mg.String())
 	}
 }
@@ -465,7 +503,10 @@ func BenchmarkScaledSpeedup(b *testing.B) {
 // any model fitted below it — quantifying why the authors wanted the bigger
 // machine before concluding.
 func BenchmarkExtrapolation(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
+	if maxN(s) < 16 {
+		b.Skipf("extrapolation validates against a held-out N=16 run; grid tops out at %d", maxN(s))
+	}
 	for i := 0; i < b.N; i++ {
 		lu, err := s.ExtrapolateLU()
 		if err != nil {
@@ -485,19 +526,19 @@ func BenchmarkExtrapolation(b *testing.B) {
 // local x/y line solves plus a chunk-pipelined distributed Thomas solve
 // along z.
 func BenchmarkFigureSP(b *testing.B) {
-	s := experiments.Paper()
-	kernelFigure(b, "figure-sp", "SP (extension)", s, s.MeasureSP, 8, 600)
+	s := benchSuite(b)
+	kernelFigure(b, "figure-sp", "SP (extension)", s, s.MeasureSP, capN(s, 8), baseF(s))
 }
 
 // BenchmarkAblationPipelineChunks quantifies the z-solve pipelining choice:
 // the same ADI step with a monolithic (1-chunk) forward/backward sweep
 // versus the default chunked pipeline.
 func BenchmarkAblationPipelineChunks(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	run := func(chunks int) float64 {
 		sp := s.SP
 		sp.Chunks = chunks
-		w, err := s.Platform.World(16, 600)
+		w, err := s.Platform.World(maxN(s), baseF(s))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -513,8 +554,8 @@ func BenchmarkAblationPipelineChunks(b *testing.B) {
 		b.ReportMetric(serial, "sec_monolithic")
 		b.ReportMetric(piped, "sec_pipelined")
 		emit("abl-chunks", fmt.Sprintf(
-			"Ablation, z-solve pipelining: SP at (16, 600MHz) takes %.2f s with a monolithic sweep vs %.2f s with 8-chunk pipelining (%.1f×)",
-			serial, piped, serial/piped))
+			"Ablation, z-solve pipelining: SP at (%d, %.0fMHz) takes %.2f s with a monolithic sweep vs %.2f s with 8-chunk pipelining (%.1f×)",
+			maxN(s), baseF(s), serial, piped, serial/piped))
 	}
 }
 
@@ -522,10 +563,10 @@ func BenchmarkAblationPipelineChunks(b *testing.B) {
 // reports its converged tradeoff — the runtime-governor counterpart to the
 // offline model-driven schedules.
 func BenchmarkAdaptiveDVFS(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
 	ft := s.FT
 	ft.Iters = 24 // room to explore 5 gears × 2 visits per phase
-	w, err := s.Platform.World(16, 1400)
+	w, err := s.Platform.World(maxN(s), topF(s))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -541,8 +582,8 @@ func BenchmarkAdaptiveDVFS(b *testing.B) {
 		b.ReportMetric(cmp.EnergySavings()*100, "energysave%")
 		b.ReportMetric(cmp.Slowdown()*100, "slowdown%")
 		emit("adaptive", fmt.Sprintf(
-			"Adaptive (online, profile-free) DVFS, FT N=16@1400MHz over 24 iterations: %v\nrank-0 converged gears: %v",
-			cmp, chosen))
+			"Adaptive (online, profile-free) DVFS, FT N=%d@%.0fMHz over 24 iterations: %v\nrank-0 converged gears: %v",
+			maxN(s), topF(s), cmp, chosen))
 	}
 }
 
@@ -550,13 +591,19 @@ func BenchmarkAdaptiveDVFS(b *testing.B) {
 // work [18]) on CG: the workload multiplier that holds the 2-processor
 // efficiency at each larger count.
 func BenchmarkIsoefficiency(b *testing.B) {
-	s := experiments.Paper()
+	s := benchSuite(b)
+	var ns []int
+	for _, n := range s.Grid.Ns {
+		if n >= 2 {
+			ns = append(ns, n)
+		}
+	}
 	for i := 0; i < b.N; i++ {
-		res, err := s.IsoefficiencyCG([]int{2, 4, 8, 16})
+		res, err := s.IsoefficiencyCG(ns)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(res.Multiplier[len(res.Multiplier)-1], "mult@16")
+		b.ReportMetric(res.Multiplier[len(res.Multiplier)-1], fmt.Sprintf("mult@%d", ns[len(ns)-1]))
 		emit("isoeff", res.String())
 	}
 }

@@ -1,0 +1,133 @@
+// Command pabench turns `go test -bench` output into a machine-readable
+// JSON artifact. It tees stdin through to stdout unchanged — so it sits at
+// the end of a benchmark pipeline without hiding the human-readable log —
+// and writes the parsed benchmark lines, sorted by name, to the file named
+// by -o.
+//
+// Because a shell pipeline reports the exit status of its last stage,
+// pabench also acts as the pipeline's failure detector: it exits non-zero
+// when the stream contains a FAIL line or no benchmark lines at all.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line. Metrics holds every
+// value/unit pair go test printed: ns/op always, B/op and allocs/op under
+// -benchmem, plus any b.ReportMetric customs (maxerr%, speedup@16x600, ...).
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the artifact schema written to -o (see README "Benchmark
+// artifacts"). Suite echoes PASP_BENCH_SUITE so a stored artifact is
+// self-describing.
+type Report struct {
+	Suite      string  `json:"suite"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   <iters>   <value> <unit>   <value> <unit> ...
+//
+// and reports whether the line was a benchmark result. The -GOMAXPROCS
+// suffix is stripped from the name.
+func parseBenchLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Bench{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	metrics := make(map[string]float64)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return Bench{}, false
+	}
+	return Bench{Name: name, Iterations: iters, Metrics: metrics}, true
+}
+
+// run tees r to w, collecting parsed benchmark lines and noting FAIL lines.
+func run(r io.Reader, w io.Writer) (benches []Bench, failed bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return nil, false, err
+		}
+		if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL") {
+			failed = true
+		}
+		if b, ok := parseBenchLine(line); ok {
+			benches = append(benches, b)
+		}
+	}
+	return benches, failed, sc.Err()
+}
+
+// report assembles the sorted artifact. Ties (a name measured twice, e.g.
+// -count > 1) keep input order. json.Marshal renders map keys sorted, so
+// the artifact bytes are deterministic for a given input.
+func report(suite string, benches []Bench) Report {
+	sort.SliceStable(benches, func(i, j int) bool { return benches[i].Name < benches[j].Name })
+	if suite == "" {
+		suite = "paper"
+	}
+	return Report{Suite: suite, Benchmarks: benches}
+}
+
+func main() {
+	out := flag.String("o", "", "write the parsed results as JSON to this file")
+	flag.Parse()
+	benches, failed, err := run(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pabench:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(report(os.Getenv("PASP_BENCH_SUITE"), benches), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pabench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pabench:", err)
+			os.Exit(1)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "pabench: benchmark stream contains FAIL")
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "pabench: no benchmark lines in input")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleStream = `goos: linux
+goarch: amd64
+pkg: pasp
+cpu: Intel(R) Xeon(R)
+BenchmarkTable1-8      	       1	1317150123 ns/op	        12.34 maxerr%	         5.67 meanerr%	  123456 B/op	    1234 allocs/op
+BenchmarkFigure2-8     	       2	 658575061 ns/op	         1.50 speedup@16x600
+some table row that is not a benchmark
+BenchmarkTable1-8      	       1	1317150124 ns/op	        12.34 maxerr%
+PASS
+ok  	pasp	49.601s
+`
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkTable1-8 \t 1 \t 1317150123 ns/op \t 12.34 maxerr% \t 123456 B/op \t 1234 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if b.Name != "Table1" {
+		t.Errorf("name %q, want Table1", b.Name)
+	}
+	if b.Iterations != 1 {
+		t.Errorf("iterations %d, want 1", b.Iterations)
+	}
+	want := map[string]float64{"ns/op": 1317150123, "maxerr%": 12.34, "B/op": 123456, "allocs/op": 1234}
+	for k, v := range want {
+		if b.Metrics[k] != v {
+			t.Errorf("metric %q = %g, want %g", k, b.Metrics[k], v)
+		}
+	}
+}
+
+func TestParseBenchLineRejectsNonBenchmarks(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  \tpasp\t49.601s",
+		"goos: linux",
+		"N    600   800  1000",
+		"BenchmarkBroken-8\tnot-a-number\t12 ns/op",
+		"Benchmark0nly-8\t1", // result line with no metrics
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q parsed as a benchmark", line)
+		}
+	}
+}
+
+func TestRunTeesAndCollects(t *testing.T) {
+	var out strings.Builder
+	benches, failed, err := run(strings.NewReader(sampleStream), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Error("stream without FAIL reported as failed")
+	}
+	if out.String() != sampleStream {
+		t.Error("tee output differs from input")
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+}
+
+func TestRunDetectsFail(t *testing.T) {
+	var out strings.Builder
+	_, failed, err := run(strings.NewReader("--- FAIL: BenchmarkX\nFAIL\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("FAIL line not detected")
+	}
+}
+
+func TestReportSortsAndMarshalsDeterministically(t *testing.T) {
+	var out strings.Builder
+	benches, _, err := run(strings.NewReader(sampleStream), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := report("", benches)
+	if rep.Suite != "paper" {
+		t.Errorf("default suite %q, want paper", rep.Suite)
+	}
+	if got := []string{rep.Benchmarks[0].Name, rep.Benchmarks[1].Name, rep.Benchmarks[2].Name}; got[0] != "Figure2" || got[1] != "Table1" || got[2] != "Table1" {
+		t.Errorf("sorted names %v, want [Figure2 Table1 Table1]", got)
+	}
+	// The duplicate Table1 rows must keep input order (stable sort).
+	if rep.Benchmarks[1].Metrics["ns/op"] != 1317150123 || rep.Benchmarks[2].Metrics["ns/op"] != 1317150124 {
+		t.Error("stable sort did not preserve the input order of duplicate names")
+	}
+	a, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(report("", append([]Bench(nil), rep.Benchmarks...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("marshalling the same report twice produced different bytes")
+	}
+}

@@ -79,3 +79,34 @@ func GoodLocal(ch chan<- int) {
 		ch <- sum
 	}()
 }
+
+// BadPool recycles a buffer through a sync.Pool inside the goroutine but
+// still writes a captured variable: Get and Put manage memory, they do not
+// synchronize, so the write must stay flagged.
+func BadPool(p *sync.Pool) int {
+	hits := 0
+	go func() {
+		buf := p.Get()
+		hits++ // seeded violation 4
+		p.Put(buf)
+	}()
+	return hits
+}
+
+// GoodPool combines buffer recycling with the fan-out idiom: every write is
+// either goroutine-local or lands in the goroutine's own slot.
+func GoodPool(p *sync.Pool, n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			buf := p.Get().([]byte)
+			out[slot] = len(buf)
+			p.Put(buf)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -149,7 +150,7 @@ func Sweep(p Platform, g Grid, run RunFunc) ([]Cell, error) {
 			for i := range next {
 				w, err := p.World(cells[i].N, cells[i].MHz)
 				if err != nil {
-					errs[i] = err
+					errs[i] = fmt.Errorf("cluster: N=%d f=%gMHz: %w", cells[i].N, cells[i].MHz, err)
 					continue
 				}
 				res, err := run(w)
@@ -166,10 +167,11 @@ func Sweep(p Platform, g Grid, run RunFunc) ([]Cell, error) {
 	}
 	close(next)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	// A failing sweep reports every broken cell, not just the first: a
+	// parameter that breaks several (N, MHz) configurations shows its whole
+	// footprint in one error.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return cells, nil
 }

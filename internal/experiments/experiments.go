@@ -14,6 +14,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"pasp/internal/cluster"
 	"pasp/internal/core"
@@ -89,32 +90,61 @@ func Quick() Suite {
 	}
 }
 
-// Campaign is a measured grid plus the raw per-cell results.
+// Campaign is a measured grid plus the raw per-cell results. Campaigns
+// obtained from the MeasureXX entry points are memoized process-wide (see
+// store.go) and shared between callers, so a Campaign must be treated as
+// read-only after construction.
 type Campaign struct {
 	// Meas holds times and energies keyed by configuration.
 	Meas *core.Measurements
 	// Cells holds the raw simulation results in sweep order.
 	Cells []cluster.Cell
+
+	// index maps (N, MHz) to a position in Cells; built lazily so
+	// hand-assembled Campaign literals keep working.
+	indexOnce sync.Once
+	index     map[cellKey]int
+}
+
+// cellKey is the exact-match lookup key of one grid cell. The frequency is
+// copied verbatim from Grid.MHz into every cell, so map equality on the
+// float64 is the intended exact-key semantics.
+type cellKey struct {
+	n   int
+	mhz float64
+}
+
+// buildIndex constructs the cell lookup map; first occurrence wins, same as
+// the linear scan it replaced.
+func (c *Campaign) buildIndex() {
+	c.index = make(map[cellKey]int, len(c.Cells))
+	for i, cell := range c.Cells {
+		k := cellKey{n: cell.N, mhz: cell.MHz}
+		if _, ok := c.index[k]; !ok {
+			c.index[k] = i
+		}
+	}
 }
 
 // Cell returns the raw result of one configuration.
 func (c *Campaign) Cell(n int, mhz float64) (*mpi.Result, error) {
-	for _, cell := range c.Cells {
-		//palint:ignore floateq cell frequencies are copied verbatim from Grid.MHz; lookup by exact key is intended
-		if cell.N == n && cell.MHz == mhz {
-			return cell.Res, nil
-		}
+	c.indexOnce.Do(c.buildIndex)
+	if i, ok := c.index[cellKey{n: n, mhz: mhz}]; ok {
+		return c.Cells[i].Res, nil
 	}
 	return nil, fmt.Errorf("experiments: no cell N=%d f=%g", n, mhz)
 }
 
-// measure sweeps the grid with the kernel and collects a campaign.
+// measure sweeps the grid with the kernel and collects a campaign. It is
+// the uncached path; the MeasureXX entry points layer the campaign store on
+// top. Tests use it directly to prove cached and fresh campaigns agree.
 func (s Suite) measure(g cluster.Grid, run cluster.RunFunc) (*Campaign, error) {
 	cells, err := cluster.Sweep(s.Platform, g, run)
 	if err != nil {
 		return nil, err
 	}
 	camp := &Campaign{Meas: core.NewMeasurements(), Cells: cells}
+	camp.indexOnce.Do(camp.buildIndex)
 	for _, c := range cells {
 		camp.Meas.SetTime(c.N, c.MHz, c.Res.Seconds)
 		camp.Meas.SetEnergy(c.N, c.MHz, c.Res.Joules)
@@ -140,14 +170,20 @@ func (s Suite) RunLU(w mpi.World) (*mpi.Result, error) {
 	return r, err
 }
 
-// MeasureEP runs the EP campaign over the suite grid.
-func (s Suite) MeasureEP() (*Campaign, error) { return s.measure(s.Grid, s.RunEP) }
+// MeasureEP runs the EP campaign over the suite grid, memoized.
+func (s Suite) MeasureEP() (*Campaign, error) {
+	return s.measureCached("EP", s.EP, s.Grid, s.RunEP)
+}
 
-// MeasureFT runs the FT campaign over the suite grid.
-func (s Suite) MeasureFT() (*Campaign, error) { return s.measure(s.Grid, s.RunFT) }
+// MeasureFT runs the FT campaign over the suite grid, memoized.
+func (s Suite) MeasureFT() (*Campaign, error) {
+	return s.measureCached("FT", s.FT, s.Grid, s.RunFT)
+}
 
-// MeasureLU runs the LU campaign over the LU grid.
-func (s Suite) MeasureLU() (*Campaign, error) { return s.measure(s.LUGrid, s.RunLU) }
+// MeasureLU runs the LU campaign over the LU grid, memoized.
+func (s Suite) MeasureLU() (*Campaign, error) {
+	return s.measureCached("LU", s.LU, s.LUGrid, s.RunLU)
+}
 
 // RunCG adapts the CG class to a sweep.
 func (s Suite) RunCG(w mpi.World) (*mpi.Result, error) {
@@ -167,14 +203,20 @@ func (s Suite) RunIS(w mpi.World) (*mpi.Result, error) {
 	return r, err
 }
 
-// MeasureCG runs the CG campaign over the suite grid.
-func (s Suite) MeasureCG() (*Campaign, error) { return s.measure(s.Grid, s.RunCG) }
+// MeasureCG runs the CG campaign over the suite grid, memoized.
+func (s Suite) MeasureCG() (*Campaign, error) {
+	return s.measureCached("CG", s.CG, s.Grid, s.RunCG)
+}
 
-// MeasureMG runs the MG campaign over the suite grid.
-func (s Suite) MeasureMG() (*Campaign, error) { return s.measure(s.Grid, s.RunMG) }
+// MeasureMG runs the MG campaign over the suite grid, memoized.
+func (s Suite) MeasureMG() (*Campaign, error) {
+	return s.measureCached("MG", s.MG, s.Grid, s.RunMG)
+}
 
-// MeasureIS runs the IS campaign over the suite grid.
-func (s Suite) MeasureIS() (*Campaign, error) { return s.measure(s.Grid, s.RunIS) }
+// MeasureIS runs the IS campaign over the suite grid, memoized.
+func (s Suite) MeasureIS() (*Campaign, error) {
+	return s.measureCached("IS", s.IS, s.Grid, s.RunIS)
+}
 
 // RunSP adapts the SP class to a sweep.
 func (s Suite) RunSP(w mpi.World) (*mpi.Result, error) {
@@ -182,5 +224,7 @@ func (s Suite) RunSP(w mpi.World) (*mpi.Result, error) {
 	return r, err
 }
 
-// MeasureSP runs the SP campaign over the suite grid.
-func (s Suite) MeasureSP() (*Campaign, error) { return s.measure(s.Grid, s.RunSP) }
+// MeasureSP runs the SP campaign over the suite grid, memoized.
+func (s Suite) MeasureSP() (*Campaign, error) {
+	return s.measureCached("SP", s.SP, s.Grid, s.RunSP)
+}

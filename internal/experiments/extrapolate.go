@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"pasp/internal/cluster"
 	"pasp/internal/core"
 	"pasp/internal/stats"
 )
@@ -67,15 +68,38 @@ func Extrapolate(kernel string, camp *Campaign, maxFitN, heldOutN int) (*Extrapo
 
 // ExtrapolateLU runs the footnote-3 experiment on LU, whose wavefront and
 // message overheads grow smoothly with N: measure N ∈ {1..8} plus a
-// validation run at 16, fit on ≤ 8, predict 16.
+// validation run at 16, fit on ≤ 8, predict 16. The fit rows reuse the
+// memoized MeasureLU campaign; only the held-out N=16 row is swept here.
+// Every cell is an independent deterministic simulation and cluster.Sweep
+// orders cells Ns-outer/MHz-inner, so concatenating the two campaigns
+// reproduces the extended-grid sweep cell for cell, bit-identically.
 func (s Suite) ExtrapolateLU() (*ExtrapolationResult, error) {
-	grid := s.LUGrid
-	grid.Ns = append(append([]int(nil), s.LUGrid.Ns...), 16)
-	camp, err := s.measure(grid, s.RunLU)
+	base, err := s.MeasureLU()
 	if err != nil {
 		return nil, err
 	}
-	return Extrapolate("LU", camp, 8, 16)
+	held, err := s.measureCached("LU", s.LU, cluster.Grid{Ns: []int{16}, MHz: s.LUGrid.MHz}, s.RunLU)
+	if err != nil {
+		return nil, err
+	}
+	return Extrapolate("LU", mergeCampaigns(base, held), 8, 16)
+}
+
+// mergeCampaigns assembles a fresh Campaign from the concatenated cells of
+// the inputs, in order. The inputs stay untouched (they may be shared store
+// entries); the merged campaign rebuilds Meas and the cell index exactly as
+// Suite.measure would have for a single sweep over the combined grid.
+func mergeCampaigns(parts ...*Campaign) *Campaign {
+	merged := &Campaign{Meas: core.NewMeasurements()}
+	for _, p := range parts {
+		merged.Cells = append(merged.Cells, p.Cells...)
+	}
+	merged.indexOnce.Do(merged.buildIndex)
+	for _, c := range merged.Cells {
+		merged.Meas.SetTime(c.N, c.MHz, c.Res.Seconds)
+		merged.Meas.SetEnergy(c.N, c.MHz, c.Res.Joules)
+	}
+	return merged
 }
 
 // ExtrapolateFT runs the same experiment on FT, where the transpose

@@ -16,19 +16,21 @@ type Kernel struct {
 	Run cluster.RunFunc
 	// Grid is the campaign the kernel sweeps (LU uses the smaller grid).
 	Grid cluster.Grid
+	// Measure sweeps the kernel's campaign through the campaign store.
+	Measure func() (*Campaign, error)
 }
 
 // Kernels returns the suite's registered kernels keyed by name, so
 // commands can resolve a -bench flag uniformly.
 func (s Suite) Kernels() map[string]Kernel {
 	return map[string]Kernel{
-		"ep": {Name: "ep", Run: s.RunEP, Grid: s.Grid},
-		"ft": {Name: "ft", Run: s.RunFT, Grid: s.Grid},
-		"lu": {Name: "lu", Run: s.RunLU, Grid: s.LUGrid},
-		"cg": {Name: "cg", Run: s.RunCG, Grid: s.Grid},
-		"mg": {Name: "mg", Run: s.RunMG, Grid: s.Grid},
-		"is": {Name: "is", Run: s.RunIS, Grid: s.Grid},
-		"sp": {Name: "sp", Run: s.RunSP, Grid: s.Grid},
+		"ep": {Name: "ep", Run: s.RunEP, Grid: s.Grid, Measure: s.MeasureEP},
+		"ft": {Name: "ft", Run: s.RunFT, Grid: s.Grid, Measure: s.MeasureFT},
+		"lu": {Name: "lu", Run: s.RunLU, Grid: s.LUGrid, Measure: s.MeasureLU},
+		"cg": {Name: "cg", Run: s.RunCG, Grid: s.Grid, Measure: s.MeasureCG},
+		"mg": {Name: "mg", Run: s.RunMG, Grid: s.Grid, Measure: s.MeasureMG},
+		"is": {Name: "is", Run: s.RunIS, Grid: s.Grid, Measure: s.MeasureIS},
+		"sp": {Name: "sp", Run: s.RunSP, Grid: s.Grid, Measure: s.MeasureSP},
 	}
 }
 
@@ -52,13 +54,14 @@ func (s Suite) Kernel(name string) (Kernel, error) {
 	return k, nil
 }
 
-// MeasureKernel sweeps the named kernel's grid.
+// MeasureKernel sweeps the named kernel's grid through the campaign store:
+// repeated calls for the same suite return the one memoized campaign.
 func (s Suite) MeasureKernel(name string) (*Campaign, error) {
 	k, err := s.Kernel(name)
 	if err != nil {
 		return nil, err
 	}
-	return s.measure(k.Grid, k.Run)
+	return k.Measure()
 }
 
 // RunKernelOnce executes the named kernel at one configuration.

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"pasp/internal/cluster"
+)
+
+// The campaign store memoizes measurement campaigns for the lifetime of the
+// process. Every table, figure, EDP, segment-model and DVFS experiment
+// starts from a campaign, and most of them start from the *same* campaign:
+// before the store, the benchmark harness re-simulated the FT sweep seven
+// times. A campaign is a pure function of (kernel class and parameters,
+// grid, platform), so it is content-keyed on exactly those and measured at
+// most once.
+//
+// Cached campaigns are shared: every caller receives the same *Campaign and
+// must treat it — Meas, Cells and the per-cell Results and Traces — as
+// read-only. All in-tree consumers only read (fits, grids, trace scans).
+//
+// Variant platforms are naturally distinct keys: the ablations mutate a
+// copy of Suite.Platform (FlowConcurrency, MsgCPUIns, BusDrop, ...) and the
+// fingerprint of the modified struct no longer matches the stock one.
+
+// campaignKey identifies one campaign by content, not by call site.
+type campaignKey struct {
+	kernel   string // kernel name plus its full parameter struct
+	grid     string // Ns × MHz
+	platform string // machine, network and power models plus MaxNodes
+}
+
+// storeEntry is one memoized campaign; once guards the single measurement.
+type storeEntry struct {
+	once sync.Once
+	camp *Campaign
+	err  error
+}
+
+// campaignStore is the process-wide cache. A mutex guards the map; each
+// entry's sync.Once guards its measurement, so two goroutines asking for
+// the same key concurrently trigger exactly one sweep and both block on it
+// (the singleflight pattern) while campaigns under different keys measure
+// concurrently.
+var campaignStore = struct {
+	mu sync.Mutex
+	m  map[campaignKey]*storeEntry
+}{m: map[campaignKey]*storeEntry{}}
+
+// storeKey fingerprints the campaign inputs. The structs involved
+// (machine.Config, simnet.Config, power.Profile and the npb kernel types)
+// contain only scalars, arrays and slices — no maps — so their %+v
+// rendering is deterministic and content-complete.
+func storeKey(kernel string, params any, g cluster.Grid, p cluster.Platform) campaignKey {
+	return campaignKey{
+		kernel:   fmt.Sprintf("%s %+v", kernel, params),
+		grid:     fmt.Sprintf("%v %v", g.Ns, g.MHz),
+		platform: fmt.Sprintf("%+v", p),
+	}
+}
+
+// measureCached returns the memoized campaign for (kernel, params, grid,
+// platform), sweeping the grid at most once per process. params must be the
+// kernel's full parameter struct so that two classes of the same kernel
+// cannot collide.
+func (s Suite) measureCached(kernel string, params any, g cluster.Grid, run cluster.RunFunc) (*Campaign, error) {
+	key := storeKey(kernel, params, g, s.Platform)
+	campaignStore.mu.Lock()
+	e, ok := campaignStore.m[key]
+	if !ok {
+		e = &storeEntry{}
+		campaignStore.m[key] = e
+	}
+	campaignStore.mu.Unlock()
+	e.once.Do(func() {
+		e.camp, e.err = s.measure(g, run)
+	})
+	return e.camp, e.err
+}
+
+// CampaignStoreSize reports how many distinct campaigns the process has
+// measured — observability for tests and the benchmark harness.
+func CampaignStoreSize() int {
+	campaignStore.mu.Lock()
+	defer campaignStore.mu.Unlock()
+	return len(campaignStore.m)
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestStoreReturnsSharedCampaign proves the memoization contract: two calls
+// to the same MeasureXX entry point return the same *Campaign, measured
+// once.
+func TestStoreReturnsSharedCampaign(t *testing.T) {
+	s := Quick()
+	a, err := s.MeasureFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.MeasureFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeat MeasureFT returned a distinct campaign; the store did not memoize")
+	}
+}
+
+// TestStoreMatchesFreshMeasurement proves the cached campaign is
+// bit-identical to an uncached sweep: the memoization may reorder nothing
+// and recompute nothing that changes a reproduced number.
+func TestStoreMatchesFreshMeasurement(t *testing.T) {
+	s := Quick()
+	cached, err := s.MeasureFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := s.measure(s.Grid, s.RunFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cached.Cells) != len(fresh.Cells) {
+		t.Fatalf("cached campaign has %d cells, fresh %d", len(cached.Cells), len(fresh.Cells))
+	}
+	for i := range fresh.Cells {
+		c, f := cached.Cells[i], fresh.Cells[i]
+		if c.N != f.N || c.MHz != f.MHz {
+			t.Fatalf("cell %d: cached (N=%d f=%g) vs fresh (N=%d f=%g)", i, c.N, c.MHz, f.N, f.MHz)
+		}
+		//palint:ignore floateq bit-identity is the property under test, not a tolerance comparison
+		if c.Res.Seconds != f.Res.Seconds || c.Res.Joules != f.Res.Joules {
+			t.Errorf("cell N=%d f=%g: cached (%.17g s, %.17g J) differs from fresh (%.17g s, %.17g J)",
+				c.N, c.MHz, c.Res.Seconds, c.Res.Joules, f.Res.Seconds, f.Res.Joules)
+		}
+	}
+}
+
+// TestStoreKeysOnPlatformContent proves a mutated platform gets its own
+// store entry rather than poisoning the stock one — the property the
+// ablation benchmarks rely on.
+func TestStoreKeysOnPlatformContent(t *testing.T) {
+	s := Quick()
+	if _, err := s.MeasureFT(); err != nil {
+		t.Fatal(err)
+	}
+	before := CampaignStoreSize()
+	variant := s
+	variant.Platform.Net.MsgCPUIns = 0
+	vc, err := variant.MeasureFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CampaignStoreSize() != before+1 {
+		t.Errorf("store size %d after measuring a platform variant, want %d", CampaignStoreSize(), before+1)
+	}
+	stock, err := s.MeasureFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc == stock {
+		t.Error("platform variant shares the stock campaign; keying ignores platform content")
+	}
+}
+
+// TestMergeCampaigns proves the ExtrapolateLU fast path assembles exactly
+// the campaign a single extended-grid sweep would have produced.
+func TestMergeCampaigns(t *testing.T) {
+	s := Quick()
+	a, err := s.MeasureFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := mergeCampaigns(a, a)
+	if len(merged.Cells) != 2*len(a.Cells) {
+		t.Fatalf("merged %d cells, want %d", len(merged.Cells), 2*len(a.Cells))
+	}
+	for _, c := range a.Cells {
+		res, err := merged.Cell(c.N, c.MHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != c.Res {
+			t.Errorf("merged cell N=%d f=%g does not point at the source result", c.N, c.MHz)
+		}
+		tm, err := merged.Meas.Time(c.N, c.MHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		//palint:ignore floateq the merged measurement must carry the source value verbatim
+		if tm != c.Res.Seconds {
+			t.Errorf("merged time at N=%d f=%g is %.17g, want %.17g", c.N, c.MHz, tm, c.Res.Seconds)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package mpi
+
+import "testing"
+
+// pingPongAllocs measures the allocations of one full Run executing rounds
+// eager ping-pong exchanges between two ranks.
+func pingPongAllocs(t *testing.T, rounds int) float64 {
+	t.Helper()
+	w := testWorld(2, 600)
+	data := []float64{1, 2, 3, 4}
+	return testing.AllocsPerRun(3, func() {
+		_, err := Run(w, func(c *Ctx) error {
+			for r := 0; r < rounds; r++ {
+				if c.Rank() == 0 {
+					if err := c.Send(1, 7, data, 32); err != nil {
+						return err
+					}
+					got, err := c.Recv(1, 8)
+					if err != nil {
+						return err
+					}
+					c.Free(got)
+				} else {
+					got, err := c.Recv(0, 7)
+					if err != nil {
+						return err
+					}
+					c.Free(got)
+					if err := c.Send(0, 8, data, 32); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestEagerPathAllocs pins the steady-state allocation cost of the eager
+// Send/Recv path. Differencing two round counts cancels every per-Run fixed
+// cost (goroutines, mailboxes, result assembly) and isolates the per-round
+// marginal allocations. Before payload pooling each round allocated at
+// least two payload snapshots (one per Send); the freelist brings the
+// steady state to zero, and the budget of one allocation per round keeps
+// the required ≥50% reduction enforced with headroom for runtime noise.
+func TestEagerPathAllocs(t *testing.T) {
+	const r = 64
+	base := pingPongAllocs(t, r)
+	double := pingPongAllocs(t, 2*r)
+	perRound := (double - base) / r
+	if perRound > 1.0 {
+		t.Errorf("eager ping-pong allocates %.2f allocs/round, want ≤ 1 (pre-pooling cost was ≥ 2)", perRound)
+	}
+}

@@ -60,7 +60,7 @@ func (c *Ctx) Barrier() error {
 	net := &c.rt.w.Net
 	rounds := log2ceil(n)
 	c.noteMsgs(rounds, 0)
-	cost := float64(rounds) * (2*net.CPUOverhead(0, c.Freq()) + net.LatencySec)
+	cost := float64(rounds) * (2*c.cpuOverhead(0) + net.LatencySec)
 	_, err := c.collective(nil, cost)
 	return err
 }
@@ -90,7 +90,7 @@ func (c *Ctx) Bcast(root int, data []float64, vbytes int) ([]float64, error) {
 	b := collBytes(data, vbytes)
 	c.noteMsgs(1, b) // binomial tree: each rank forwards at most once per round; one send on average
 	rounds := float64(log2ceil(n))
-	cost := rounds * (2*net.CPUOverhead(b, c.Freq()) + net.LatencySec + net.ContendedWireTime(b, n/2))
+	cost := rounds * (2*c.cpuOverhead(b) + net.LatencySec + net.ContendedWireTime(b, n/2))
 	snap, err := c.collective(copyVec(data), cost)
 	if err != nil {
 		return nil, err
@@ -99,8 +99,9 @@ func (c *Ctx) Bcast(root int, data []float64, vbytes int) ([]float64, error) {
 	if !ok && snap.payloads[root] != nil {
 		return nil, fmt.Errorf("mpi: bcast payload type mismatch")
 	}
-	// Snapshot: the root may reuse its buffer after the call returns.
-	return append([]float64(nil), got...), nil
+	// Snapshot: the root may reuse its buffer after the call returns. The
+	// copy is caller-owned and may be recycled with Free.
+	return c.snapshotPayload(got), nil
 }
 
 // reduceAll combines the deposited vectors in rank order (deterministic
@@ -142,7 +143,7 @@ func (c *Ctx) reduceCost(b int) float64 {
 	net := &c.rt.w.Net
 	rounds := float64(log2ceil(n))
 	c.noteMsgs(log2ceil(n), b)
-	perRound := 2*net.CPUOverhead(b, c.Freq()) + net.LatencySec +
+	perRound := 2*c.cpuOverhead(b) + net.LatencySec +
 		net.ContendedWireTime(b, n) + ReduceInsPerByte*float64(b)/c.hz()
 	return rounds * perRound
 }
@@ -209,8 +210,12 @@ func (c *Ctx) Alltoall(parts [][]float64, vbytesPerPair int) ([][]float64, error
 	}
 	c.noteMsgs(n-1, b)
 	net := &c.rt.w.Net
-	perRound := 2*net.CPUOverhead(b, c.Freq()) + net.LatencySec + net.ContendedWireTime(b, n)
+	perRound := 2*c.cpuOverhead(b) + net.LatencySec + net.ContendedWireTime(b, n)
 	cost := float64(n-1) * perRound
+	// Deposits are fresh copies, never recycled buffers: every other rank
+	// reads them from the snapshot, so they have no single owner to free
+	// them. The out-copies below are exclusively caller-owned and therefore
+	// may come from (and return to, via Free) the rank's buffer cache.
 	deposit := make([][]float64, n)
 	for d := range parts {
 		deposit[d] = copyVec(parts[d])
@@ -228,7 +233,7 @@ func (c *Ctx) Alltoall(parts [][]float64, vbytesPerPair int) ([][]float64, error
 		if len(sp) != n {
 			return nil, fmt.Errorf("mpi: alltoall rank %d deposited %d parts", s, len(sp))
 		}
-		out[s] = append([]float64(nil), sp[c.rank]...)
+		out[s] = c.snapshotPayload(sp[c.rank])
 	}
 	return out, nil
 }
@@ -244,7 +249,7 @@ func (c *Ctx) Allgather(data []float64, vbytes int) ([][]float64, error) {
 	b := collBytes(data, vbytes)
 	c.noteMsgs(n-1, b)
 	net := &c.rt.w.Net
-	perRound := 2*net.CPUOverhead(b, c.Freq()) + net.LatencySec + net.ContendedWireTime(b, n)
+	perRound := 2*c.cpuOverhead(b) + net.LatencySec + net.ContendedWireTime(b, n)
 	cost := float64(n-1) * perRound
 	snap, err := c.collective(copyVec(data), cost)
 	if err != nil {
@@ -256,7 +261,7 @@ func (c *Ctx) Allgather(data []float64, vbytes int) ([][]float64, error) {
 		if !ok {
 			return nil, fmt.Errorf("mpi: allgather payload from rank %d is %T", s, p)
 		}
-		out[s] = append([]float64(nil), v...)
+		out[s] = c.snapshotPayload(v)
 	}
 	return out, nil
 }
@@ -277,7 +282,7 @@ func (c *Ctx) Gather(root int, data []float64, vbytes int) ([][]float64, error) 
 	// Binomial gather: log₂n rounds; message sizes double toward the root,
 	// bounded by the total payload converging on one port.
 	rounds := float64(log2ceil(n))
-	cost := rounds*(2*net.CPUOverhead(b, c.Freq())+net.LatencySec) + net.WireTime(b*(n-1))
+	cost := rounds*(2*c.cpuOverhead(b)+net.LatencySec) + net.WireTime(b*(n-1))
 	snap, err := c.collective(copyVec(data), cost)
 	if err != nil {
 		return nil, err
@@ -328,7 +333,7 @@ func (c *Ctx) Scatter(root int, parts [][]float64, vbytesPerPart int) ([]float64
 	c.noteMsgs(1, b)
 	net := &c.rt.w.Net
 	rounds := float64(log2ceil(n))
-	cost := rounds*(2*net.CPUOverhead(b, c.Freq())+net.LatencySec) + net.WireTime(b*(n-1))
+	cost := rounds*(2*c.cpuOverhead(b)+net.LatencySec) + net.WireTime(b*(n-1))
 	snap, err := c.collective(deposit, cost)
 	if err != nil {
 		return nil, err

@@ -34,6 +34,90 @@ type Ctx struct {
 	log      trace.Log
 
 	phase string
+
+	// bufCache recycles payload buffers between Free calls and later
+	// snapshot copies. It is touched only from the rank's own goroutine;
+	// buffers migrate between ranks through the mailbox channels, whose
+	// send/receive pairs provide the ownership hand-off (and the
+	// happens-before edge the race detector checks).
+	bufCache [][]float64
+
+	// done is the rank's reusable rendezvous-completion channel. A sender
+	// has at most one rendezvous in flight, so one buffered slot suffices
+	// for the whole run instead of one channel per large message.
+	done chan float64
+
+	// ovFreq/ovBytes/ovSecs/ovValid memoize simnet.Config.CPUOverhead for
+	// the handful of distinct message sizes a kernel uses, keyed by the
+	// current frequency. See cpuOverhead.
+	ovFreq  units.Hertz
+	ovBytes [overheadSlots]int
+	ovSecs  [overheadSlots]float64
+	ovValid [overheadSlots]bool
+}
+
+// overheadSlots sizes the per-rank CPU-overhead memo. A direct-mapped cache
+// this small covers the working set: a kernel phase cycles through only a
+// few message sizes (face bytes, column bytes, reduction words).
+const overheadSlots = 8
+
+// cpuOverhead returns the per-message CPU cost of a payload of the given
+// size at the rank's current frequency, memoized per (frequency, bytes).
+// The cached value is the result of the exact same Config.CPUOverhead call,
+// so timing stays bit-identical to the unmemoized path.
+func (c *Ctx) cpuOverhead(bytes int) float64 {
+	if c.ovFreq != c.state.Freq { //palint:ignore floateq exact-key cache invalidation, not a tolerance comparison
+		c.ovFreq = c.state.Freq
+		c.ovValid = [overheadSlots]bool{}
+	}
+	slot := (bytes ^ bytes>>6 ^ bytes>>12) & (overheadSlots - 1)
+	if c.ovValid[slot] && c.ovBytes[slot] == bytes {
+		return c.ovSecs[slot]
+	}
+	o := c.rt.w.Net.CPUOverhead(bytes, c.state.Freq)
+	c.ovBytes[slot], c.ovSecs[slot], c.ovValid[slot] = bytes, o, true
+	return o
+}
+
+// maxCachedBuffers bounds the per-rank buffer cache so a kernel that frees
+// many odd-sized buffers cannot pin unbounded memory.
+const maxCachedBuffers = 16
+
+// Free returns a payload buffer to the rank's buffer cache for reuse by a
+// later Send or collective copy. Only buffers the caller owns may be freed:
+// a slice returned by Recv, SendRecv, Alltoall or Allgather after its
+// contents have been copied out or fully consumed. The caller must not
+// retain or read the slice after freeing it. Freeing is purely an
+// optimization — dropping the slice for the garbage collector is always
+// correct.
+func (c *Ctx) Free(buf []float64) {
+	if cap(buf) == 0 || len(c.bufCache) >= maxCachedBuffers {
+		return
+	}
+	c.bufCache = append(c.bufCache, buf)
+}
+
+// snapshotPayload copies data into a caller-owned buffer, reusing a freed
+// one when a large enough buffer is cached. The copy preserves the eager
+// snapshot-at-send semantics: the sender may overwrite data immediately
+// after Send returns.
+func (c *Ctx) snapshotPayload(data []float64) []float64 {
+	if len(data) == 0 {
+		return nil // matches append([]float64(nil), data...) exactly
+	}
+	for i := len(c.bufCache) - 1; i >= 0; i-- {
+		if b := c.bufCache[i]; cap(b) >= len(data) {
+			last := len(c.bufCache) - 1
+			c.bufCache[i] = c.bufCache[last]
+			c.bufCache = c.bufCache[:last]
+			b = b[:len(data)]
+			copy(b, data)
+			return b
+		}
+	}
+	b := make([]float64, len(data))
+	copy(b, data)
+	return b
 }
 
 func newCtx(rt *runtime, rank int) *Ctx {

@@ -33,7 +33,7 @@ func (m message) Bytes() int {
 	return 8 * len(m.data)
 }
 
-func (c *Ctx) box(src, dst int) chan message { return c.rt.boxes[src*c.Size()+dst] }
+func (c *Ctx) box(src, dst int) chan message { return c.rt.box(src, dst) }
 
 // Send transmits data to rank dst with the given tag. vbytes, when
 // positive, overrides the timed message size so a scaled-down payload can
@@ -48,16 +48,19 @@ func (c *Ctx) Send(dst, tag int, data []float64, vbytes int) error {
 	// MPI semantics: the send buffer is the caller's again as soon as Send
 	// returns, so the payload must be snapshotted here — senders routinely
 	// reuse (and mutate) their buffers immediately.
-	m := message{tag: tag, data: append([]float64(nil), data...), vbytes: vbytes}
+	m := message{tag: tag, data: c.snapshotPayload(data), vbytes: vbytes}
 	b := m.Bytes()
 	c.noteMsgs(1, b)
 	net := &c.rt.w.Net
-	o := net.CPUOverhead(b, c.Freq())
+	o := c.cpuOverhead(b)
 	m.ready = c.clock + o
 
 	if net.Rendezvous(b) {
 		m.rendezvous = true
-		m.done = make(chan float64, 1)
+		if c.done == nil {
+			c.done = make(chan float64, 1)
+		}
+		m.done = c.done
 		select {
 		case c.box(c.rank, dst) <- m:
 		case <-c.rt.abort:
@@ -68,6 +71,10 @@ func (c *Ctx) Send(dst, tag int, data []float64, vbytes int) error {
 			c.egressFree = doneAt
 			return c.advanceComm(doneAt)
 		case <-c.rt.abort:
+			// The receiver may still complete this rendezvous during
+			// teardown; abandon the channel so a stale completion can never
+			// be mistaken for a future message's.
+			c.done = nil
 			return ErrAborted
 		}
 	}
@@ -91,7 +98,9 @@ func (c *Ctx) Send(dst, tag int, data []float64, vbytes int) error {
 
 // Recv receives the next message from rank src, which must carry the given
 // tag (per-pair FIFO ordering is guaranteed, as in MPI). It returns the
-// payload.
+// payload. The returned slice is owned exclusively by the caller; once its
+// contents have been copied out or consumed, the caller may recycle it with
+// Free.
 func (c *Ctx) Recv(src, tag int) ([]float64, error) {
 	if err := c.checkPeer("source", src); err != nil {
 		return nil, err
@@ -108,7 +117,7 @@ func (c *Ctx) Recv(src, tag int) ([]float64, error) {
 	}
 	b := m.Bytes()
 	net := &c.rt.w.Net
-	or := net.CPUOverhead(b, c.Freq())
+	or := c.cpuOverhead(b)
 
 	switch {
 	case m.rendezvous:
@@ -169,9 +178,9 @@ func (c *Ctx) SendRecv(dst, src, tag int, data []float64, vbytes int) ([]float64
 		return nil, err
 	}
 	net := &c.rt.w.Net
-	out := message{tag: tag, data: append([]float64(nil), data...), vbytes: vbytes, exchange: true}
+	out := message{tag: tag, data: c.snapshotPayload(data), vbytes: vbytes, exchange: true}
 	c.noteMsgs(1, out.Bytes())
-	out.ready = c.clock + net.CPUOverhead(out.Bytes(), c.Freq())
+	out.ready = c.clock + c.cpuOverhead(out.Bytes())
 	c.egressFree = out.ready + net.WireTime(out.Bytes())
 	select {
 	case c.box(c.rank, dst) <- out:

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pasp/internal/machine"
 	"pasp/internal/papi"
@@ -162,7 +163,7 @@ func (r *Result) CommSec() float64 {
 // runtime is the shared state of a running job.
 type runtime struct {
 	w     World
-	boxes []chan message // n×n mailboxes, indexed src*n+dst
+	boxes []atomic.Pointer[mailbox] // n×n mailboxes, indexed src*n+dst
 
 	mu       sync.Mutex
 	clocks   []float64
@@ -170,10 +171,22 @@ type runtime struct {
 	arrived  int
 	release  chan struct{}
 	snapshot *collSnapshot
+	snaps    [2]collSnapshot // rotating epoch containers, see sync
+	epoch    int
 
 	abortOnce sync.Once
 	abort     chan struct{}
 }
+
+// mailbox wraps one src→dst message channel so a pair's queue can be
+// published atomically on first use.
+type mailbox struct{ ch chan message }
+
+// mailboxDepth plays the role of MPICH's eager-buffer pool: a sender with
+// more than this many undelivered messages to one peer blocks until the
+// receiver drains some — as real MPI does when its unexpected-message queue
+// fills.
+const mailboxDepth = 1024
 
 // collSnapshot is the outcome of one collective synchronization epoch.
 type collSnapshot struct {
@@ -185,20 +198,37 @@ func newRuntime(w World) *runtime {
 	n := w.N
 	r := &runtime{
 		w:        w,
-		boxes:    make([]chan message, n*n),
+		boxes:    make([]atomic.Pointer[mailbox], n*n),
 		clocks:   make([]float64, n),
 		payloads: make([]any, n),
 		release:  make(chan struct{}),
 		abort:    make(chan struct{}),
 	}
-	for i := range r.boxes {
-		// The mailbox depth plays the role of MPICH's eager-buffer pool: a
-		// sender with more than this many undelivered messages to one peer
-		// blocks until the receiver drains some — as real MPI does when its
-		// unexpected-message queue fills.
-		r.boxes[i] = make(chan message, 1024)
+	for i := range r.snaps {
+		r.snaps[i] = collSnapshot{
+			clocks:   make([]float64, n),
+			payloads: make([]any, n),
+		}
 	}
 	return r
+}
+
+// box returns the mailbox from src to dst, creating it on first use. Kernels
+// are neighbour- or collective-structured, so most of the n² pairs never
+// exchange a point-to-point message; creating every deep channel eagerly
+// cost tens of megabytes per 16-rank world. Which goroutine wins the
+// publication race is irrelevant to the simulation: message timing depends
+// only on virtual clocks and per-pair FIFO order, not on channel identity.
+func (r *runtime) box(src, dst int) chan message {
+	i := src*r.w.N + dst
+	if mb := r.boxes[i].Load(); mb != nil {
+		return mb.ch
+	}
+	mb := &mailbox{ch: make(chan message, mailboxDepth)}
+	if r.boxes[i].CompareAndSwap(nil, mb) {
+		return mb.ch
+	}
+	return r.boxes[i].Load().ch
 }
 
 func (r *runtime) doAbort() {
@@ -214,10 +244,17 @@ func (r *runtime) sync(rank int, clock float64, payload any) (*collSnapshot, err
 	r.payloads[rank] = payload
 	r.arrived++
 	if r.arrived == r.w.N {
-		snap := &collSnapshot{
-			clocks:   append([]float64(nil), r.clocks...),
-			payloads: append([]any(nil), r.payloads...),
-		}
+		// Rotate between two preallocated snapshot containers instead of
+		// allocating one per epoch. Reusing container k at epoch k+2 is safe:
+		// a rank deposits for epoch k+2 only after it finished reading epoch
+		// k+1's snapshot, which it read only after epoch k completed — so no
+		// reader of container k remains by the time it is overwritten. The
+		// deposited payload values themselves are never recycled; collectives
+		// hand them to callers.
+		snap := &r.snaps[r.epoch&1]
+		r.epoch++
+		copy(snap.clocks, r.clocks)
+		copy(snap.payloads, r.payloads)
 		r.snapshot = snap
 		r.arrived = 0
 		rel := r.release

@@ -179,6 +179,7 @@ func (s *cgState) haloExchange(x []float64) error {
 			return err
 		}
 		copy(s.xExt[:s.halo], got)
+		s.ctx.Free(got)
 	} else {
 		for i := 0; i < s.halo; i++ {
 			s.xExt[i] = 0 // domain boundary
@@ -196,6 +197,7 @@ func (s *cgState) haloExchange(x []float64) error {
 			return err
 		}
 		copy(s.xExt[s.halo+rows:], got)
+		s.ctx.Free(got)
 	} else {
 		for i := s.halo + rows; i < len(s.xExt); i++ {
 			s.xExt[i] = 0

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
 // fftDir selects the transform direction.
@@ -20,6 +21,26 @@ type fftPlan struct {
 	n       int
 	rev     []int
 	twiddle []complex128 // e^{±2πi k/n} for the largest stage, both dirs derived
+}
+
+// planCache memoizes plans by length. A plan is immutable after
+// construction (transform only reads rev and twiddle), so one plan per
+// length safely serves every rank of every concurrent simulation — a
+// measurement campaign builds each plan once instead of three per rank per
+// grid cell.
+var planCache sync.Map // int -> *fftPlan
+
+// getFFTPlan returns the shared plan for length n, building it on first use.
+func getFFTPlan(n int) (*fftPlan, error) {
+	if p, ok := planCache.Load(n); ok {
+		return p.(*fftPlan), nil
+	}
+	p, err := newFFTPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*fftPlan), nil
 }
 
 // newFFTPlan builds a plan for length n (a power of two).

@@ -3,6 +3,7 @@ package npb
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"pasp/internal/machine"
 	"pasp/internal/mpi"
@@ -120,19 +121,27 @@ type ftState struct {
 	scale      float64
 	partBytes  int // real bytes per alltoall pair
 	vPartBytes int // timed bytes per alltoall pair
+
+	// Per-iteration scratch, reused across the Iters inverse transforms.
+	// The forward path keeps allocating fresh arrays: its output persists
+	// for the whole run as the frequency-space field.
+	scratchA []complex128 // inverse: working copy of the evolved field
+	scratchB []complex128 // inverse: transpose target, returned to rank()
+	col      []complex128 // fftColumns: one strided column
+	parts    [][]float64  // transpose: per-destination pack buffers
 }
 
 func (f FT) rank(c *mpi.Ctx) (FTResult, error) {
 	n, rank := c.Size(), c.Rank()
 	st := &ftState{f: f, c: c, n: n, rank: rank, lz: f.Nz / n, ly: f.Ny / n, scale: f.scale()}
 	var err error
-	if st.planX, err = newFFTPlan(f.Nx); err != nil {
+	if st.planX, err = getFFTPlan(f.Nx); err != nil {
 		return FTResult{}, err
 	}
-	if st.planY, err = newFFTPlan(f.Ny); err != nil {
+	if st.planY, err = getFFTPlan(f.Ny); err != nil {
 		return FTResult{}, err
 	}
-	if st.planZ, err = newFFTPlan(f.Nz); err != nil {
+	if st.planZ, err = getFFTPlan(f.Nz); err != nil {
 		return FTResult{}, err
 	}
 	st.partBytes = st.lz * st.ly * f.Nx * 16
@@ -163,20 +172,7 @@ func (f FT) rank(c *mpi.Ctx) (FTResult, error) {
 
 	// Per-point evolution base factor exp(−4π²α·k̄²) in y-slab layout.
 	c.SetPhase("ft-evolve")
-	const alpha = 1e-6
-	base := make([]float64, len(uhat))
-	for yl := 0; yl < st.ly; yl++ {
-		ky := fold(rank*st.ly+yl, f.Ny)
-		for z := 0; z < f.Nz; z++ {
-			kz := fold(z, f.Nz)
-			row := (yl*f.Nz + z) * f.Nx
-			for x := 0; x < f.Nx; x++ {
-				kx := fold(x, f.Nx)
-				k2 := float64(kx*kx + ky*ky + kz*kz)
-				base[row+x] = math.Exp(-4 * math.Pi * math.Pi * alpha * k2)
-			}
-		}
-	}
+	base := st.evolveBase()
 	factor := make([]float64, len(uhat))
 	for i := range factor {
 		factor[i] = 1
@@ -219,6 +215,44 @@ func fold(k, n int) int {
 	return k
 }
 
+// ftAlpha is the diffusion constant of FT's spectral PDE.
+const ftAlpha = 1e-6
+
+// evolveBaseKey identifies one rank's evolution-factor table: the table
+// depends only on the grid shape and the rank's y-slab.
+type evolveBaseKey struct{ nx, ny, nz, n, rank int }
+
+// evolveBaseCache memoizes the exp tables across grid cells of a campaign:
+// every (N, MHz) cell at the same N recomputed identical tables. Entries are
+// read-only once stored; math.Exp is deterministic, so whichever rank
+// populates an entry produces bit-identical values.
+var evolveBaseCache sync.Map // evolveBaseKey -> []float64
+
+// evolveBase returns the rank's per-point factor exp(−4π²α·k̄²) in y-slab
+// layout, computing and caching it on first use.
+func (s *ftState) evolveBase() []float64 {
+	f := s.f
+	key := evolveBaseKey{nx: f.Nx, ny: f.Ny, nz: f.Nz, n: s.n, rank: s.rank}
+	if v, ok := evolveBaseCache.Load(key); ok {
+		return v.([]float64)
+	}
+	base := make([]float64, s.ly*f.Nz*f.Nx)
+	for yl := 0; yl < s.ly; yl++ {
+		ky := fold(s.rank*s.ly+yl, f.Ny)
+		for z := 0; z < f.Nz; z++ {
+			kz := fold(z, f.Nz)
+			row := (yl*f.Nz + z) * f.Nx
+			for x := 0; x < f.Nx; x++ {
+				kx := fold(x, f.Nx)
+				k2 := float64(kx*kx + ky*ky + kz*kz)
+				base[row+x] = math.Exp(-4 * math.Pi * math.Pi * ftAlpha * k2)
+			}
+		}
+	}
+	actual, _ := evolveBaseCache.LoadOrStore(key, base)
+	return actual.([]float64)
+}
+
 // bill accounts an instruction mix, inflated by the class scale.
 func (s *ftState) bill(reg, l1, l2, mem float64) error {
 	return s.c.Compute(machine.W(reg*s.scale, l1*s.scale, l2*s.scale, mem*s.scale))
@@ -248,7 +282,10 @@ func (s *ftState) fftAxisX(a []complex128, dir fftDir) error {
 // organized as nslabs blocks of clen×nx points.
 func (s *ftState) fftColumns(a []complex128, plan *fftPlan, nslabs, clen int, dir fftDir) error {
 	nx := s.f.Nx
-	col := make([]complex128, clen)
+	if cap(s.col) < clen {
+		s.col = make([]complex128, clen)
+	}
+	col := s.col[:clen]
 	for sl := 0; sl < nslabs; sl++ {
 		blk := sl * clen * nx
 		for x := 0; x < nx; x++ {
@@ -272,9 +309,9 @@ func (s *ftState) fftColumns(a []complex128, plan *fftPlan, nslabs, clen int, di
 // (yl, z, x) via alltoall.
 func (s *ftState) transposeZY(a []complex128) ([]complex128, error) {
 	f, n := s.f, s.n
-	parts := make([][]float64, n)
+	parts := s.packParts()
 	for d := 0; d < n; d++ {
-		part := make([]float64, 0, s.lz*s.ly*f.Nx*2)
+		part := parts[d][:0]
 		for zl := 0; zl < s.lz; zl++ {
 			for y := d * s.ly; y < (d+1)*s.ly; y++ {
 				row := (zl*f.Ny + y) * f.Nx
@@ -308,16 +345,29 @@ func (s *ftState) transposeZY(a []complex128) ([]complex128, error) {
 				}
 			}
 		}
+		if n > 1 {
+			// n == 1 alltoall returns the pack buffer itself, not a copy.
+			s.c.Free(blk)
+		}
 	}
 	return out, nil
+}
+
+// packParts returns the reusable per-destination pack buffers. Reuse is safe
+// because Alltoall snapshots every part at deposit time.
+func (s *ftState) packParts() [][]float64 {
+	if s.parts == nil {
+		s.parts = make([][]float64, s.n)
+	}
+	return s.parts
 }
 
 // transposeYZ is the inverse exchange: y-slab (yl, z, x) → z-slab (zl, y, x).
 func (s *ftState) transposeYZ(a []complex128) ([]complex128, error) {
 	f, n := s.f, s.n
-	parts := make([][]float64, n)
+	parts := s.packParts()
 	for d := 0; d < n; d++ {
-		part := make([]float64, 0, s.lz*s.ly*f.Nx*2)
+		part := parts[d][:0]
 		for yl := 0; yl < s.ly; yl++ {
 			for z := d * s.lz; z < (d+1)*s.lz; z++ {
 				row := (yl*f.Nz + z) * f.Nx
@@ -337,7 +387,13 @@ func (s *ftState) transposeYZ(a []complex128) ([]complex128, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]complex128, s.lz*f.Ny*f.Nx)
+	// transposeYZ only runs on the per-iteration inverse path, so its output
+	// can live in rank-local scratch: the previous iteration's result is
+	// dead by the time the next iteration overwrites it.
+	if s.scratchB == nil {
+		s.scratchB = make([]complex128, s.lz*f.Ny*f.Nx)
+	}
+	out := s.scratchB
 	for src := 0; src < n; src++ {
 		blk := recv[src] // layout (yl_src, zl, x)
 		i := 0
@@ -350,6 +406,10 @@ func (s *ftState) transposeYZ(a []complex128) ([]complex128, error) {
 					i += 2
 				}
 			}
+		}
+		if n > 1 {
+			// n == 1 alltoall returns the pack buffer itself, not a copy.
+			s.c.Free(blk)
 		}
 	}
 	return out, nil
@@ -387,7 +447,11 @@ func (s *ftState) forward(u []complex128) ([]complex128, error) {
 // inverse computes the inverse 3-D FFT: y-slab frequency → z-slab physical.
 func (s *ftState) inverse(w []complex128) ([]complex128, error) {
 	s.c.SetPhase("ft-fft-z")
-	a := append([]complex128(nil), w...)
+	if s.scratchA == nil {
+		s.scratchA = make([]complex128, len(w))
+	}
+	a := s.scratchA[:len(w)]
+	copy(a, w)
 	if err := s.fftColumns(a, s.planZ, s.ly, s.f.Nz, fftInverse); err != nil {
 		return nil, err
 	}

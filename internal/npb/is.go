@@ -141,10 +141,18 @@ func (is IS) rank(c *mpi.Ctx) (ISResult, error) {
 
 	bucketShift := uint(is.LogMaxKey) - uint(math.Log2(float64(nb)))
 	var imbalance float64
+	// Per-iteration scratch, reused across sort iterations: the histogram,
+	// the per-destination exchange parts (Alltoall snapshots them at deposit
+	// time) and the counting-sort array.
+	hist := make([]float64, nb)
+	parts := make([][]float64, n)
+	var counts []int
 	for it := 0; it < is.Iters; it++ {
 		// Local histogram.
 		c.SetPhase("is-histogram")
-		hist := make([]float64, nb)
+		for i := range hist {
+			hist[i] = 0
+		}
 		for _, k := range keys {
 			hist[int(k)>>bucketShift]++
 		}
@@ -162,9 +170,8 @@ func (is IS) rank(c *mpi.Ctx) (ISResult, error) {
 
 		// Redistribute keys to their owners.
 		c.SetPhase("is-exchange")
-		parts := make([][]float64, n)
 		for d := range parts {
-			parts[d] = []float64{}
+			parts[d] = parts[d][:0]
 		}
 		for _, k := range keys {
 			d := owner[int(k)>>bucketShift]
@@ -183,12 +190,22 @@ func (is IS) rank(c *mpi.Ctx) (ISResult, error) {
 		keys = keys[:0]
 		for _, p := range recv {
 			keys = append(keys, p...)
+			if n > 1 {
+				// n == 1 alltoall returns the pack buffer itself, not a copy.
+				c.Free(p)
+			}
 		}
 
 		// Counting sort of the received range.
 		c.SetPhase("is-sort")
 		lo, hi := keyRange(owner, rank, bucketShift)
-		counts := make([]int, hi-lo)
+		if cap(counts) < hi-lo {
+			counts = make([]int, hi-lo)
+		}
+		counts = counts[:hi-lo]
+		for i := range counts {
+			counts[i] = 0
+		}
 		for _, k := range keys {
 			ki := int(k)
 			if ki < lo || ki >= hi {

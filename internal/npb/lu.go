@@ -163,6 +163,14 @@ type luGrid struct {
 	lx, ly     int // interior sizes
 	u, rhs     []float64
 	jdim, kdim int // index strides
+
+	// Pack scratch: Send snapshots its payload before returning, so one
+	// buffer per shape can serve every outgoing face/column/row. The hot
+	// wavefront path otherwise allocates one small slice per z-plane per
+	// sweep per iteration.
+	faceBuf []float64
+	colBuf  []float64
+	rowBuf  []float64
 }
 
 func (g *luGrid) idx(i, j, k int) int { return (i*g.jdim+j)*g.kdim + k }
@@ -288,14 +296,16 @@ func (g *luGrid) north() int {
 	return (g.iy+1)*g.px + g.ix
 }
 
-// packFaceX copies column i (all interior j, k) into a dense face buffer.
+// packFaceX copies column i (all interior j, k) into a dense face buffer,
+// valid until the next pack call.
 func (g *luGrid) packFaceX(i int) []float64 {
-	out := make([]float64, 0, g.ly*g.n)
+	out := g.faceBuf[:0]
 	for j := 1; j <= g.ly; j++ {
 		for k := 1; k <= g.n; k++ {
 			out = append(out, g.u[g.idx(i, j, k)])
 		}
 	}
+	g.faceBuf = out
 	return out
 }
 
@@ -309,14 +319,16 @@ func (g *luGrid) unpackFaceX(i int, face []float64) {
 	}
 }
 
-// packFaceY copies row j (all interior i, k) into a dense face buffer.
+// packFaceY copies row j (all interior i, k) into a dense face buffer,
+// valid until the next pack call.
 func (g *luGrid) packFaceY(j int) []float64 {
-	out := make([]float64, 0, g.lx*g.n)
+	out := g.faceBuf[:0]
 	for i := 1; i <= g.lx; i++ {
 		for k := 1; k <= g.n; k++ {
 			out = append(out, g.u[g.idx(i, j, k)])
 		}
 	}
+	g.faceBuf = out
 	return out
 }
 
@@ -352,6 +364,7 @@ func (g *luGrid) exchangeGhostX(pullWest bool) error {
 				return err
 			}
 			g.unpackFaceX(0, face)
+			g.c.Free(face)
 		}
 		return nil
 	}
@@ -367,6 +380,7 @@ func (g *luGrid) exchangeGhostX(pullWest bool) error {
 			return err
 		}
 		g.unpackFaceX(g.lx+1, face)
+		g.c.Free(face)
 	}
 	return nil
 }
@@ -386,6 +400,7 @@ func (g *luGrid) exchangeGhostY(pullSouth bool) error {
 				return err
 			}
 			g.unpackFaceY(0, face)
+			g.c.Free(face)
 		}
 		return nil
 	}
@@ -400,13 +415,18 @@ func (g *luGrid) exchangeGhostY(pullSouth bool) error {
 			return err
 		}
 		g.unpackFaceY(g.ly+1, face)
+		g.c.Free(face)
 	}
 	return nil
 }
 
-// planeColX packs/unpacks one z-plane's boundary column (ly values).
+// planeColX packs one z-plane's boundary column (ly values) into scratch
+// valid until the next planeColX call.
 func (g *luGrid) planeColX(i, k int) []float64 {
-	out := make([]float64, g.ly)
+	if g.colBuf == nil {
+		g.colBuf = make([]float64, g.ly)
+	}
+	out := g.colBuf
 	for j := 1; j <= g.ly; j++ {
 		out[j-1] = g.u[g.idx(i, j, k)]
 	}
@@ -420,7 +440,10 @@ func (g *luGrid) setPlaneColX(i, k int, v []float64) {
 }
 
 func (g *luGrid) planeRowY(j, k int) []float64 {
-	out := make([]float64, g.lx)
+	if g.rowBuf == nil {
+		g.rowBuf = make([]float64, g.lx)
+	}
+	out := g.rowBuf
 	for i := 1; i <= g.lx; i++ {
 		out[i-1] = g.u[g.idx(i, j, k)]
 	}
@@ -431,16 +454,6 @@ func (g *luGrid) setPlaneRowY(j, k int, v []float64) {
 	for i := 1; i <= g.lx; i++ {
 		g.u[g.idx(i, j, k)] = v[i-1]
 	}
-}
-
-// relaxPoint applies one Gauss–Seidel update with relaxation omega.
-func (g *luGrid) relaxPoint(i, j, k int, omega float64) {
-	id := g.idx(i, j, k)
-	au := 6*g.u[id] -
-		g.u[g.idx(i-1, j, k)] - g.u[g.idx(i+1, j, k)] -
-		g.u[g.idx(i, j-1, k)] - g.u[g.idx(i, j+1, k)] -
-		g.u[g.idx(i, j, k-1)] - g.u[g.idx(i, j, k+1)]
-	g.u[id] += omega * (g.rhs[id] - au) / 6
 }
 
 // lowerSweep is the forward SSOR half: ascending (k, j, i), pipelined over
@@ -463,6 +476,7 @@ func (g *luGrid) lowerSweep(omega float64) error {
 				return err
 			}
 			g.setPlaneColX(0, k, col)
+			g.c.Free(col)
 		}
 		if s >= 0 {
 			row, err := g.c.Recv(s, luTagWaveY)
@@ -470,11 +484,21 @@ func (g *luGrid) lowerSweep(omega float64) error {
 				return err
 			}
 			g.setPlaneRowY(0, k, row)
+			g.c.Free(row)
 		}
 		g.c.SetPhase("lu-lower")
+		// Inlined relaxPoint with an incrementing index (i steps by
+		// jdim·kdim): same operand order, bit-identical result.
+		di := g.jdim * g.kdim
 		for j := 1; j <= g.ly; j++ {
+			id := g.idx(1, j, k)
 			for i := 1; i <= g.lx; i++ {
-				g.relaxPoint(i, j, k, omega)
+				au := 6*g.u[id] -
+					g.u[id-di] - g.u[id+di] -
+					g.u[id-g.kdim] - g.u[id+g.kdim] -
+					g.u[id-1] - g.u[id+1]
+				g.u[id] += omega * (g.rhs[id] - au) / 6
+				id += di
 			}
 		}
 		if err := g.billPlane(); err != nil {
@@ -514,6 +538,7 @@ func (g *luGrid) upperSweep(omega float64) error {
 				return err
 			}
 			g.setPlaneColX(g.lx+1, k, col)
+			g.c.Free(col)
 		}
 		if n >= 0 {
 			row, err := g.c.Recv(n, luTagWaveY)
@@ -521,11 +546,21 @@ func (g *luGrid) upperSweep(omega float64) error {
 				return err
 			}
 			g.setPlaneRowY(g.ly+1, k, row)
+			g.c.Free(row)
 		}
 		g.c.SetPhase("lu-upper")
+		// Inlined relaxPoint, descending (same operand order as the
+		// forward form, bit-identical result).
+		di := g.jdim * g.kdim
 		for j := g.ly; j >= 1; j-- {
+			id := g.idx(g.lx, j, k)
 			for i := g.lx; i >= 1; i-- {
-				g.relaxPoint(i, j, k, omega)
+				au := 6*g.u[id] -
+					g.u[id-di] - g.u[id+di] -
+					g.u[id-g.kdim] - g.u[id+g.kdim] -
+					g.u[id-1] - g.u[id+1]
+				g.u[id] += omega * (g.rhs[id] - au) / 6
+				id -= di
 			}
 		}
 		if err := g.billPlane(); err != nil {
@@ -568,14 +603,16 @@ func (g *luGrid) residual() (float64, error) {
 		return 0, err
 	}
 	local := 0.0
+	di := g.jdim * g.kdim
 	for i := 1; i <= g.lx; i++ {
 		for j := 1; j <= g.ly; j++ {
+			base := g.idx(i, j, 0)
 			for k := 1; k <= g.n; k++ {
-				id := g.idx(i, j, k)
+				id := base + k
 				au := 6*g.u[id] -
-					g.u[g.idx(i-1, j, k)] - g.u[g.idx(i+1, j, k)] -
-					g.u[g.idx(i, j-1, k)] - g.u[g.idx(i, j+1, k)] -
-					g.u[g.idx(i, j, k-1)] - g.u[g.idx(i, j, k+1)]
+					g.u[id-di] - g.u[id+di] -
+					g.u[id-g.kdim] - g.u[id+g.kdim] -
+					g.u[id-1] - g.u[id+1]
 				r := g.rhs[id] - au
 				local += r * r
 			}

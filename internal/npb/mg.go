@@ -165,6 +165,9 @@ type mgState struct {
 	scale  float64
 	// faceScale sizes ghost-face messages: surface ∝ volume^(2/3).
 	faceScale float64
+	// aggBuf is the agglomeration pack scratch, reused across V-cycles
+	// (Allgather snapshots its payload at deposit time).
+	aggBuf []float64
 }
 
 // ownedCoarse maps a fine ownership range to the coarse range: coarse
@@ -262,6 +265,7 @@ func (s *mgState) exchange(l *mgLevel, a []float64) error {
 			return err
 		}
 		copy(a[l.idx(0, 0, 0):l.idx(0, 0, 0)+planeLen], got)
+		s.c.Free(got)
 	}
 	// Downward pass: my bottom plane becomes the lower neighbour's top ghost.
 	if down >= 0 {
@@ -275,16 +279,22 @@ func (s *mgState) exchange(l *mgLevel, a []float64) error {
 			return err
 		}
 		copy(a[l.idx(l.lz()+1, 0, 0):l.idx(l.lz()+1, 0, 0)+planeLen], got)
+		s.c.Free(got)
 	}
 	return nil
 }
 
-// applyA evaluates the 7-point operator at (p, j, i).
+// applyA evaluates the 7-point operator at (p, j, i). One index computation
+// serves all seven accesses (the neighbours sit at strides ±side², ±side,
+// ±1); the operand order matches the indexed form, so the result is
+// bit-identical.
 func (l *mgLevel) applyA(a []float64, p, j, i int) float64 {
-	return 6*a[l.idx(p, j, i)] -
-		a[l.idx(p-1, j, i)] - a[l.idx(p+1, j, i)] -
-		a[l.idx(p, j-1, i)] - a[l.idx(p, j+1, i)] -
-		a[l.idx(p, j, i-1)] - a[l.idx(p, j, i+1)]
+	s := l.side()
+	id := (p*s+j)*s + i
+	return 6*a[id] -
+		a[id-s*s] - a[id+s*s] -
+		a[id-s] - a[id+s] -
+		a[id-1] - a[id+1]
 }
 
 // smooth runs one weighted-Jacobi sweep: u ← u + ω(rhs − A·u)/6.
@@ -298,11 +308,20 @@ func (s *mgState) smooth(l *mgLevel) error {
 		l.u[l.idx(1, 1, 1)] = l.rhs[l.idx(1, 1, 1)] / 6
 		return nil
 	}
+	// Inlined applyA with an incrementing index: same operand order, so the
+	// result is bit-identical to the indexed form.
+	sd := l.side()
+	ss := sd * sd
 	for p := 1; p <= l.lz(); p++ {
 		for j := 1; j <= l.m; j++ {
+			id := l.idx(p, j, 1)
 			for i := 1; i <= l.m; i++ {
-				id := l.idx(p, j, i)
-				l.res[id] = l.u[id] + mgOmega*(l.rhs[id]-l.applyA(l.u, p, j, i))/6
+				au := 6*l.u[id] -
+					l.u[id-ss] - l.u[id+ss] -
+					l.u[id-sd] - l.u[id+sd] -
+					l.u[id-1] - l.u[id+1]
+				l.res[id] = l.u[id] + mgOmega*(l.rhs[id]-au)/6
+				id++
 			}
 		}
 	}
@@ -321,11 +340,18 @@ func (s *mgState) residual(l *mgLevel) error {
 		return err
 	}
 	s.c.SetPhase("mg-residual")
+	sd := l.side()
+	ss := sd * sd
 	for p := 1; p <= l.lz(); p++ {
 		for j := 1; j <= l.m; j++ {
+			id := l.idx(p, j, 1)
 			for i := 1; i <= l.m; i++ {
-				id := l.idx(p, j, i)
-				l.res[id] = l.rhs[id] - l.applyA(l.u, p, j, i)
+				au := 6*l.u[id] -
+					l.u[id-ss] - l.u[id+ss] -
+					l.u[id-sd] - l.u[id+sd] -
+					l.u[id-1] - l.u[id+1]
+				l.res[id] = l.rhs[id] - au
+				id++
 			}
 		}
 	}
@@ -394,11 +420,12 @@ func (s *mgState) agglomerate(fine, coarse *mgLevel) error {
 	s.c.SetPhase("mg-agglomerate")
 	clo, chi := ownedCoarse(fine.zlo, fine.zhi)
 	planeLen := coarse.side() * coarse.side()
-	mine := make([]float64, 0, (chi-clo)*planeLen)
+	mine := s.aggBuf[:0]
 	for kc := clo; kc < chi; kc++ {
 		base := coarse.idx(kc, 0, 0)
 		mine = append(mine, coarse.rhs[base:base+planeLen]...)
 	}
+	s.aggBuf = mine
 	vb := int(float64(len(mine)*8)*s.scale) + 8
 	parts, err := s.c.Allgather(mine, vb)
 	if err != nil {
@@ -419,6 +446,7 @@ func (s *mgState) agglomerate(fine, coarse *mgLevel) error {
 			copy(coarse.rhs[base:base+planeLen], part[off:off+planeLen])
 			off += planeLen
 		}
+		s.c.Free(part)
 	}
 	return nil
 }
@@ -466,36 +494,34 @@ func (s *mgState) prolong(coarse, fine *mgLevel) error {
 		}
 		return (f - 1) / 2, 0.5, (f + 1) / 2, 0.5
 	}
+	// The candidate coarse indices/weights per dimension live in fixed-size
+	// stack arrays; the accumulation order (z outer, y middle, x inner,
+	// zero weights skipped) matches the nested-literal form exactly, so the
+	// floating-point result is bit-identical.
 	for kf := fine.zlo; kf < fine.zhi; kf++ {
 		pf := kf - fine.zlo + 1
 		kz0, wz0, kz1, wz1 := interp1D(kf)
+		zk, zw := [2]int{kz0, kz1}, [2]float64{wz0, wz1}
 		for jf := 1; jf <= fine.m; jf++ {
 			jy0, wy0, jy1, wy1 := interp1D(jf)
+			yj, yw := [2]int{jy0, jy1}, [2]float64{wy0, wy1}
 			for ifx := 1; ifx <= fine.m; ifx++ {
 				ix0, wx0, ix1, wx1 := interp1D(ifx)
+				xi, xw := [2]int{ix0, ix1}, [2]float64{wx0, wx1}
 				v := 0.0
-				for _, z := range []struct {
-					k int
-					w float64
-				}{{kz0, wz0}, {kz1, wz1}} {
-					if z.w == 0 {
+				for zi := 0; zi < 2; zi++ {
+					if zw[zi] == 0 {
 						continue
 					}
-					for _, y := range []struct {
-						j int
-						w float64
-					}{{jy0, wy0}, {jy1, wy1}} {
-						if y.w == 0 {
+					for yi := 0; yi < 2; yi++ {
+						if yw[yi] == 0 {
 							continue
 						}
-						for _, x := range []struct {
-							i int
-							w float64
-						}{{ix0, wx0}, {ix1, wx1}} {
-							if x.w == 0 {
+						for x := 0; x < 2; x++ {
+							if xw[x] == 0 {
 								continue
 							}
-							v += z.w * y.w * x.w * coarseAt(z.k, y.j, x.i)
+							v += zw[zi] * yw[yi] * xw[x] * coarseAt(zk[zi], yj[yi], xi[x])
 						}
 					}
 				}
