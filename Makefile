@@ -15,7 +15,10 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCHJSON ?= BENCH_1.json
 
-.PHONY: all build test race lint fmt-check fuzz bench verify
+# Fuzz budget per target; CI's fuzz smoke runs with FUZZTIME=10s.
+FUZZTIME ?= 30s
+
+.PHONY: all build test shuffle race lint fmt-check fuzz bench verify
 
 all: build
 
@@ -24,6 +27,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Shuffled double pass: catches tests that only pass in declaration order or
+# that leak state (memoized campaign stores, global gauges) between runs.
+shuffle:
+	$(GO) test -shuffle=on -count=2 ./...
 
 # The mpi, cluster and simnet packages run ranks as goroutines; the race
 # detector is the check that the virtual-time synchronization is real
@@ -51,9 +59,12 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/pabench -o $(BENCHJSON)
 
 # Short fuzz pass over the core model contract (finite, non-negative,
-# error-or-value). CI-sized; crank -fuzztime locally for a deeper run.
+# error-or-value) and the chaos harness's injector/parser invariants.
+# CI-sized via FUZZTIME=10s; crank FUZZTIME locally for a deeper run.
 fuzz:
-	$(GO) test -fuzz=FuzzTermsTime -fuzztime=30s ./internal/core/
-	$(GO) test -fuzz=FuzzTermsSpeedup -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzTermsTime -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz=FuzzTermsSpeedup -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz=FuzzMessageFault -fuzztime=$(FUZZTIME) ./internal/faults/
+	$(GO) test -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/faults/
 
 verify: build test lint fmt-check race

@@ -1,0 +1,114 @@
+// Command pachaos runs the model-robustness campaign: it fits the paper's SP
+// and FP models on a kernel's clean (fault-free) measurement campaign, then
+// re-measures the kernel on a cluster perturbed by the deterministic chaos
+// harness at a sweep of magnitudes, reporting how fast the prediction error
+// grows as the platform departs from the paper's assumptions.
+//
+// Usage:
+//
+//	pachaos [-bench ft|lu|...] [-suite paper|quick] [-np 4,8,16] [-mags 0,0.25,0.5,1]
+//	        [-chaos spec] [-seed 1] [-csv out.csv]
+//
+// Without -chaos the sweep perturbs latency jitter only (the headline axis,
+// monotone in magnitude by construction); -chaos takes a key=value spec (see
+// faults.ParseSpec) describing the knobs at magnitude 1, e.g.
+//
+//	pachaos -bench ft -np 4,8,16 -mags 0,0.5,1 -chaos "seed=1,jitter=1,drop=0.01"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pasp/internal/experiments"
+	"pasp/internal/faults"
+)
+
+// parseInts parses a comma-separated list of integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("pachaos: bad integer %q in %q", f, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated list of floats.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("pachaos: bad float %q in %q", f, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// buildSpec assembles the sweep specification from the parsed flags.
+func buildSpec(bench, ns, mags, chaos string, seed uint64) (experiments.RobustnessSpec, error) {
+	nsList, err := parseInts(ns)
+	if err != nil {
+		return experiments.RobustnessSpec{}, err
+	}
+	magList, err := parseFloats(mags)
+	if err != nil {
+		return experiments.RobustnessSpec{}, err
+	}
+	cfg := experiments.JitterOnlyFaults(seed)
+	if chaos != "" {
+		if cfg, err = faults.ParseSpec(chaos); err != nil {
+			return experiments.RobustnessSpec{}, err
+		}
+	}
+	spec := experiments.RobustnessSpec{
+		Kernel:     bench,
+		Ns:         nsList,
+		Magnitudes: magList,
+		Faults:     cfg,
+	}
+	return spec, spec.Validate()
+}
+
+func main() {
+	bench := flag.String("bench", "ft", "kernel: ep, ft, lu, cg, mg, is or sp")
+	suite := flag.String("suite", "paper", "kernel class scale: paper or quick")
+	ns := flag.String("np", "4,8,16", "processor counts, comma-separated (must lie on the kernel's campaign grid)")
+	mags := flag.String("mags", "0,0.25,0.5,1", "perturbation magnitudes, ascending, comma-separated")
+	chaos := flag.String("chaos", "", "fault knobs at magnitude 1 (see faults.ParseSpec); default: latency jitter only")
+	seed := flag.Uint64("seed", 1, "PRNG seed for the default jitter-only config (ignored with -chaos)")
+	csv := flag.String("csv", "", "also write the sweep as CSV to this file")
+	flag.Parse()
+
+	s, err := experiments.SuiteByName(*suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pachaos: %v\n", err)
+		os.Exit(2)
+	}
+	spec, err := buildSpec(*bench, *ns, *mags, *chaos, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pachaos: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := s.Robustness(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pachaos: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.String())
+	if *csv != "" {
+		if err := os.WriteFile(*csv, []byte(res.CSV()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pachaos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nCSV written to %s\n", *csv)
+	}
+}

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	pasim [-bench ep|ft|lu|cg|mg|is|sp] [-np 4] [-mhz 600] [-suite paper|quick] [-v] [-timeline out.csv]
+//	pasim [-bench ep|ft|lu|cg|mg|is|sp] [-np 4] [-mhz 600] [-suite paper|quick] [-v] [-timeline out.csv] [-chaos spec]
+//
+// The -chaos flag perturbs the run through the deterministic fault-injection
+// harness (package faults); its argument is a comma-separated key=value spec,
+// e.g. -chaos "seed=1,jitter=0.5,drop=0.01". See faults.ParseSpec for keys.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"os"
 
 	"pasp/internal/experiments"
+	"pasp/internal/faults"
 	"pasp/internal/units"
 )
 
@@ -23,6 +28,7 @@ func main() {
 	suite := flag.String("suite", "paper", "kernel class scale: paper or quick")
 	verbose := flag.Bool("v", false, "print the per-phase breakdown")
 	timeline := flag.String("timeline", "", "write the per-rank trace timeline CSV to this file")
+	chaos := flag.String("chaos", "", "fault-injection spec, e.g. seed=1,jitter=0.5,drop=0.01 (see faults.ParseSpec)")
 	flag.Parse()
 
 	s, err := experiments.SuiteByName(*suite)
@@ -30,6 +36,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pasim: %v\n", err)
 		os.Exit(2)
 	}
+	cfg, err := faults.ParseSpec(*chaos)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pasim: %v\n", err)
+		os.Exit(2)
+	}
+	s.Platform.Faults = cfg
 	res, err := s.RunKernelOnce(*bench, *np, *mhz)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pasim: %v\n", err)
@@ -52,6 +64,10 @@ func main() {
 	}
 	fmt.Printf("  compute/comm   : %10.3f s / %.3f s (summed over ranks)\n",
 		res.ComputeSec(), res.CommSec())
+	if cfg.Enabled() || cfg.GearSwitchSec > 0 {
+		fmt.Printf("  injected chaos : %10.3f s across ranks, %d retransmissions\n",
+			res.FaultSec(), res.Retries())
+	}
 	if *verbose {
 		fmt.Println("\nper-phase time (summed over ranks):")
 		fmt.Print(res.Trace.Summary())

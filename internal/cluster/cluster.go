@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sync"
 
+	"pasp/internal/faults"
 	"pasp/internal/machine"
 	"pasp/internal/mpi"
 	"pasp/internal/power"
@@ -28,6 +29,11 @@ type Platform struct {
 	Prof power.Profile
 	// MaxNodes is how many nodes the cluster has.
 	MaxNodes int
+	// Faults is the chaos-harness configuration applied to every world the
+	// platform builds. The zero value injects nothing; a non-zero config is
+	// part of the platform's identity, so perturbed campaigns are keyed
+	// apart from clean ones in the campaign store.
+	Faults faults.Config
 }
 
 // PentiumM returns the paper's platform: 16 Dell Inspiron 8600 nodes
@@ -56,6 +62,9 @@ func (p Platform) Validate() error {
 	if p.MaxNodes < 1 {
 		return fmt.Errorf("cluster: MaxNodes = %d", p.MaxNodes)
 	}
+	if err := p.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -68,7 +77,14 @@ func (p Platform) World(n int, mhz float64) (mpi.World, error) {
 	if err != nil {
 		return mpi.World{}, err
 	}
-	return mpi.World{N: n, Net: p.Net, Mach: p.Mach, Prof: p.Prof, State: st}, nil
+	w := mpi.World{N: n, Net: p.Net, Mach: p.Mach, Prof: p.Prof, State: st, Faults: p.Faults}
+	// A configured P-state transition latency relaxes the paper's
+	// Assumption 2: gear switches are no longer free. DVFS policies that
+	// set their own SwitchSec override this downstream.
+	if p.Faults.GearSwitchSec > 0 {
+		w.GearSwitchSec = p.Faults.GearSwitchSec
+	}
+	return w, nil
 }
 
 // Grid is a measurement campaign: every (N, MHz) combination.

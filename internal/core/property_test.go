@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pasp/internal/units"
+)
+
+// randTerms draws a random but physical Eq. 11 decomposition: non-negative
+// components with overhead growing in N, the shape every real campaign
+// produces.
+func randTerms(rng *rand.Rand) Terms {
+	poOn := rng.Float64() * 0.1
+	poOff := rng.Float64() * 0.5
+	return Terms{
+		SeqOn:  rng.Float64() * 2,
+		SeqOff: rng.Float64(),
+		ParOn:  1e-3 + rng.Float64()*10,
+		ParOff: rng.Float64() * 5,
+		POOn:   func(n int) float64 { return poOn * float64(n-1) },
+		POOff:  func(n int) float64 { return poOff * math.Log2(float64(n)) },
+	}
+}
+
+// TestPropertySpeedupMonotoneInFreq checks S_N(f) is non-decreasing in f for
+// any physical decomposition: raising the ON-chip frequency can only shrink
+// the frequency-scaled components of Eq. 11.
+func TestPropertySpeedupMonotoneInFreq(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ratios := []units.Ratio{0.25, 0.5, 0.75, 1, 1.5, 2, 4}
+	for trial := 0; trial < 200; trial++ {
+		terms := randTerms(rng)
+		n := 1 + rng.Intn(32)
+		prev := -1.0
+		for _, r := range ratios {
+			s, err := terms.Speedup(n, r)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if s < prev {
+				t.Fatalf("trial %d: speedup decreased in f at N=%d r=%g: %g after %g", trial, n, float64(r), s, prev)
+			}
+			prev = s
+		}
+	}
+}
+
+// TestPropertyWorkConservation checks N·T_N ≥ T_1 at the base frequency:
+// parallelization cannot beat the sequential run on total work, since
+// overhead only adds time.
+func TestPropertyWorkConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		terms := randTerms(rng)
+		t1, err := terms.Time(1, 1)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, n := range []int{2, 4, 8, 16, 64} {
+			tn, err := terms.Time(n, 1)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if float64(n)*tn < t1*(1-1e-12) {
+				t.Fatalf("trial %d: N·T_N = %g below T_1 = %g at N=%d", trial, float64(n)*tn, t1, n)
+			}
+		}
+	}
+}
+
+// TestPropertySPRoundTrip checks the Eq. 17 → Eq. 18 round trip on synthetic
+// campaigns generated from decompositions satisfying the SP assumptions
+// (fully parallelizable, frequency-immune overhead): the fitted overhead is
+// the generator's overhead, non-negative, and PredictTime reproduces every
+// grid cell exactly up to float64 rounding.
+func TestPropertySPRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ns := []int{1, 2, 4, 8, 16}
+	freqs := []float64{600, 800, 1000, 1200, 1400}
+	for trial := 0; trial < 100; trial++ {
+		poOff := rng.Float64() * 0.5
+		terms := Terms{
+			ParOn:  1e-3 + rng.Float64()*10,
+			ParOff: rng.Float64() * 5,
+			POOff:  func(n int) float64 { return poOff * math.Log2(float64(n)) },
+		}
+		m := NewMeasurements()
+		for _, n := range ns {
+			for _, f := range freqs {
+				sec, err := terms.Time(n, units.Ratio(f/freqs[0]))
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				m.SetTime(n, f, sec)
+			}
+		}
+		sp, err := FitSP(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, n := range ns {
+			got, err := sp.Overhead(n)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if got < -1e-12 {
+				t.Fatalf("trial %d: fitted overhead %g negative at N=%d", trial, got, n)
+			}
+			want := 0.0
+			if n > 1 {
+				want = terms.POOff(n)
+			}
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("trial %d: overhead at N=%d fitted as %g, generated as %g", trial, n, got, want)
+			}
+			for _, f := range freqs {
+				pred, err := sp.PredictTime(n, f)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				meas, err := m.Time(n, f)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if math.Abs(pred-meas) > 1e-9*meas {
+					t.Fatalf("trial %d: SP-assumption campaign not reproduced at N=%d f=%g: %g vs %g",
+						trial, n, f, pred, meas)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertySPExactOnFitSlices checks that even for campaigns violating
+// the SP assumptions (serial work, ON-chip overhead), the fit is exact by
+// construction on the slices it was derived from: the base-frequency column
+// and the one-processor row.
+func TestPropertySPExactOnFitSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ns := []int{1, 2, 4, 8}
+	freqs := []float64{600, 1000, 1400}
+	for trial := 0; trial < 100; trial++ {
+		terms := randTerms(rng)
+		m := NewMeasurements()
+		for _, n := range ns {
+			for _, f := range freqs {
+				sec, err := terms.Time(n, units.Ratio(f/freqs[0]))
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				m.SetTime(n, f, sec)
+			}
+		}
+		sp, err := FitSP(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		check := func(n int, f float64) {
+			pred, err := sp.PredictTime(n, f)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			meas, err := m.Time(n, f)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if math.Abs(pred-meas) > 1e-9*meas {
+				t.Fatalf("trial %d: fit slice not reproduced at N=%d f=%g: %g vs %g", trial, n, f, pred, meas)
+			}
+		}
+		for _, n := range ns {
+			check(n, freqs[0]) // base column: Eq. 17 is the identity here
+		}
+		for _, f := range freqs {
+			check(1, f) // one-processor row: no overhead by definition
+		}
+	}
+}

@@ -51,6 +51,12 @@ func TestStoreMatchesFreshMeasurement(t *testing.T) {
 	}
 }
 
+// storeKeyTrial makes each TestStoreKeysOnPlatformContent invocation use a
+// distinct platform variant: the campaign store is process-wide, so under
+// `go test -count=2` a fixed variant would already be memoized on the
+// second pass and the size-growth assertion would misfire.
+var storeKeyTrial float64
+
 // TestStoreKeysOnPlatformContent proves a mutated platform gets its own
 // store entry rather than poisoning the stock one — the property the
 // ablation benchmarks rely on.
@@ -60,8 +66,9 @@ func TestStoreKeysOnPlatformContent(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := CampaignStoreSize()
+	storeKeyTrial++
 	variant := s
-	variant.Platform.Net.MsgCPUIns = 0
+	variant.Platform.Net.MsgCPUIns = 100 * storeKeyTrial
 	vc, err := variant.MeasureFT()
 	if err != nil {
 		t.Fatal(err)

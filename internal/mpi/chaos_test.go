@@ -1,0 +1,253 @@
+package mpi
+
+import (
+	stdruntime "runtime"
+	"testing"
+
+	"pasp/internal/faults"
+	"pasp/internal/machine"
+	"pasp/internal/trace"
+)
+
+// chaosProgram is a small SPMD workload exercising every injected code path:
+// compute (straggler stretch), eager and rendezvous point-to-point, the
+// exchange protocol, and a collective. Rendezvous sends are ordered
+// even-sends-first so the blocking handshake cannot deadlock on the ring.
+func chaosProgram(c *Ctx) error {
+	n := c.Size()
+	next, prev := (c.Rank()+1)%n, (c.Rank()+n-1)%n
+	work := machine.W(5e5, 2e5, 1e4, 5e3)
+	buf := make([]float64, 16)
+	for iter := 0; iter < 3; iter++ {
+		c.SetPhase("compute")
+		if err := c.Compute(work); err != nil {
+			return err
+		}
+		c.SetPhase("exchange")
+		got, err := c.SendRecv(next, prev, 7, buf, 4096)
+		if err != nil {
+			return err
+		}
+		c.Free(got)
+		c.SetPhase("eager")
+		if err := c.Send(next, 8, buf, 1024); err != nil {
+			return err
+		}
+		if got, err = c.Recv(prev, 8); err != nil {
+			return err
+		}
+		c.Free(got)
+		c.SetPhase("rendezvous")
+		if c.Rank()%2 == 0 {
+			if err := c.Send(next, 9, buf, 128<<10); err != nil {
+				return err
+			}
+			if got, err = c.Recv(prev, 9); err != nil {
+				return err
+			}
+		} else {
+			if got, err = c.Recv(prev, 9); err != nil {
+				return err
+			}
+			if err := c.Send(next, 9, buf, 128<<10); err != nil {
+				return err
+			}
+		}
+		c.Free(got)
+		c.SetPhase("reduce")
+		if got, err = c.Allreduce(buf[:1], Sum, 0); err != nil {
+			return err
+		}
+		c.Free(got)
+	}
+	return nil
+}
+
+func chaosWorld(n int, cfg faults.Config) World {
+	w := testWorld(n, 1400)
+	w.Faults = cfg
+	return w
+}
+
+var chaosCfg = faults.Config{
+	Seed:              42,
+	LatencyJitterFrac: 1,
+	DropProb:          0.2,
+	DegradeProb:       0.2,
+	DegradeFactor:     2,
+	StragglerFrac:     0.25,
+	StragglerSlowdown: 1.5,
+}
+
+// TestChaosZeroConfigBitIdentical is the transparency contract: a world
+// carrying the zero fault config must produce byte-for-byte the trace of a
+// world with no fault wiring at all, with nothing counted as injected.
+func TestChaosZeroConfigBitIdentical(t *testing.T) {
+	base, err := Run(testWorld(4, 1400), chaosProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Run(chaosWorld(4, faults.Config{}), chaosProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Trace.TimelineCSV() != zero.Trace.TimelineCSV() {
+		t.Error("zero fault config changed the timeline")
+	}
+	if base.Seconds != zero.Seconds || base.Joules != zero.Joules {
+		t.Errorf("zero fault config changed the outcome: %g s %g J vs %g s %g J",
+			base.Seconds, base.Joules, zero.Seconds, zero.Joules)
+	}
+	if zero.FaultSec() != 0 || zero.Retries() != 0 {
+		t.Errorf("fault-free run reports FaultSec=%g Retries=%d", zero.FaultSec(), zero.Retries())
+	}
+}
+
+// TestChaosDeterminism is the seed contract: the same seed produces a
+// byte-identical timeline run-to-run and under GOMAXPROCS=1, where goroutine
+// interleaving is maximally different from the parallel default.
+func TestChaosDeterminism(t *testing.T) {
+	a, err := Run(chaosWorld(4, chaosCfg), chaosProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(chaosWorld(4, chaosCfg), chaosProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvA, csvB := a.Trace.TimelineCSV(), b.Trace.TimelineCSV()
+	if csvA != csvB {
+		t.Fatal("same seed, different timelines across runs")
+	}
+	prev := stdruntime.GOMAXPROCS(1)
+	c, err := Run(chaosWorld(4, chaosCfg), chaosProgram)
+	stdruntime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csvA != c.Trace.TimelineCSV() {
+		t.Fatal("GOMAXPROCS=1 changed the perturbed timeline")
+	}
+}
+
+func TestChaosSeedSensitivity(t *testing.T) {
+	a, err := Run(chaosWorld(4, chaosCfg), chaosProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := chaosCfg
+	cfg2.Seed = 43
+	b, err := Run(chaosWorld(4, cfg2), chaosProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.TimelineCSV() == b.Trace.TimelineCSV() {
+		t.Error("seeds 42 and 43 produced identical perturbed timelines")
+	}
+}
+
+// TestChaosAccounting checks that injected time and retries flow end to end:
+// Ctx counters → RankStats → Result sums → trace kinds, and that the
+// perturbed trace still satisfies every Log invariant.
+func TestChaosAccounting(t *testing.T) {
+	cfg := chaosCfg
+	cfg.DropProb = 1 // every transmission drops: retries are guaranteed
+	res, err := Run(chaosWorld(4, cfg), chaosProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatalf("perturbed trace invalid: %v", err)
+	}
+	if res.Retries() == 0 {
+		t.Error("DropProb=1 produced no retries")
+	}
+	sum := 0
+	for _, s := range res.PerRank {
+		sum += s.Retries
+		if s.Retries < 0 || s.FaultSec < 0 {
+			t.Fatalf("negative per-rank accounting: %+v", s)
+		}
+	}
+	if sum != res.Retries() {
+		t.Errorf("Result.Retries() = %d, per-rank sum = %d", res.Retries(), sum)
+	}
+	byKind := res.Trace.TotalByKind()
+	if byKind[trace.Retry] <= 0 {
+		t.Error("no Retry time in trace")
+	}
+	if byKind[trace.Fault] <= 0 {
+		t.Error("no Fault time in trace")
+	}
+	if got, want := byKind[trace.Fault]+byKind[trace.Retry], res.FaultSec(); !approxEq(got, want) {
+		t.Errorf("trace fault+retry time %g != summed FaultSec %g", got, want)
+	}
+	clean, err := Run(testWorld(4, 1400), chaosProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= clean.Seconds {
+		t.Errorf("perturbed makespan %g not above clean %g", res.Seconds, clean.Seconds)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+b)
+}
+
+// TestChaosStraggler pins every rank as a straggler and checks the compute
+// stretch lands where the heterogeneity model says: compute time up by the
+// slowdown, the stretch visible as Fault-kind trace time.
+func TestChaosStraggler(t *testing.T) {
+	cfg := faults.Config{Seed: 1, StragglerFrac: 1, StragglerSlowdown: 2}
+	slow, err := Run(chaosWorld(4, cfg), chaosProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(testWorld(4, 1400), chaosProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stretch is billed as Fault time, not compute, so ComputeSec is
+	// unchanged while the injected time equals (slowdown−1)·compute.
+	if !approxEq(slow.ComputeSec(), clean.ComputeSec()) {
+		t.Errorf("straggler changed clean ComputeSec: %g vs %g", slow.ComputeSec(), clean.ComputeSec())
+	}
+	if want := clean.ComputeSec(); !approxEq(slow.FaultSec(), want) {
+		t.Errorf("all-straggler FaultSec = %g, want ≈ compute time %g", slow.FaultSec(), want)
+	}
+	if slow.Seconds <= clean.Seconds {
+		t.Errorf("stragglers did not slow the run: %g vs %g", slow.Seconds, clean.Seconds)
+	}
+}
+
+// TestChaosJitterMonotone checks the perturbed makespan grows monotonically
+// with the jitter magnitude — the fixed-draw-count design guarantee the
+// robustness campaign's error-growth claim relies on.
+func TestChaosJitterMonotone(t *testing.T) {
+	prev := 0.0
+	for i, m := range []float64{0, 0.5, 1, 2, 4} {
+		cfg := faults.Config{Seed: 7, LatencyJitterFrac: 1}.Scale(m)
+		res, err := Run(chaosWorld(4, cfg), chaosProgram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Seconds <= prev {
+			t.Fatalf("makespan not increasing at magnitude %g: %g after %g", m, res.Seconds, prev)
+		}
+		prev = res.Seconds
+	}
+}
+
+// TestChaosWorldValidate checks fault-config validation is wired into the
+// world's own validation.
+func TestChaosWorldValidate(t *testing.T) {
+	w := chaosWorld(2, faults.Config{DropProb: 2})
+	if _, err := Run(w, chaosProgram); err == nil {
+		t.Error("world with DropProb=2 ran")
+	}
+}

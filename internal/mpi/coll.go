@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"math"
+
+	"pasp/internal/trace"
 )
 
 // Op selects the combining operator of a reduction.
@@ -47,7 +49,20 @@ func (c *Ctx) collective(payload any, cost float64) (*collSnapshot, error) {
 			start = t
 		}
 	}
-	return snap, c.advanceComm(start + cost)
+	if err := c.advanceComm(start + cost); err != nil {
+		return nil, err
+	}
+	// Each rank draws its own collective perturbation, so jitter desyncs
+	// the ranks exactly as a noisy fabric would; the next collective's
+	// entry max re-synchronizes on the slowest (most-jittered) rank.
+	if c.faults != nil {
+		if extra := c.faults.Collective(cost); extra > 0 {
+			if err := c.advanceFault(extra, trace.Fault, c.rt.w.PollUtil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return snap, nil
 }
 
 // Barrier blocks until every rank arrives; it costs a recursive-doubling

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"pasp/internal/faults"
 	"pasp/internal/machine"
 	"pasp/internal/papi"
 	"pasp/internal/power"
@@ -25,9 +26,16 @@ type Ctx struct {
 
 	computeSec float64
 	commSec    float64
+	faultSec   float64
+	retries    int
 
 	msgs     int
 	msgBytes int
+
+	// faults is the rank's chaos injector; nil when the world's fault
+	// config is disabled, which is the hot-path guard: a fault-free run
+	// performs no draw, no extra event and no arithmetic change.
+	faults *faults.Rank
 
 	counters papi.Counters
 	meter    *power.Meter
@@ -121,13 +129,17 @@ func (c *Ctx) snapshotPayload(data []float64) []float64 {
 }
 
 func newCtx(rt *runtime, rank int) *Ctx {
-	return &Ctx{
+	c := &Ctx{
 		rt:    rt,
 		rank:  rank,
 		state: rt.w.State,
 		meter: power.NewMeter(rt.w.Prof),
 		phase: "main",
 	}
+	if rt.w.Faults.Enabled() {
+		c.faults = faults.NewRank(rt.w.Faults, rank)
+	}
+	return c
 }
 
 // Rank returns this rank's index in [0, Size).
@@ -208,6 +220,35 @@ func (c *Ctx) Compute(w machine.Work) error {
 	}
 	c.log.Append(trace.Event{Rank: c.rank, Phase: c.phase, Kind: trace.Compute, Start: start, End: c.clock,
 		Watts: float64(c.rt.w.Prof.NodePower(c.state, 1))})
+	// A straggler rank's compute stretches by its persistent slowdown —
+	// equivalent to the node running at a lower effective frequency for
+	// ON-chip work. The stretch is a separate Fault interval at busy power,
+	// so traces attribute injected heterogeneity, not mislabel it compute.
+	if c.faults != nil {
+		if f := c.faults.ComputeFactor(); f > 1 {
+			if err := c.advanceFault(float64(dt)*(f-1), trace.Fault, 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// advanceFault advances the clock by dt of chaos-injected time, recording
+// it under the given trace kind at the given utilization (1 for a straggler
+// compute stretch, the poll utilization for network waits and backoff).
+func (c *Ctx) advanceFault(dt float64, kind trace.Kind, util float64) error {
+	if dt <= 0 {
+		return nil
+	}
+	start := c.clock
+	c.clock += dt
+	c.faultSec += dt
+	if err := c.meter.Accumulate(c.state, util, units.Seconds(dt)); err != nil {
+		return err
+	}
+	c.log.Append(trace.Event{Rank: c.rank, Phase: c.phase, Kind: kind, Start: start, End: c.clock,
+		Watts: float64(c.rt.w.Prof.NodePower(c.state, util))})
 	return nil
 }
 

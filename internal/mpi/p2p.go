@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"pasp/internal/trace"
+)
 
 // message is one point-to-point transfer in flight.
 type message struct {
@@ -34,6 +38,34 @@ func (m message) Bytes() int {
 }
 
 func (c *Ctx) box(src, dst int) chan message { return c.rt.box(src, dst) }
+
+// msgFaultDelays draws the chaos perturbation of one received message and
+// splits it into the retry backoff (dropped transmissions redelivered after
+// exponentially backed-off timeouts) and the fault stretch (degraded
+// serialization plus latency jitter). Delivery-side injection keeps the
+// draw order deterministic: per-pair FIFO fixes which message each Recv
+// sees, and the receiving rank's draw stream advances in its own program
+// order. The caller must have checked c.faults != nil.
+func (c *Ctx) msgFaultDelays(bytes int) (backoff, stretch float64) {
+	net := &c.rt.w.Net
+	f := c.faults.Message(net.LatencySec)
+	c.retries += f.Retries
+	backoff = c.faults.BackoffSec(f.Retries)
+	stretch = (net.DegradedWireTime(bytes, f.WireFactor) - net.WireTime(bytes)) +
+		(net.JitteredLatency(f.ExtraLatencySec) - net.LatencySec)
+	return backoff, stretch
+}
+
+// chargeMsgFaults appends the injected intervals of one received message
+// after its clean bookkeeping: backoff under the Retry kind, then the
+// stretch under the Fault kind, both billed at the poll utilization (the
+// receiver busy-waits through them like any other communication stall).
+func (c *Ctx) chargeMsgFaults(backoff, stretch float64) error {
+	if err := c.advanceFault(backoff, trace.Retry, c.rt.w.PollUtil); err != nil {
+		return err
+	}
+	return c.advanceFault(stretch, trace.Fault, c.rt.w.PollUtil)
+}
 
 // Send transmits data to rank dst with the given tag. vbytes, when
 // positive, overrides the timed message size so a scaled-down payload can
@@ -133,15 +165,27 @@ func (c *Ctx) Recv(src, tag int) ([]float64, error) {
 			// effect, ignored for the ingress side.
 			_ = start
 		}
+		var backoff, stretch float64
+		if c.faults != nil {
+			// The handshake retries and the perturbed transfer hold the
+			// sender too: its completion reflects the same injected time.
+			backoff, stretch = c.msgFaultDelays(b)
+		}
 		wire := net.WireTime(b)
-		senderDone := start + wire
+		senderDone := start + wire + backoff + stretch
 		m.done <- senderDone
 		end := start + net.LatencySec + wire
 		if end < c.ingressBusy+wire {
 			end = c.ingressBusy + wire
 		}
-		c.ingressBusy = end
-		return m.data, c.advanceComm(end + or)
+		c.ingressBusy = end + backoff + stretch
+		if err := c.advanceComm(end + or); err != nil {
+			return nil, err
+		}
+		if err := c.chargeMsgFaults(backoff, stretch); err != nil {
+			return nil, err
+		}
+		return m.data, nil
 
 	case m.exchange:
 		// Symmetric exchange: completes when both sides were ready plus one
@@ -155,7 +199,18 @@ func (c *Ctx) Recv(src, tag int) ([]float64, error) {
 			end = c.ingressBusy + net.WireTime(b)
 		}
 		c.ingressBusy = end
-		return m.data, c.advanceComm(end + or)
+		if c.faults == nil {
+			return m.data, c.advanceComm(end + or)
+		}
+		backoff, stretch := c.msgFaultDelays(b)
+		c.ingressBusy = end + backoff + stretch
+		if err := c.advanceComm(end + or); err != nil {
+			return nil, err
+		}
+		if err := c.chargeMsgFaults(backoff, stretch); err != nil {
+			return nil, err
+		}
+		return m.data, nil
 
 	default:
 		// Eager: data is available at m.arrival; the ingress port can only
@@ -165,7 +220,21 @@ func (c *Ctx) Recv(src, tag int) ([]float64, error) {
 			end = min
 		}
 		c.ingressBusy = end
-		return m.data, c.advanceComm(end + or)
+		if c.faults == nil {
+			return m.data, c.advanceComm(end + or)
+		}
+		// A dropped eager message is redelivered: the receiver eats the
+		// retransmission timeouts (Retry) and the perturbed transfer
+		// (Fault) before the payload is usable.
+		backoff, stretch := c.msgFaultDelays(b)
+		c.ingressBusy = end + backoff + stretch
+		if err := c.advanceComm(end + or); err != nil {
+			return nil, err
+		}
+		if err := c.chargeMsgFaults(backoff, stretch); err != nil {
+			return nil, err
+		}
+		return m.data, nil
 	}
 }
 

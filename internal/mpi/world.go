@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pasp/internal/faults"
 	"pasp/internal/machine"
 	"pasp/internal/papi"
 	"pasp/internal/power"
@@ -64,6 +65,10 @@ type World struct {
 	// actually changes the operating point (Enhanced SpeedStep transition
 	// plus driver overhead).
 	GearSwitchSec units.Seconds
+	// Faults is the chaos-harness configuration. The zero value injects
+	// nothing and leaves every timing bit-identical to the fault-free
+	// simulation; see package faults.
+	Faults faults.Config
 }
 
 // Validate reports an error for an unusable configuration.
@@ -89,6 +94,9 @@ func (w World) Validate() error {
 	if w.GearSwitchSec < 0 {
 		return fmt.Errorf("mpi: negative gear-switch time")
 	}
+	if err := w.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -109,6 +117,13 @@ type RankStats struct {
 	// counting each collective as its constituent algorithm messages.
 	Msgs     int
 	MsgBytes int
+	// FaultSec is the virtual time injected into this rank by the chaos
+	// harness (jitter, degradation, straggler stretch and retry backoff);
+	// zero on a fault-free run.
+	FaultSec float64
+	// Retries counts the injected message retransmissions this rank
+	// observed on its receive path.
+	Retries int
 }
 
 // Result aggregates a finished job.
@@ -158,6 +173,25 @@ func (r *Result) CommSec() float64 {
 		t += s.CommSec
 	}
 	return t
+}
+
+// FaultSec returns the summed chaos-injected time across ranks; zero on a
+// fault-free run.
+func (r *Result) FaultSec() float64 {
+	t := 0.0
+	for _, s := range r.PerRank {
+		t += s.FaultSec
+	}
+	return t
+}
+
+// Retries returns the total injected message retransmissions across ranks.
+func (r *Result) Retries() int {
+	n := 0
+	for _, s := range r.PerRank {
+		n += s.Retries
+	}
+	return n
 }
 
 // runtime is the shared state of a running job.
@@ -341,6 +375,8 @@ func aggregate(w World, ctxs []*Ctx) *Result {
 			Joules:     float64(c.meter.Joules()),
 			Msgs:       c.msgs,
 			MsgBytes:   c.msgBytes,
+			FaultSec:   c.faultSec,
+			Retries:    c.retries,
 		}
 		res.Joules += float64(c.meter.Joules() + idleJ)
 		res.RankCounters[i] = c.counters

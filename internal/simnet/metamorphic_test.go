@@ -1,0 +1,154 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"pasp/internal/units"
+)
+
+// Metamorphic relations of the network model: instead of asserting absolute
+// times, these tests assert how outputs must move when an input is
+// transformed — the invariants every calibration of the model has to obey.
+
+func metamorphicConfigs() []Config {
+	gigabit := FastEthernet()
+	gigabit.BandwidthBps = 118e6
+	gigabit.LatencySec = 20e-6
+	ideal := FastEthernet()
+	ideal.FlowConcurrency = 0
+	noEager := FastEthernet()
+	noEager.EagerBytes = 0
+	return []Config{FastEthernet(), gigabit, ideal, noEager}
+}
+
+// TestMetamorphicBandwidthDoubling: doubling the port bandwidth never
+// increases any transfer time, at any size or contention level.
+func TestMetamorphicBandwidthDoubling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const f = units.Hertz(600e6)
+	for _, c := range metamorphicConfigs() {
+		fast := c
+		fast.BandwidthBps *= 2
+		for trial := 0; trial < 200; trial++ {
+			b := rng.Intn(1 << 20)
+			flows := 1 + rng.Intn(32)
+			if w, w2 := c.WireTime(b), fast.WireTime(b); w2 > w {
+				t.Fatalf("%d bytes: doubling bandwidth raised WireTime %g → %g", b, w, w2)
+			}
+			if w, w2 := c.ContendedWireTime(b, flows), fast.ContendedWireTime(b, flows); w2 > w {
+				t.Fatalf("%d bytes, %d flows: doubling bandwidth raised ContendedWireTime %g → %g", b, flows, w, w2)
+			}
+			if p, p2 := c.PointToPoint(b, f, f), fast.PointToPoint(b, f, f); p2 > p {
+				t.Fatalf("%d bytes: doubling bandwidth raised PointToPoint %g → %g", b, p, p2)
+			}
+		}
+	}
+}
+
+// TestMetamorphicIdealSwitchLowerBound: the unlimited-concurrency fabric
+// (FlowConcurrency = 0) lower-bounds every finite setting at every
+// contention level.
+func TestMetamorphicIdealSwitchLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := FastEthernet()
+	ideal := base
+	ideal.FlowConcurrency = 0
+	for _, fc := range []int{1, 2, 8, 64} {
+		c := base
+		c.FlowConcurrency = fc
+		for trial := 0; trial < 200; trial++ {
+			b := rng.Intn(1 << 20)
+			flows := 1 + rng.Intn(64)
+			if lo, v := ideal.ContendedWireTime(b, flows), c.ContendedWireTime(b, flows); v < lo {
+				t.Fatalf("FlowConcurrency=%d beat the ideal switch at %d bytes, %d flows: %g < %g",
+					fc, b, flows, v, lo)
+			}
+			if lo, v := ideal.EffectiveBandwidth(flows), c.EffectiveBandwidth(flows); v > lo {
+				t.Fatalf("FlowConcurrency=%d exceeded port bandwidth at %d flows: %g > %g", fc, flows, v, lo)
+			}
+		}
+	}
+}
+
+// TestMetamorphicMonotoneInBytes: every timing is non-decreasing in the
+// message size, and contention is non-decreasing in the flow count.
+func TestMetamorphicMonotoneInBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const f = units.Hertz(1400e6)
+	for _, c := range metamorphicConfigs() {
+		for trial := 0; trial < 200; trial++ {
+			b := rng.Intn(1 << 20)
+			bigger := b + 1 + rng.Intn(1<<16)
+			flows := 1 + rng.Intn(32)
+			if c.WireTime(bigger) < c.WireTime(b) {
+				t.Fatalf("WireTime decreased: %d → %d bytes", b, bigger)
+			}
+			if c.CPUOverhead(bigger, f) < c.CPUOverhead(b, f) {
+				t.Fatalf("CPUOverhead decreased: %d → %d bytes", b, bigger)
+			}
+			if c.PointToPoint(bigger, f, f) < c.PointToPoint(b, f, f) {
+				t.Fatalf("PointToPoint decreased: %d → %d bytes", b, bigger)
+			}
+			if c.ContendedWireTime(b, flows+1) < c.ContendedWireTime(b, flows) {
+				t.Fatalf("ContendedWireTime decreased with more flows at %d bytes", b)
+			}
+		}
+	}
+}
+
+// TestMetamorphicProtocolRegimes: the eager/rendezvous split is a clean
+// threshold — everything at or below EagerBytes is eager, everything above
+// is rendezvous, and a zero threshold means eager-only.
+func TestMetamorphicProtocolRegimes(t *testing.T) {
+	c := FastEthernet()
+	for _, b := range []int{0, 1, c.EagerBytes - 1, c.EagerBytes} {
+		if c.Rendezvous(b) {
+			t.Errorf("%d bytes (≤ threshold %d) classified rendezvous", b, c.EagerBytes)
+		}
+	}
+	for _, b := range []int{c.EagerBytes + 1, 2 * c.EagerBytes, 1 << 24} {
+		if !c.Rendezvous(b) {
+			t.Errorf("%d bytes (> threshold %d) classified eager", b, c.EagerBytes)
+		}
+	}
+	c.EagerBytes = 0
+	if c.Rendezvous(1 << 30) {
+		t.Error("EagerBytes=0 still rendezvous")
+	}
+}
+
+// TestMetamorphicFaultHooksIdentity: the chaos-harness entry points with
+// neutral arguments are exact identities — the equality the fault-off
+// bit-identity contract rests on — and move monotonically with their
+// perturbation argument.
+func TestMetamorphicFaultHooksIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, c := range metamorphicConfigs() {
+		for trial := 0; trial < 200; trial++ {
+			b := rng.Intn(1 << 20)
+			if c.DegradedWireTime(b, 1) != c.WireTime(b) {
+				t.Fatalf("DegradedWireTime(%d, 1) != WireTime", b)
+			}
+			if c.DegradedWireTime(b, 0.5) != c.WireTime(b) {
+				t.Fatalf("DegradedWireTime(%d, 0.5) not clamped to WireTime", b)
+			}
+			if c.JitteredLatency(0) != c.LatencySec {
+				t.Fatal("JitteredLatency(0) != LatencySec")
+			}
+			if c.JitteredLatency(-1) != c.LatencySec {
+				t.Fatal("JitteredLatency(-1) not clamped to LatencySec")
+			}
+			f1, f2 := 1+rng.Float64()*3, 0.0
+			f2 = f1 + rng.Float64()
+			if c.DegradedWireTime(b, f2) < c.DegradedWireTime(b, f1) {
+				t.Fatalf("DegradedWireTime decreased in factor at %d bytes", b)
+			}
+			e1 := rng.Float64() * 1e-3
+			e2 := e1 + rng.Float64()*1e-3
+			if c.JitteredLatency(e2) < c.JitteredLatency(e1) {
+				t.Fatal("JitteredLatency decreased in extra delay")
+			}
+		}
+	}
+}

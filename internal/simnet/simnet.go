@@ -114,6 +114,29 @@ func (c Config) ContendedWireTime(bytes, flows int) float64 {
 	return float64(bytes) / c.EffectiveBandwidth(flows)
 }
 
+// DegradedWireTime returns the serialization time of bytes on a transiently
+// degraded fabric: the uncontended wire time stretched by factor (≥ 1). The
+// chaos harness (package faults) draws the factor per message; factor ≤ 1
+// means a healthy fabric and returns WireTime exactly, so a disabled
+// injector cannot change any timing.
+func (c Config) DegradedWireTime(bytes int, factor float64) float64 {
+	w := c.WireTime(bytes)
+	if factor <= 1 {
+		return w
+	}
+	return w * factor
+}
+
+// JitteredLatency returns the one-way message latency with an injected
+// extra delay (≥ 0) added: the per-message latency-jitter perturbation of
+// the chaos harness. A non-positive extra returns LatencySec exactly.
+func (c Config) JitteredLatency(extraSec float64) float64 {
+	if extraSec <= 0 {
+		return c.LatencySec
+	}
+	return c.LatencySec + extraSec
+}
+
 // PointToPoint returns the end-to-end time of a single message on a quiet
 // network: sender CPU + latency + wire + receiver CPU, with the endpoints at
 // core frequencies fsrc and fdst.

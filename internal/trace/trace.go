@@ -20,6 +20,14 @@ const (
 	// Comm is time spent inside a communication call (including the wait
 	// for the peer and the wire transfer).
 	Comm
+	// Fault is virtual time injected by the chaos harness (package faults):
+	// latency jitter, transient bandwidth degradation and straggler compute
+	// stretch. Fault-free runs record no such events, so their traces stay
+	// bit-identical to the golden reproduction.
+	Fault
+	// Retry is virtual time spent in injected retransmission timeouts and
+	// exponential backoff after a dropped message.
+	Retry
 	// NumKinds is the number of interval classes.
 	NumKinds
 )
@@ -31,6 +39,10 @@ func (k Kind) String() string {
 		return "compute"
 	case Comm:
 		return "comm"
+	case Fault:
+		return "fault"
+	case Retry:
+		return "retry"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
