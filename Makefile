@@ -18,7 +18,11 @@ BENCHJSON ?= BENCH_1.json
 # Fuzz budget per target; CI's fuzz smoke runs with FUZZTIME=10s.
 FUZZTIME ?= 30s
 
-.PHONY: all build test shuffle race lint fmt-check fuzz bench verify
+.PHONY: all build test shuffle race lint fmt-check fuzz bench trace-smoke verify
+
+# trace-smoke output names; CI uploads both as artifacts.
+TRACEJSON ?= run.trace.json
+MANIFESTJSON ?= run.json
 
 all: build
 
@@ -57,6 +61,16 @@ fmt-check:
 # empty benchmark stream fails the target even without pipefail.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/pabench -o $(BENCHJSON)
+
+# One observed FT run through the patrace exporter. patrace validates the
+# trace-event JSON against the schema and checks the per-phase energy
+# attribution sums to the run total before writing anything, so a zero exit
+# status certifies both artifacts; CI uploads $(TRACEJSON) and
+# $(MANIFESTJSON) for loading into Perfetto.
+trace-smoke:
+	$(GO) run ./cmd/patrace -kernel ft -n 4 -f 600 -suite quick \
+		-chaos "seed=7,jitter=0.5" -metrics \
+		-out $(TRACEJSON) -manifest $(MANIFESTJSON)
 
 # Short fuzz pass over the core model contract (finite, non-negative,
 # error-or-value) and the chaos harness's injector/parser invariants.

@@ -7,7 +7,12 @@
 // Usage:
 //
 //	pachaos [-bench ft|lu|...] [-suite paper|quick] [-np 4,8,16] [-mags 0,0.25,0.5,1]
-//	        [-chaos spec] [-seed 1] [-csv out.csv]
+//	        [-chaos spec] [-seed 1] [-csv out.csv] [-trace out.trace.json] [-metrics]
+//
+// -trace exports the campaign's span tree (one span per measured campaign,
+// sized in virtual seconds) as Chrome trace-event JSON; -metrics prints the
+// campaign-store hit/miss counters and campaign span accounting after the
+// sweep, which shows how much measurement the memoization avoided.
 //
 // Without -chaos the sweep perturbs latency jitter only (the headline axis,
 // monotone in magnitude by construction); -chaos takes a key=value spec (see
@@ -25,6 +30,7 @@ import (
 
 	"pasp/internal/experiments"
 	"pasp/internal/faults"
+	"pasp/internal/obs"
 )
 
 // parseInts parses a comma-separated list of integers.
@@ -86,6 +92,8 @@ func main() {
 	chaos := flag.String("chaos", "", "fault knobs at magnitude 1 (see faults.ParseSpec); default: latency jitter only")
 	seed := flag.Uint64("seed", 1, "PRNG seed for the default jitter-only config (ignored with -chaos)")
 	csv := flag.String("csv", "", "also write the sweep as CSV to this file")
+	traceOut := flag.String("trace", "", "write the campaign span tree as Chrome trace-event JSON to this file")
+	metrics := flag.Bool("metrics", false, "print campaign-store metrics after the sweep")
 	flag.Parse()
 
 	s, err := experiments.SuiteByName(*suite)
@@ -97,6 +105,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pachaos: %v\n", err)
 		os.Exit(2)
+	}
+	var rec *obs.Recorder
+	if *traceOut != "" || *metrics {
+		// The campaign store reports spans to the installed global
+		// observer; the recorder never changes a measured number.
+		rec = obs.NewRecorder()
+		defer obs.SetGlobal(obs.SetGlobal(rec))
 	}
 	res, err := s.Robustness(spec)
 	if err != nil {
@@ -110,5 +125,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nCSV written to %s\n", *csv)
+	}
+	if *metrics {
+		fmt.Printf("\ncampaign metrics:\n%s", rec.Metrics().Snapshot().Text())
+		fmt.Printf("\nprocess store counters:\n%s", obs.Default().Snapshot().Text())
+	}
+	if *traceOut != "" {
+		data := obs.SpansChromeTrace(rec.Spans(), "pachaos "+*bench)
+		n, err := obs.ValidateChromeTrace(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pachaos: refusing to write invalid trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pachaos: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("campaign trace (%d events) written to %s\n", n, *traceOut)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"pasp/internal/cluster"
 	"pasp/internal/mpi"
+	"pasp/internal/obs"
 )
 
 // Kernel is one registered benchmark: its runner and its campaign grid.
@@ -66,6 +67,16 @@ func (s Suite) MeasureKernel(name string) (*Campaign, error) {
 
 // RunKernelOnce executes the named kernel at one configuration.
 func (s Suite) RunKernelOnce(name string, n int, mhz float64) (*mpi.Result, error) {
+	return s.RunKernelObserved(name, n, mhz, nil)
+}
+
+// RunKernelObserved executes the named kernel at one configuration with an
+// observability recorder attached: the run span (stamped with the kernel
+// name), per-rank phase spans and run metrics land on rec. A nil rec is
+// exactly RunKernelOnce. The recorder is injected on the World rather than
+// the Platform so the campaign store's content fingerprint of Platform
+// never sees a pointer.
+func (s Suite) RunKernelObserved(name string, n int, mhz float64, rec *obs.Recorder) (*mpi.Result, error) {
 	k, err := s.Kernel(name)
 	if err != nil {
 		return nil, err
@@ -74,7 +85,15 @@ func (s Suite) RunKernelOnce(name string, n int, mhz float64) (*mpi.Result, erro
 	if err != nil {
 		return nil, err
 	}
-	return k.Run(w)
+	w.Obs = rec
+	res, err := k.Run(w)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		rec.AddRunAttrs(obs.A("kernel", name))
+	}
+	return res, nil
 }
 
 // SuiteByName resolves the -suite flag shared by every command.

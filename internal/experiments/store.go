@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"pasp/internal/cluster"
+	"pasp/internal/obs"
 )
 
 // The campaign store memoizes measurement campaigns for the lifetime of the
@@ -72,10 +73,43 @@ func (s Suite) measureCached(kernel string, params any, g cluster.Grid, run clus
 		campaignStore.m[key] = e
 	}
 	campaignStore.mu.Unlock()
+	// An entry found in the map is a hit — a reuse of a measured (or
+	// in-flight) campaign — and a created one is a miss. The counters live
+	// on the process-wide registry so the memoization rate is observable
+	// end-to-end; TestStoreHitMissCounters pins the accounting against
+	// known reuse counts to catch silent regressions.
+	if ok {
+		obs.Default().Counter("store.hits").Inc()
+	} else {
+		obs.Default().Counter("store.misses").Inc()
+	}
 	e.once.Do(func() {
 		e.camp, e.err = s.measure(g, run)
+		if e.err == nil {
+			recordCampaignSpan(kernel, e.camp)
+		}
 	})
 	return e.camp, e.err
+}
+
+// recordCampaignSpan reports a freshly measured campaign to the global
+// observer when one is installed (patrace/pachaos). Campaigns have no
+// single virtual clock, so the span covers [0, summed cell seconds] —
+// deterministic per platform. The nil-observer path is one atomic load.
+func recordCampaignSpan(kernel string, camp *Campaign) {
+	g := obs.Global()
+	if g == nil {
+		return
+	}
+	total := 0.0
+	for _, c := range camp.Cells {
+		total += c.Res.Seconds
+	}
+	id := g.StartSpan(-1, "campaign:"+kernel, 0,
+		obs.F("cells", float64(len(camp.Cells))),
+		obs.F("virtual_seconds", total))
+	g.EndSpan(id, total)
+	g.Metrics().Counter("campaigns.measured").Inc()
 }
 
 // CampaignStoreSize reports how many distinct campaigns the process has

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"testing"
+
+	"pasp/internal/obs"
 )
 
 // TestStoreReturnsSharedCampaign proves the memoization contract: two calls
@@ -113,5 +115,129 @@ func TestMergeCampaigns(t *testing.T) {
 		if tm != c.Res.Seconds {
 			t.Errorf("merged time at N=%d f=%g is %.17g, want %.17g", c.N, c.MHz, tm, c.Res.Seconds)
 		}
+	}
+}
+
+// storeObsTrial gives each hit/miss-counter test invocation a fresh store
+// key, for the same -count=2 reason as storeKeyTrial. The offset keeps its
+// platform variants disjoint from storeKeyTrial's.
+var storeObsTrial float64
+
+// TestStoreHitMissCounters is the instrumentation bug-guard: the
+// process-wide hit/miss counters must equal the known reuse counts of a
+// fresh campaign — one miss for the first measurement, one hit per reuse.
+// A silent memoization regression (re-measuring on reuse) flips hits into
+// misses and fails here before it shows up as a slow reproduction.
+func TestStoreHitMissCounters(t *testing.T) {
+	storeObsTrial++
+	variant := Quick()
+	variant.Platform.Net.MsgCPUIns = 7777 + storeObsTrial
+	before := obs.Default().Snapshot()
+	if _, err := variant.MeasureFT(); err != nil {
+		t.Fatal(err)
+	}
+	d := obs.Default().Snapshot().Delta(before)
+	if d.Counter("store.misses") != 1 { //palint:ignore floateq exact integer counter delta
+		t.Errorf("first measurement: misses delta = %g, want 1", d.Counter("store.misses"))
+	}
+	if d.Counter("store.hits") != 0 { //palint:ignore floateq exact integer counter delta
+		t.Errorf("first measurement: hits delta = %g, want 0", d.Counter("store.hits"))
+	}
+	const reuses = 3
+	for i := 0; i < reuses; i++ {
+		if _, err := variant.MeasureFT(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d = obs.Default().Snapshot().Delta(before)
+	if d.Counter("store.misses") != 1 { //palint:ignore floateq exact integer counter delta
+		t.Errorf("after %d reuses: misses delta = %g, want 1 (campaign re-measured?)", reuses, d.Counter("store.misses"))
+	}
+	if d.Counter("store.hits") != reuses { //palint:ignore floateq exact integer counter delta
+		t.Errorf("after %d reuses: hits delta = %g, want %d", reuses, d.Counter("store.hits"), reuses)
+	}
+}
+
+// TestStoreCampaignSpan proves a fresh measurement reports a campaign span
+// to the installed global observer, with the span duration equal to the
+// campaign's summed virtual seconds, and that reuse reports nothing new.
+func TestStoreCampaignSpan(t *testing.T) {
+	rec := obs.NewRecorder()
+	prev := obs.SetGlobal(rec)
+	defer obs.SetGlobal(prev)
+
+	storeObsTrial++
+	variant := Quick()
+	variant.Platform.Net.MsgCPUIns = 7777 + storeObsTrial
+	camp, err := variant.MeasureFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := rec.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans after a fresh measurement, want 1: %+v", len(spans), spans)
+	}
+	if spans[0].Name != "campaign:FT" {
+		t.Errorf("span name = %q, want campaign:FT", spans[0].Name)
+	}
+	total := 0.0
+	for _, c := range camp.Cells {
+		total += c.Res.Seconds
+	}
+	//palint:ignore floateq the span must carry the summed seconds verbatim
+	if spans[0].End != total {
+		t.Errorf("span end = %g, want summed cell seconds %g", spans[0].End, total)
+	}
+	if _, err := variant.MeasureFT(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Spans()); got != 1 {
+		t.Errorf("reuse added spans: %d, want still 1", got)
+	}
+}
+
+// TestRunKernelObserved checks the recorder injection path the patrace
+// driver uses: the run span carries the kernel name, phase spans exist, and
+// the run result is bit-identical to an unobserved run.
+func TestRunKernelObserved(t *testing.T) {
+	s := Quick()
+	rec := obs.NewRecorder()
+	res, err := s.RunKernelObserved("ft", 2, 600, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := s.RunKernelOnce("ft", 2, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//palint:ignore floateq bit-identity is the property under test, not a tolerance comparison
+	if res.Seconds != plain.Seconds || res.Joules != plain.Joules {
+		t.Errorf("observed run differs from plain run: %g s %g J vs %g s %g J",
+			res.Seconds, res.Joules, plain.Seconds, plain.Joules)
+	}
+	spans := rec.Spans()
+	if len(spans) == 0 || spans[0].Name != "run" {
+		t.Fatalf("first span = %+v, want run span", spans)
+	}
+	foundKernel := false
+	for _, a := range spans[0].Attrs {
+		if a.Key == "kernel" && a.Value == "ft" {
+			foundKernel = true
+		}
+	}
+	if !foundKernel {
+		t.Errorf("run span attrs %+v missing kernel=ft", spans[0].Attrs)
+	}
+	phases := 0
+	for _, sp := range spans {
+		if sp.Rank >= 0 && sp.Parent > 0 {
+			phases++
+		}
+	}
+	if phases == 0 {
+		t.Error("no phase spans recorded for an observed FT run")
+	}
+	if rec.Metrics().Snapshot().Counter("mpi.runs") != 1 { //palint:ignore floateq exact integer counter
+		t.Error("observed run did not count on the recorder registry")
 	}
 }

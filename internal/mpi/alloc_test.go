@@ -1,6 +1,10 @@
 package mpi
 
-import "testing"
+import (
+	"testing"
+
+	"pasp/internal/obs"
+)
 
 // pingPongAllocs measures the allocations of one full Run executing rounds
 // eager ping-pong exchanges between two ranks.
@@ -53,5 +57,60 @@ func TestEagerPathAllocs(t *testing.T) {
 	perRound := (double - base) / r
 	if perRound > 1.0 {
 		t.Errorf("eager ping-pong allocates %.2f allocs/round, want ≤ 1 (pre-pooling cost was ≥ 2)", perRound)
+	}
+}
+
+// obsPingPongAllocs is pingPongAllocs with a fresh observability recorder
+// attached to each Run, measuring the enabled recording path.
+func obsPingPongAllocs(t *testing.T, rounds int) float64 {
+	t.Helper()
+	data := []float64{1, 2, 3, 4}
+	return testing.AllocsPerRun(3, func() {
+		w := testWorld(2, 600)
+		w.Obs = obs.NewRecorder()
+		_, err := Run(w, func(c *Ctx) error {
+			for r := 0; r < rounds; r++ {
+				if c.Rank() == 0 {
+					if err := c.Send(1, 7, data, 32); err != nil {
+						return err
+					}
+					got, err := c.Recv(1, 8)
+					if err != nil {
+						return err
+					}
+					c.Free(got)
+				} else {
+					got, err := c.Recv(0, 7)
+					if err != nil {
+						return err
+					}
+					c.Free(got)
+					if err := c.Send(0, 8, data, 32); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestObsEnabledSteadyStateAllocs pins the recording hot path's allocation
+// cost: per-round, an *enabled* recorder must stay within the same ≤1
+// alloc/round budget as the plain path, because steady-state recording is
+// atomic histogram increments only — spans allocate on SetPhase, not per
+// message. Differencing two round counts cancels the recorder's fixed
+// per-run cost (rank logs, registry, the initial phase span) and isolates
+// the marginal cost the lock-free design promises is zero.
+func TestObsEnabledSteadyStateAllocs(t *testing.T) {
+	const r = 64
+	base := obsPingPongAllocs(t, r)
+	double := obsPingPongAllocs(t, 2*r)
+	perRound := (double - base) / r
+	if perRound > 1.0 {
+		t.Errorf("observed eager ping-pong allocates %.2f allocs/round, want ≤ 1 (recording must be alloc-free per message)", perRound)
 	}
 }

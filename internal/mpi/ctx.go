@@ -5,6 +5,7 @@ import (
 
 	"pasp/internal/faults"
 	"pasp/internal/machine"
+	"pasp/internal/obs"
 	"pasp/internal/papi"
 	"pasp/internal/power"
 	"pasp/internal/trace"
@@ -36,6 +37,16 @@ type Ctx struct {
 	// config is disabled, which is the hot-path guard: a fault-free run
 	// performs no draw, no extra event and no arithmetic change.
 	faults *faults.Rank
+
+	// obs is the rank's phase-span log and msgHist the shared message-size
+	// histogram; both nil when the world carries no recorder, the same
+	// nil-pointer hot-path guard as faults.
+	obs     *obs.RankLog
+	msgHist *obs.Histogram
+
+	// gearSwitches counts actual P-state changes for the observability
+	// metrics; a plain increment on the rare SetPState path.
+	gearSwitches int
 
 	counters papi.Counters
 	meter    *power.Meter
@@ -139,6 +150,11 @@ func newCtx(rt *runtime, rank int) *Ctx {
 	if rt.w.Faults.Enabled() {
 		c.faults = faults.NewRank(rt.w.Faults, rank)
 	}
+	if rt.w.Obs != nil {
+		c.obs = rt.w.Obs.Rank(rank)
+		c.obs.Phase(c.phase, 0)
+		c.msgHist = rt.w.Obs.Metrics().Histogram("mpi.msg_bytes", obs.MsgBytesBuckets)
+	}
 	return c
 }
 
@@ -181,6 +197,7 @@ func (c *Ctx) SetPState(st power.PState) {
 		c.commSec += float64(dt)
 	}
 	c.state = st
+	c.gearSwitches++
 }
 
 // Machine returns the node timing model, letting kernels size working sets
@@ -195,6 +212,9 @@ func (c *Ctx) SetPhase(name string) {
 		return
 	}
 	c.phase = name
+	if c.obs != nil {
+		c.obs.Phase(name, c.clock)
+	}
 	if c.rt.w.OnPhase != nil {
 		c.rt.w.OnPhase(c, name)
 	}
@@ -276,6 +296,9 @@ func (c *Ctx) advanceComm(end float64) error {
 func (c *Ctx) noteMsgs(count, bytesEach int) {
 	c.msgs += count
 	c.msgBytes += count * bytesEach
+	if c.msgHist != nil {
+		c.msgHist.ObserveN(float64(bytesEach), int64(count))
+	}
 }
 
 // checkPeer validates a peer rank index.

@@ -23,6 +23,7 @@ import (
 
 	"pasp/internal/faults"
 	"pasp/internal/machine"
+	"pasp/internal/obs"
 	"pasp/internal/papi"
 	"pasp/internal/power"
 	"pasp/internal/simnet"
@@ -69,6 +70,13 @@ type World struct {
 	// nothing and leaves every timing bit-identical to the fault-free
 	// simulation; see package faults.
 	Faults faults.Config
+	// Obs, when non-nil, records the run into the observability layer:
+	// a run span with platform attributes, per-rank phase spans, and the
+	// recorder's metric registry. Nil follows the faults nil-injector
+	// contract — no allocation, no timing change, bit-identical traces
+	// (the alloc and golden tests in obs_test.go enforce this). A
+	// Recorder instruments exactly one run; reuse panics.
+	Obs *obs.Recorder
 }
 
 // Validate reports an error for an unusable configuration.
@@ -316,6 +324,9 @@ func Run(w World, fn RankFunc) (*Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	if w.Obs != nil {
+		beginObserve(w)
+	}
 	rt := newRuntime(w)
 	ctxs := make([]*Ctx, w.N)
 	errs := make([]error, w.N)
@@ -350,7 +361,11 @@ func Run(w World, fn RankFunc) (*Result, error) {
 	if aborted != nil {
 		return nil, aborted
 	}
-	return aggregate(w, ctxs), nil
+	res := aggregate(w, ctxs)
+	if w.Obs != nil {
+		observeRun(w, ctxs, res)
+	}
+	return res, nil
 }
 
 func aggregate(w World, ctxs []*Ctx) *Result {

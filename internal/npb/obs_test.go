@@ -1,0 +1,87 @@
+package npb
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pasp/internal/obs"
+)
+
+// TestFTObservedEnergyAttribution is the conservation property on a real
+// kernel across cluster sizes and gears: attributing the FT trace per
+// (rank, phase) — idle tails included — recovers the run's total energy to
+// within float re-association, and the rank coverage is gapless (every
+// rank's rows sum to the makespan).
+func TestFTObservedEnergyAttribution(t *testing.T) {
+	ft := FT{Nx: 16, Ny: 16, Nz: 16, Iters: 2}
+	for _, tc := range []struct {
+		n   int
+		mhz float64
+	}{{1, 600}, {2, 1400}, {4, 1400}} {
+		w := npbWorld(tc.n, tc.mhz)
+		_, res, err := ft.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rankEnds := make([]float64, len(res.PerRank))
+		for i, r := range res.PerRank {
+			rankEnds[i] = r.Seconds
+		}
+		rep := obs.AttributeEnergy(res.Trace, w.Prof, w.State, res.Seconds, rankEnds)
+		if math.Abs(rep.TotalJoules-res.Joules) > 1e-9*res.Joules {
+			t.Errorf("N=%d f=%g: attributed %.15g J, run total %.15g J",
+				tc.n, tc.mhz, rep.TotalJoules, res.Joules)
+		}
+		wantSec := float64(tc.n) * res.Seconds
+		if math.Abs(rep.TotalSeconds-wantSec) > 1e-9*wantSec {
+			t.Errorf("N=%d f=%g: attributed %.15g node-seconds, want N×makespan = %.15g",
+				tc.n, tc.mhz, rep.TotalSeconds, wantSec)
+		}
+	}
+}
+
+// TestFTPhaseSpans checks the kernel's existing SetPhase labels surface as
+// phase spans on every rank, gapless from 0 to the rank's final clock.
+func TestFTPhaseSpans(t *testing.T) {
+	w := npbWorld(2, 1400)
+	rec := obs.NewRecorder()
+	w.Obs = rec
+	ft := FT{Nx: 16, Ny: 16, Nz: 16, Iters: 2}
+	_, res, err := ft.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := rec.Spans()
+	names := map[string]bool{}
+	perRank := map[int][]obs.Span{}
+	for _, s := range spans {
+		if s.Rank >= 0 && s.Parent > 0 {
+			names[s.Name] = true
+			perRank[s.Rank] = append(perRank[s.Rank], s)
+		}
+	}
+	for _, want := range []string{"ft-init", "ft-alltoall", "ft-checksum"} {
+		if !names[want] {
+			var have []string
+			for n := range names {
+				have = append(have, n)
+			}
+			t.Errorf("phase span %q missing (have %s)", want, strings.Join(have, ", "))
+		}
+	}
+	for rank, ps := range perRank {
+		last := 0.0
+		for _, s := range ps {
+			//palint:ignore floateq phase spans must tile the rank's clock exactly: each opens where the previous closed
+			if s.Start != last {
+				t.Errorf("rank %d: span %q starts at %g, previous ended at %g", rank, s.Name, s.Start, last)
+			}
+			last = s.End
+		}
+		//palint:ignore floateq the final phase closes at the rank's final clock verbatim
+		if last != res.PerRank[rank].Seconds {
+			t.Errorf("rank %d: phases end at %g, rank clock is %g", rank, last, res.PerRank[rank].Seconds)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+)
+
+// Manifest captures everything needed to reproduce and diff a run: the
+// configuration that produced it, a content fingerprint of the platform,
+// the toolchain, the headline results and the full metric snapshot. Two
+// runs of the same seed on the same tree produce identical manifests
+// except for the go_version field when toolchains differ.
+type Manifest struct {
+	Tool                string   `json:"tool"`
+	GoVersion           string   `json:"go_version"`
+	Kernel              string   `json:"kernel"`
+	Suite               string   `json:"suite"`
+	N                   int      `json:"n"`
+	MHz                 float64  `json:"mhz"`
+	ChaosSpec           string   `json:"chaos_spec,omitempty"`
+	Seed                uint64   `json:"seed"`
+	PlatformFingerprint string   `json:"platform_fingerprint"`
+	Seconds             float64  `json:"seconds"`
+	Joules              float64  `json:"joules"`
+	AvgWatts            float64  `json:"avg_watts"`
+	EDP                 float64  `json:"edp"`
+	TraceEvents         int      `json:"trace_events"`
+	Metrics             Snapshot `json:"metrics"`
+}
+
+// NewManifest returns a manifest stamped with the running toolchain.
+func NewManifest(tool string) Manifest {
+	return Manifest{Tool: tool, GoVersion: runtime.Version()}
+}
+
+// Fingerprint content-hashes a value by its %+v rendering — the same
+// content-keying scheme as the experiments campaign store, so a platform
+// that keys apart there fingerprints apart here.
+func Fingerprint(v any) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", v)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// JSON renders the manifest as indented JSON with a trailing newline.
+func (m Manifest) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	return append(data, '\n'), nil
+}

@@ -65,6 +65,15 @@ func FastEthernet() Config {
 	}
 }
 
+// String renders the interconnect parameters as a compact deterministic
+// one-liner for run manifests and span attributes; every field that keys a
+// campaign-store entry appears, so two configs with equal strings simulate
+// identically.
+func (c Config) String() string {
+	return fmt.Sprintf("lat=%gs bw=%gB/s msgins=%g byteins=%g flows=%d eager=%dB",
+		c.LatencySec, c.BandwidthBps, c.MsgCPUIns, c.ByteCPUIns, c.FlowConcurrency, c.EagerBytes)
+}
+
 // Validate reports an error for non-physical parameters.
 func (c Config) Validate() error {
 	if c.LatencySec < 0 {

@@ -32,20 +32,33 @@ const (
 	NumKinds
 )
 
+// kindNames is the single source of the kind spellings: String indexes it
+// and ParseKind searches it, so the two round-trip by construction and no
+// exporter or test ever switches on a magic string.
+var kindNames = [NumKinds]string{
+	Compute: "compute",
+	Comm:    "comm",
+	Fault:   "fault",
+	Retry:   "retry",
+}
+
 // String names the kind.
 func (k Kind) String() string {
-	switch k {
-	case Compute:
-		return "compute"
-	case Comm:
-		return "comm"
-	case Fault:
-		return "fault"
-	case Retry:
-		return "retry"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
+	if k >= 0 && k < NumKinds {
+		return kindNames[k]
 	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind is the inverse of Kind.String: it maps a kind name back to the
+// enum value, rejecting anything String cannot produce.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if s == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown kind %q (want one of %s)", s, strings.Join(kindNames[:], ", "))
 }
 
 // Event is one interval on one rank.
