@@ -43,14 +43,20 @@ shuffle:
 race:
 	$(GO) test -race ./...
 
-# go vet plus palint, the repo's domain-aware analyzer (unguarded float
-# division, exact float comparison, dropped model-API errors, map-order
-# output, unsynchronized goroutine writes, and unitcheck's dimensional
-# analysis over internal/units). Suppressions live in the source as
-# //palint:ignore comments with mandatory reasons.
+# go vet plus palint, the repo's domain-aware analyzer: the v1 per-file
+# checks (unguarded float division, exact float comparison, dropped
+# model-API errors, map-order output, unsynchronized goroutine writes,
+# unitcheck's dimensional analysis) and the v3 interprocedural passes
+# (detsource nondeterminism tainting, ownfree payload ownership, atomicmix
+# synchronization discipline, hotalloc hot-path allocation budgets).
+# Suppressions live in the source as //palint:ignore comments with
+# mandatory reasons; the full finding set — suppressed entries and their
+# reasons included — lands in $(LINTJSON), which CI uploads per run.
+LINTJSON ?= palint.json
+
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/palint ./...
+	$(GO) run ./cmd/palint -artifact $(LINTJSON) ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

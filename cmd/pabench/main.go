@@ -112,6 +112,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *out != "" {
+		//palint:ignore detsource -- CLI driver: the suite label is human-facing report metadata, not simulation input
 		data, err := json.MarshalIndent(report(os.Getenv("PASP_BENCH_SUITE"), benches), "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pabench:", err)

@@ -2,20 +2,24 @@
 // (package analysis): silent-failure checks for the power-aware speedup
 // model's arithmetic (unguarded float division, exact float equality,
 // dropped model-API errors), report determinism (map-ordered output), a
-// cheap static race heuristic for goroutine literals, and dimensional
+// cheap static race heuristic for goroutine literals, dimensional
 // analysis over the typed units layer (cross-dimension conversions,
-// unlike-dimension arithmetic, bare scale literals).
+// unlike-dimension arithmetic, bare scale literals), and the v3
+// interprocedural passes: nondeterminism-source tainting (detsource),
+// freelist payload ownership (ownfree), mixed synchronization disciplines
+// (atomicmix) and hot-path allocation budgets (hotalloc).
 //
 // Usage:
 //
-//	palint [-json] [-only a,b] [-exclude glob,glob] [-list] [packages...]
+//	palint [-json] [-artifact file] [-only a,b] [-exclude glob,glob]
+//	       [-list] [-explain analyzer] [packages...]
 //
 // Packages follow the go tool's pattern shape ("./...", "./internal/core").
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 //
 // Findings are silenced inline with
 //
-//	//palint:ignore <analyzer>[,<analyzer>] <reason>
+//	//palint:ignore <analyzer>[,<analyzer>] -- <reason>
 //
 // on the flagged line or the line above — the reason is mandatory — or for
 // whole paths with -exclude (comma-separated path globs or substrings;
@@ -36,17 +40,26 @@ import (
 
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array")
-		only    = flag.String("only", "", "comma-separated analyzer subset to run")
-		exclude = flag.String("exclude", "", "comma-separated path globs/substrings to suppress")
-		list    = flag.Bool("list", false, "list analyzers and exit")
-		verbose = flag.Bool("v", false, "also show suppressed findings and their reasons")
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		artifact = flag.String("artifact", "", "also write the full diagnostic set (suppressed included) as JSON to this file")
+		only     = flag.String("only", "", "comma-separated analyzer subset to run")
+		exclude  = flag.String("exclude", "", "comma-separated path globs/substrings to suppress")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		explain  = flag.String("explain", "", "print one analyzer's full rule and a representative example, then exit")
+		verbose  = flag.Bool("v", false, "also show suppressed findings and their reasons")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *explain != "" {
+		if err := explainAnalyzer(*explain); err != nil {
+			fmt.Fprintf(os.Stderr, "palint: %v\n", err)
+			os.Exit(2)
 		}
 		return
 	}
@@ -90,6 +103,13 @@ func main() {
 	diags = applyPathExcludes(diags, root, *exclude)
 	active := analysis.Active(diags)
 
+	if *artifact != "" {
+		if err := writeArtifact(*artifact, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "palint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	if *jsonOut {
 		shown := active
 		if *verbose {
@@ -118,6 +138,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "palint: %d finding(s)\n", len(active))
 		os.Exit(1)
 	}
+}
+
+// explainAnalyzer prints the named analyzer's full rule statement and its
+// representative example (lifted from the seeded testdata).
+func explainAnalyzer(name string) error {
+	analyzers, err := analysis.ByName([]string{name})
+	if err != nil {
+		return err
+	}
+	a := analyzers[0]
+	fmt.Printf("%s — %s\n", a.Name, a.Doc)
+	text := a.Explain
+	if text == "" {
+		text = a.Doc
+	}
+	fmt.Printf("\n%s\n", strings.TrimSpace(text))
+	if a.Example != "" {
+		fmt.Printf("\nExample:\n\n")
+		for _, line := range strings.Split(strings.TrimRight(a.Example, "\n"), "\n") {
+			fmt.Printf("\t%s\n", line)
+		}
+	}
+	return nil
+}
+
+// writeArtifact writes the full diagnostic set — suppressed findings
+// included, so the artifact records what was silenced and why — as
+// indented JSON. CI uploads it per run.
+func writeArtifact(file string, diags []analysis.Diagnostic) error {
+	if diags == nil {
+		diags = []analysis.Diagnostic{}
+	}
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(file, append(data, '\n'), 0o644)
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

@@ -28,7 +28,7 @@ func TestParseFreq(t *testing.T) {
 			t.Errorf("parseFreq(%q): %v", tc.in, err)
 			continue
 		}
-		if got != tc.want { //palint:ignore floateq exact unit conversion
+		if got != tc.want { //palint:ignore floateq -- exact unit conversion
 			t.Errorf("parseFreq(%q) = %g, want %g", tc.in, got, tc.want)
 		}
 	}

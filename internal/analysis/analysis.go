@@ -29,6 +29,12 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by `palint -list`.
 	Doc string
+	// Explain is the full rule statement shown by `palint -explain <name>`;
+	// empty falls back to Doc.
+	Explain string
+	// Example is a representative violation, lifted from the analyzer's
+	// seeded testdata, shown by `palint -explain <name>`.
+	Example string
 	// Run executes the check against one package, reporting through pass.
 	Run func(pass *Pass)
 }
@@ -36,11 +42,15 @@ type Analyzer struct {
 // All returns every analyzer in the suite, in stable (alphabetical) order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AtomicMix,
+		DetSource,
 		DroppedErr,
 		FloatDiv,
 		FloatEq,
+		HotAlloc,
 		MapOrder,
 		NakedGo,
+		OwnFree,
 		UnitCheck,
 	}
 }
@@ -95,6 +105,9 @@ type Pass struct {
 	Analyzer *Analyzer
 	// Pkg is the loaded package under analysis.
 	Pkg *Package
+	// Prog is the whole-program view (call graph plus memoized
+	// interprocedural facts) shared by every pass of one Run call.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -143,9 +156,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // column, analyzer. Callers filter on Suppressed for the exit status.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	prog := newProgram(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &diags}
 			a.Run(pass)
 		}
 	}

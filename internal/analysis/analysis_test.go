@@ -126,10 +126,12 @@ func TestParseSuppression(t *testing.T) {
 		hits   []string
 		misses []string
 	}{
-		{"palint:ignore floateq exact sentinel compare", true, "exact sentinel compare", []string{"floateq"}, []string{"floatdiv"}},
-		{"palint:ignore floateq,floatdiv shared invariant", true, "shared invariant", []string{"floateq", "floatdiv"}, []string{"maporder"}},
-		{"palint:ignore all legacy file", true, "legacy file", []string{"floateq", "nakedgo"}, nil},
-		{"palint:ignore floateq", false, "", nil, nil}, // reason is mandatory
+		{"palint:ignore floateq -- exact sentinel compare", true, "exact sentinel compare", []string{"floateq"}, []string{"floatdiv"}},
+		{"palint:ignore floateq,floatdiv -- shared invariant", true, "shared invariant", []string{"floateq", "floatdiv"}, []string{"maporder"}},
+		{"palint:ignore all -- legacy file", true, "legacy file", []string{"floateq", "nakedgo"}, nil},
+		{"palint:ignore floateq", false, "", nil, nil},                        // reason is mandatory
+		{"palint:ignore floateq --", false, "", nil, nil},                     // separator without reason
+		{"palint:ignore floateq exact sentinel compare", false, "", nil, nil}, // pre-v3 format: no -- separator
 		{"just a comment", false, "", nil, nil},
 		{"palint:ignore", false, "", nil, nil},
 	}

@@ -1,0 +1,399 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags fields with mixed synchronization disciplines: a field
+// updated through sync/atomic in one method but read or written with a
+// plain load/store in another races even on platforms where word access
+// happens to be atomic (the race detector and the memory model both call
+// it undefined), and a field the type's other methods only touch under a
+// mutex is not safe to read lock-free just because the read "looks
+// innocent". The obs package's lock-free counters and the mpi mailboxes
+// make both mistakes easy, so the rules are mechanical here.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed both atomically and plainly; mutex-guarded fields touched without the lock",
+	Run:  runAtomicMix,
+	Explain: `atomicmix enforces one synchronization discipline per field:
+  - A field whose address is passed to a sync/atomic function anywhere in
+    the program must be accessed through sync/atomic everywhere. Plain
+    reads ("if s.n > 0") and plain writes ("s.n = 0") of such a field are
+    flagged — they race with the atomic updates.
+  - A field of one of the sync/atomic wrapper types (atomic.Uint64,
+    atomic.Pointer[T], ...) may only be used as a method-call receiver or
+    have its address taken. Copying the wrapper ("n := s.hits") copies the
+    value non-atomically and detaches it from future updates.
+  - Inside a type with a sync.Mutex or sync.RWMutex field: fields the
+    locking methods touch while holding the lock are mutex-guarded, and a
+    method that touches them without calling Lock/RLock is flagged. An
+    unexported method reached only from lock-holding methods inherits the
+    lock interprocedurally and is exempt.`,
+	Example: `type hits struct {
+	mu sync.Mutex
+	n  uint64 // updated via atomic.AddUint64 in Add
+	m  map[string]int
+}
+
+func (h *hits) Add() { atomic.AddUint64(&h.n, 1) }
+func (h *hits) Peek() uint64 { return h.n } // flagged: plain read of atomic field
+
+func (h *hits) Get(k string) int {
+	return h.m[k] // flagged: m is guarded by h.mu in other methods
+}`,
+}
+
+// isAtomicPkgFunc reports whether f is a package-level sync/atomic function
+// (AddUint64, LoadPointer, CompareAndSwapInt32, ...).
+func isAtomicPkgFunc(f *types.Func) bool {
+	return f != nil && !isMethod(f) && f.Pkg() != nil && f.Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicWrapperType reports whether t is one of sync/atomic's wrapper
+// types (atomic.Uint64, atomic.Bool, atomic.Value, atomic.Pointer[T], ...).
+func isAtomicWrapperType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// fieldOf resolves a selector expression to the struct field it selects,
+// or nil when it selects a method or a package member.
+func fieldOf(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// gatherAtomicUses scans every loaded package once for sync/atomic calls
+// whose first argument takes a field's address. The field set drives the
+// plain-access rule; the allowed set holds the selector nodes inside those
+// calls so they are not reported as plain accesses themselves.
+func (prog *Program) gatherAtomicUses() {
+	if prog.atomicGathered {
+		return
+	}
+	prog.atomicGathered = true
+	prog.atomicFields = map[types.Object]bool{}
+	prog.atomicAllowed = map[ast.Node]bool{}
+	for _, info := range prog.funcs {
+		for _, cs := range info.calls {
+			if !isAtomicPkgFunc(cs.callee) || len(cs.call.Args) == 0 {
+				continue
+			}
+			un, ok := ast.Unparen(cs.call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op.String() != "&" {
+				continue
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if field := fieldOf(info.Pkg, sel); field != nil {
+				prog.atomicFields[field] = true
+				prog.atomicAllowed[sel] = true
+			}
+		}
+	}
+}
+
+// parentsOf maps every node under root to its syntactic parent.
+func parentsOf(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+func runAtomicMix(pass *Pass) {
+	prog := pass.Prog
+	prog.gatherAtomicUses()
+	eachReportedFunc(pass, func(info *FuncInfo) {
+		checkAtomicAccess(pass, info)
+	})
+	checkMutexDiscipline(pass)
+}
+
+// checkAtomicAccess applies the two atomic-field rules to one function
+// body: plain access of an atomically-updated field, and copy of an
+// atomic-wrapper field.
+func checkAtomicAccess(pass *Pass, info *FuncInfo) {
+	prog := pass.Prog
+	parents := parentsOf(info.Decl.Body)
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := fieldOf(info.Pkg, sel)
+		if field == nil {
+			return true
+		}
+		if prog.atomicFields[field] && !prog.atomicAllowed[sel] {
+			pass.Reportf(sel.Sel.Pos(), "field %s is updated through sync/atomic elsewhere; this plain access races with those atomic operations", field.Name())
+			return true
+		}
+		if isAtomicWrapperType(field.Type()) {
+			switch p := parents[sel].(type) {
+			case *ast.SelectorExpr:
+				// x.f.Load() — the wrapper is a method-call receiver.
+				if p.X == sel {
+					return true
+				}
+			case *ast.UnaryExpr:
+				if p.Op.String() == "&" {
+					return true
+				}
+			}
+			pass.Reportf(sel.Sel.Pos(), "field %s has atomic wrapper type %s and may only be used as a method receiver or through its address; this use copies it non-atomically", field.Name(), field.Type())
+		}
+		return true
+	})
+}
+
+// mutexState is the per-named-type context for the mutex-discipline rule.
+type mutexState struct {
+	typ     *types.Named
+	fields  map[types.Object]bool // fields of the struct
+	methods []*FuncInfo
+	locking map[*types.Func]bool
+}
+
+// checkMutexDiscipline applies the mutex-guarded-field rule to every named
+// struct type of the pass's package that embeds a sync mutex.
+func checkMutexDiscipline(pass *Pass) {
+	prog := pass.Prog
+	scope := pass.Pkg.Types
+	if scope == nil {
+		return
+	}
+	for _, name := range scope.Scope().Names() {
+		tn, ok := scope.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		state := &mutexState{typ: named, fields: map[types.Object]bool{}, locking: map[*types.Func]bool{}}
+		hasMutex := false
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isMutexType(f.Type()) {
+				hasMutex = true
+				continue
+			}
+			// Atomic fields follow the atomic rules instead.
+			if isAtomicWrapperType(f.Type()) || prog.atomicFields[f] {
+				continue
+			}
+			state.fields[f] = true
+		}
+		if !hasMutex {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if info := prog.funcOf(m); info != nil {
+				state.methods = append(state.methods, info)
+				if methodLocks(info) {
+					state.locking[m] = true
+				}
+			}
+		}
+		reportMutexViolations(pass, state)
+	}
+}
+
+// methodLocks reports whether the method body calls Lock or RLock on a
+// sync mutex (its own, by overwhelming convention).
+func methodLocks(info *FuncInfo) bool {
+	for _, cs := range info.calls {
+		if !isMethod(cs.callee) || cs.callee.Pkg() == nil || cs.callee.Pkg().Path() != "sync" {
+			continue
+		}
+		if n := cs.callee.Name(); n == "Lock" || n == "RLock" {
+			return true
+		}
+	}
+	return false
+}
+
+// reportMutexViolations computes the guarded-field set from the locking
+// methods, extends the lock-holder set to unexported methods reachable
+// only from holders, and reports guarded-field accesses everywhere else.
+func reportMutexViolations(pass *Pass, state *mutexState) {
+	prog := pass.Prog
+	// Fields the locking methods WRITE while holding the lock are
+	// mutex-guarded. Reads under the lock do not mark a field: a field
+	// nobody writes after construction (immutable config like a power
+	// profile) is safe to read lock-free even if some locked method also
+	// happens to read it — a race needs a writer.
+	guarded := map[types.Object]bool{}
+	for _, info := range state.methods {
+		if !state.locking[info.Obj] {
+			continue
+		}
+		for _, acc := range fieldAccesses(info, state.fields) {
+			if acc.write {
+				guarded[acc.field] = true
+			}
+		}
+	}
+	if len(guarded) == 0 {
+		return
+	}
+	// Interprocedural exemption: an unexported method whose in-program
+	// callers are all lock holders (and which has at least one caller)
+	// runs under the caller's lock. Fixpoint because exempt methods may
+	// call further unexported helpers.
+	callers := map[*types.Func]map[*types.Func]bool{}
+	for _, info := range prog.funcs {
+		for _, cs := range info.calls {
+			set := callers[cs.callee]
+			if set == nil {
+				set = map[*types.Func]bool{}
+				callers[cs.callee] = set
+			}
+			set[info.Obj] = true
+		}
+	}
+	holder := map[*types.Func]bool{}
+	for m := range state.locking {
+		holder[m] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, info := range state.methods {
+			m := info.Obj
+			if holder[m] || m.Exported() {
+				continue
+			}
+			ins := callers[m]
+			if len(ins) == 0 {
+				continue
+			}
+			all := true
+			for c := range ins {
+				if !holder[c] {
+					all = false
+					break
+				}
+			}
+			if all {
+				holder[m] = true
+				changed = true
+			}
+		}
+	}
+	for _, info := range state.methods {
+		if holder[info.Obj] || !prog.inReport[info.Pkg] {
+			continue
+		}
+		for _, acc := range fieldAccesses(info, state.fields) {
+			if guarded[acc.field] {
+				pass.Reportf(acc.pos, "field %s.%s is accessed under the mutex in other methods but without holding the lock here", state.typ.Obj().Name(), acc.field.Name())
+			}
+		}
+	}
+}
+
+// fieldAccess is one selector touch of a tracked struct field.
+type fieldAccess struct {
+	field types.Object
+	pos   token.Pos
+	// write is true for mutating touches: the selector (possibly behind
+	// index expressions, "m.phases[k] = v") on an assignment's left side,
+	// an IncDec operand, or an address-taken field.
+	write bool
+}
+
+// fieldAccesses lists the body's selector accesses to the given fields,
+// in source order, classified read/write.
+func fieldAccesses(info *FuncInfo, fields map[types.Object]bool) []fieldAccess {
+	parents := parentsOf(info.Decl.Body)
+	var out []fieldAccess
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if f := fieldOf(info.Pkg, sel); f != nil && fields[f] {
+			out = append(out, fieldAccess{field: f, pos: sel.Sel.Pos(), write: isWriteContext(parents, sel)})
+		}
+		return true
+	})
+	return out
+}
+
+// isWriteContext walks up from the selector through index/selector chains
+// and reports whether it lands in a mutating position.
+func isWriteContext(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for {
+		p := parents[n]
+		switch x := p.(type) {
+		case *ast.IndexExpr:
+			if x.X == n {
+				n = x
+				continue
+			}
+			return false
+		case *ast.SelectorExpr:
+			if x.X == n {
+				n = x
+				continue
+			}
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if lhs == n {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return x.X == n
+		case *ast.UnaryExpr:
+			return x.Op == token.AND
+		default:
+			return false
+		}
+	}
+}

@@ -22,6 +22,14 @@ var DroppedErr = &Analyzer{
 	Name: "droppederr",
 	Doc:  "model-API call whose error result is discarded",
 	Run:  runDroppedErr,
+	Explain: `Model-API calls (Time, Speedup, Validate, Run, Sweep, and the
+Fit*/Predict*/Measure* families) return errors that encode silent
+numerical failure: a NaN speedup, an invalid configuration, a diverged
+fit. Discarding such an error — "_ =", a bare expression statement, or a
+multi-assign that drops the last result — turns a detectable failure into
+a corrupted table. Non-model calls are out of scope on purpose.`,
+	Example: `t, _ := model.Time(cfg, n)   // flagged: Time's error dropped
+model.Validate(cfg)          // flagged: bare call discards the error`,
 }
 
 // modelAPINames is the exact-name part of the model API surface.

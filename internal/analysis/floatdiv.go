@@ -26,6 +26,15 @@ var FloatDiv = &Analyzer{
 	Name: "floatdiv",
 	Doc:  "float division by an unguarded parameter-like denominator",
 	Run:  runFloatDiv,
+	Explain: `A float division whose denominator is a parameter-like value
+(parameter, struct field, or a local derived from one) must sit under an
+enclosing guard mentioning that value — an early-return validation or a
+branch condition. Division by an unguarded value produces ±Inf or NaN
+silently and propagates into every downstream speedup table. Constant
+and compound-arithmetic denominators are exempt.`,
+	Example: `func mean(sum float64, n float64) float64 {
+	return sum / n // flagged: n unguarded; if n == 0 this is NaN/Inf
+}`,
 }
 
 func runFloatDiv(pass *Pass) {

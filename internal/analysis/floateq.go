@@ -21,6 +21,14 @@ var FloatEq = &Analyzer{
 	Name: "floateq",
 	Doc:  "exact floating-point equality comparison",
 	Run:  runFloatEq,
+	Explain: `== and != between floating-point expressions compare bit
+patterns, and arithmetic results rarely reproduce them exactly; such
+comparisons flip on rounding differences. Comparisons against the exact
+constant 0 (the sentinel/guard idiom) and self-comparison (the portable
+NaN test) are exempt.`,
+	Example: `if speedup == ideal { // flagged: compare within a tolerance instead
+	return true
+}`,
 }
 
 func runFloatEq(pass *Pass) {

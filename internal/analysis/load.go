@@ -31,6 +31,13 @@ type Package struct {
 	// TypeErrors collects type-checker complaints; analyzers still run on
 	// packages with errors, with best-effort type information.
 	TypeErrors []error
+
+	// deps is the loader's full package cache — every module-internal
+	// package pulled in by imports, keyed by import path. The
+	// interprocedural Program uses it to compute facts for functions
+	// outside the reporting set ("palint ./internal/mpi" still sees
+	// through calls into internal/obs).
+	deps map[string]*Package
 }
 
 // loader resolves imports offline: module-internal paths from the repo
@@ -89,6 +96,12 @@ func Load(root string, patterns []string) ([]*Package, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	// Share the loader's full cache (pattern packages plus every
+	// module-internal import) so interprocedural analysis sees function
+	// bodies beyond the reporting set.
+	for _, p := range out {
+		p.deps = ld.pkgs
+	}
 	return out, nil
 }
 

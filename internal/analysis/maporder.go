@@ -16,6 +16,14 @@ var MapOrder = &Analyzer{
 	Name: "maporder",
 	Doc:  "map iteration feeding formatted output (nondeterministic reports)",
 	Run:  runMapOrder,
+	Explain: `A range over a map whose body writes formatted output (table
+rows, fmt to a writer/builder) emits rows in randomized order, so reports
+differ byte-for-byte between runs. Collect the keys, sort them, and range
+over the slice. Order-insensitive accumulation (sums, appends into
+later-sorted slices, map-to-map copies) is not flagged.`,
+	Example: `for name, row := range results {
+	fmt.Fprintf(w, "%s: %v\n", name, row) // flagged: random row order
+}`,
 }
 
 // sinkMethods is the output-writing method vocabulary: table.T row

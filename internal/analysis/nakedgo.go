@@ -26,6 +26,16 @@ var NakedGo = &Analyzer{
 	Name: "nakedgo",
 	Doc:  "goroutine writing captured state without synchronization",
 	Run:  runNakedGo,
+	Explain: `A goroutine literal that writes a captured variable (counter
+increment, append to a shared slice, field write through a captured
+struct) without a mutex, channel send, or WaitGroup-mediated handoff in
+the literal races as soon as two goroutines run. Synchronized bodies
+(the heuristic looks for lock/channel/wait vocabulary) are exempt.`,
+	Example: `for i := range shards {
+	go func() {
+		total += shards[i].sum() // flagged: unsynchronized captured write
+	}()
+}`,
 }
 
 func runNakedGo(pass *Pass) {

@@ -6,12 +6,14 @@ import (
 
 // Suppression comments have the form
 //
-//	//palint:ignore <analyzer>[,<analyzer>...] <reason>
+//	//palint:ignore <analyzer>[,<analyzer>...] -- <reason>
 //
 // placed either on the flagged line or on the line immediately above it.
-// "all" matches every analyzer. A reason is mandatory: a suppression that
-// cannot say why it exists is a finding, not an exemption — the comment is
-// ignored (and the diagnostic stays active) when the reason is empty.
+// "all" matches every analyzer. The " -- " separator and a reason are both
+// mandatory: a suppression that cannot say why it exists is a finding, not
+// an exemption — the comment is ignored (and the diagnostic stays active)
+// when the separator or the reason is missing, so bare ignores cannot rot
+// silently in the tree.
 const ignorePrefix = "palint:ignore"
 
 // suppression is one parsed ignore directive.
@@ -27,7 +29,7 @@ func (s suppression) matches(name string) bool {
 
 // parseSuppression extracts a directive from one comment's text, which
 // arrives without the // or /* markers. It returns ok=false for ordinary
-// comments and for directives missing a reason.
+// comments and for directives missing the " -- " separator or the reason.
 func parseSuppression(text string) (suppression, bool) {
 	text = strings.TrimSpace(text)
 	rest, ok := strings.CutPrefix(text, ignorePrefix)
@@ -35,11 +37,12 @@ func parseSuppression(text string) (suppression, bool) {
 		return suppression{}, false
 	}
 	fields := strings.Fields(rest)
-	if len(fields) < 2 {
-		// Either no analyzer list or no reason: not a valid directive.
+	if len(fields) < 3 || fields[1] != "--" {
+		// No analyzer list, no -- separator, or no reason: not a valid
+		// directive, so the underlying finding stays active.
 		return suppression{}, false
 	}
-	s := suppression{reason: strings.Join(fields[1:], " ")}
+	s := suppression{reason: strings.Join(fields[2:], " ")}
 	if fields[0] != "all" {
 		s.analyzers = map[string]bool{}
 		for _, name := range strings.Split(fields[0], ",") {

@@ -1,0 +1,90 @@
+// Package atomicmix seeds mixed-synchronization violations: plain reads
+// and writes of an atomically-updated field, a copied atomic wrapper, a
+// mutex-guarded field touched without the lock, and an unexported helper
+// reachable from a lock-free caller — next to the clean disciplines
+// (wrapper method calls, lock-holding accessors, a helper reached only
+// from lock holders).
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	mu    sync.Mutex
+	hits  uint64        // updated via atomic.AddUint64 in Add
+	gauge atomic.Uint64 // wrapper type: methods or address only
+	m     map[string]int
+	total int
+}
+
+func (s *stats) Add() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func (s *stats) Peek() uint64 {
+	return s.hits // want: plain read of an atomically-updated field
+}
+
+func (s *stats) Reset() {
+	s.hits = 0 // want: plain write of an atomically-updated field
+}
+
+func (s *stats) CopyGauge() atomic.Uint64 {
+	return s.gauge // want: copies the atomic wrapper
+}
+
+func (s *stats) ReadGauge() uint64 { // clean: method call on the wrapper
+	return s.gauge.Load()
+}
+
+func (s *stats) Set(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[k] = v
+	s.total += v
+}
+
+func (s *stats) Get(k string) int {
+	return s.m[k] // want: mutex-guarded field read without the lock
+}
+
+func (s *stats) Total() int { // clean: holds the lock
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// flush touches guarded state; Drop reaches it without the lock, so the
+// interprocedural exemption does not apply.
+func (s *stats) flush() {
+	s.m["flushed"] = 1 // want: guarded field, not every caller holds the lock
+}
+
+func (s *stats) Sync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flush()
+}
+
+func (s *stats) Drop() {
+	s.flush()
+}
+
+type lockedOnly struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump is reached only from lock holders: exempt interprocedurally.
+func (l *lockedOnly) bump() {
+	l.n++ // clean: every caller holds l.mu
+}
+
+func (l *lockedOnly) Inc() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.n++
+	l.bump()
+}

@@ -1,0 +1,27 @@
+// Package detlib is the out-of-reporting-set dependency for the detsource
+// golden tests: callers in the detsource package inherit (or do not
+// inherit, when sanctioned) these helpers' nondeterminism facts.
+package detlib
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stamp reads the wall clock; callers inherit the taint with a witness
+// chain pointing here.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// SanctionedStamp also reads the wall clock, but the suppression on the
+// read vouches for it — callers stay clean.
+func SanctionedStamp() int64 {
+	return time.Now().UnixNano() //palint:ignore detsource -- seeded testdata: the callee vouches for this read, callers must stay clean
+}
+
+// Fingerprint forwards its argument to a %+v verb; callers passing
+// pointer-bearing values are flagged at their call site.
+func Fingerprint(v any) string {
+	return fmt.Sprintf("%+v", v)
+}

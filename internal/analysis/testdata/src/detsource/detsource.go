@@ -1,0 +1,76 @@
+// Package detsource seeds determinism violations: direct wall-clock,
+// rand and environment reads, taint inherited through a helper in another
+// package, a call through a bound function value, pointer-rendering
+// fingerprints (direct and through a forwarding helper), and map-ordered
+// accumulation — next to clean variants of each.
+package detsource
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"pasp/internal/analysis/testdata/src/detsource/detlib"
+)
+
+// config carries a func-typed field, which %+v renders as an address.
+type config struct {
+	Name string
+	hook func()
+}
+
+func directClock() float64 {
+	return float64(time.Now().UnixNano()) // want: wall-clock read
+}
+
+func directRand(n int) int {
+	return rand.Intn(n) // want: global math/rand draw
+}
+
+func directEnv() string {
+	return os.Getenv("PASP_SEED") // want: environment read
+}
+
+func viaHelper() int64 {
+	return detlib.Stamp() // want: inherited wall-clock taint with witness
+}
+
+func viaBoundValue() time.Time {
+	now := time.Now
+	return now() // want: wall-clock read through the bound value
+}
+
+func suppressedAtCallee() int64 {
+	return detlib.SanctionedStamp() // clean: the callee's suppression sanctions it
+}
+
+func fingerprintDirect(c config) string {
+	return fmt.Sprintf("%+v", c) // want: %+v renders the func field as an address
+}
+
+func fingerprintViaHelper(c config) string {
+	return detlib.Fingerprint(c) // want: forwarded to a %+v verb in detlib
+}
+
+func fingerprintClean(name string) string { // clean: plain data renders stably
+	return fmt.Sprintf("%q", name)
+}
+
+func mapAccumulate(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want: order-dependent accumulation
+	}
+	return keys
+}
+
+func mapAccumulateSorted(m map[string]int) []string { // clean: sorted before escaping
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

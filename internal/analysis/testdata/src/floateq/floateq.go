@@ -47,6 +47,6 @@ func GoodTolerance(a, b, eps float64) bool {
 
 // GoodSuppressed shows an inline suppression with a mandatory reason.
 func GoodSuppressed(a, b float64) bool {
-	//palint:ignore floateq operands are bit-copied sentinels, not arithmetic results
+	//palint:ignore floateq -- operands are bit-copied sentinels, not arithmetic results
 	return a == b
 }

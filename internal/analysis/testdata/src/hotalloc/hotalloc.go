@@ -1,0 +1,77 @@
+// Package hotalloc seeds allocations inside //palint:hotpath-tagged
+// functions: direct make/append/&literal/closure/concatenation sites,
+// interface boxing at a call boundary, an allocation inherited from an
+// untagged helper (with a witness chain), a call through a bound function
+// value, and the two clean shapes — an untagged allocator, and a helper
+// whose allocation is sanctioned at the site.
+package hotalloc
+
+import "fmt"
+
+type event struct{ id int }
+
+type ring struct {
+	buf []float64
+	log []event
+}
+
+//palint:hotpath
+func (r *ring) fill(n int) {
+	r.buf = make([]float64, n)          // want: make
+	r.log = append(r.log, event{id: n}) // want: append may grow
+}
+
+//palint:hotpath
+func describe(id int) string {
+	return "event-" + fmt.Sprintf("%d", id) // want: concatenation, boxing, Sprintf
+}
+
+//palint:hotpath
+func escape(v float64) *event {
+	return &event{id: int(v)} // want: &literal escapes
+}
+
+//palint:hotpath
+func applyAll(xs []float64, f func(float64) float64) float64 { // clean body
+	sum := 0.0
+	for _, x := range xs {
+		sum += f(x)
+	}
+	return sum
+}
+
+//palint:hotpath
+func scaled(xs []float64, k float64) float64 {
+	return applyAll(xs, func(x float64) float64 { return k * x }) // want: closure
+}
+
+// grow allocates; hot callers inherit the finding through the fact.
+func grow(xs []float64) []float64 {
+	return append(xs, 0)
+}
+
+//palint:hotpath
+func hotGrow(xs []float64) []float64 {
+	return grow(xs) // want: callee allocates, witness names grow
+}
+
+//palint:hotpath
+func viaBoundValue(xs []float64) []float64 {
+	g := grow
+	return g(xs) // want: callee allocates through the bound value
+}
+
+// pooled's make is sanctioned: it models a freelist miss path whose cost
+// is amortized.
+func pooled(n int) []float64 {
+	return make([]float64, n) //palint:ignore hotalloc -- seeded testdata: amortized freelist miss path, hot callers stay clean
+}
+
+//palint:hotpath
+func hotPooled(n int) []float64 {
+	return pooled(n) // clean: the callee's suppression sanctions the allocation
+}
+
+func untagged(n int) []float64 { // clean: not a hot path
+	return make([]float64, n)
+}

@@ -39,7 +39,7 @@ func mhzToHertz(mhz float64) units.Hertz {
 // legacyNanos is the sanctioned way to silence a finding: name the
 // analyzer and say why.
 func legacyNanos(t units.Seconds) float64 {
-	//palint:ignore unitcheck legacy CSV schema stores raw nanoseconds; helper landing separately
+	//palint:ignore unitcheck -- legacy CSV schema stores raw nanoseconds; helper landing separately
 	return float64(t * 1e9)
 }
 

@@ -34,6 +34,13 @@ var UnitCheck = &Analyzer{
 	Name: "unitcheck",
 	Doc:  "dimension mismatch in typed-units arithmetic or conversion",
 	Run:  runUnitCheck,
+	Explain: `Arithmetic over the typed units layer must be dimensionally
+consistent: adding unlike dimensions (seconds + hertz), converting across
+dimensions (Seconds(f) for f a frequency), and scaling by bare non-unit
+literals are all flagged. float64(x) is the explicit escape hatch and is
+never flagged; the units package itself is exempt.`,
+	Example: `lat := units.Seconds(freq)  // flagged: hertz converted to seconds
+sum := dt + f               // flagged: seconds + hertz`,
 }
 
 // unitsPkgSuffix identifies the units package by import-path suffix so the

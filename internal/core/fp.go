@@ -104,6 +104,6 @@ func (f *FP) PredictSpeedup(n int, mhz, baseMHz float64) (float64, error) {
 	if tn <= 0 {
 		return 0, fmt.Errorf("core: FP predicted non-positive time")
 	}
-	//palint:ignore floatdiv guarded: tn <= 0 returns above
+	//palint:ignore floatdiv -- guarded: tn <= 0 returns above
 	return float64(t1) / float64(tn), nil
 }

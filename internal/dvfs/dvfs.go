@@ -86,7 +86,7 @@ func (c Comparison) EnergySavings() float64 {
 	if c.BaselineJoules == 0 {
 		return 0
 	}
-	//palint:ignore floatdiv guarded: BaselineJoules == 0 returns above
+	//palint:ignore floatdiv -- guarded: BaselineJoules == 0 returns above
 	return 1 - float64(c.ScheduledJoules)/float64(c.BaselineJoules)
 }
 
@@ -95,7 +95,7 @@ func (c Comparison) Slowdown() float64 {
 	if c.BaselineSec == 0 {
 		return 0
 	}
-	//palint:ignore floatdiv guarded: BaselineSec == 0 returns above
+	//palint:ignore floatdiv -- guarded: BaselineSec == 0 returns above
 	return float64(c.ScheduledSec)/float64(c.BaselineSec) - 1
 }
 

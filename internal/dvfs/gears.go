@@ -115,7 +115,7 @@ type PhaseModel struct {
 
 // Time returns the predicted phase time at a gear.
 func (m PhaseModel) Time(st power.PState) units.Seconds {
-	//palint:ignore floatdiv MHz() of a validated P-state frequency is > 0
+	//palint:ignore floatdiv -- MHz() of a validated P-state frequency is > 0
 	t := units.Seconds(m.FlatSec + m.ScaledSecMHz/st.Freq.MHz())
 	if t < 0 {
 		return 0

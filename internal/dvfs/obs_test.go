@@ -40,7 +40,7 @@ func TestPolicyGearSwitchMetric(t *testing.T) {
 		t.Fatal("policy run logged no dvfs-switch events; the policy did not engage")
 	}
 	got := rec.Metrics().Snapshot().Counter("mpi.gear_switches")
-	if got != float64(switches) { //palint:ignore floateq exact integer counts
+	if got != float64(switches) { //palint:ignore floateq -- exact integer counts
 		t.Errorf("mpi.gear_switches = %g, trace has %d dvfs-switch stalls", got, switches)
 	}
 }

@@ -42,7 +42,7 @@ func (g *ValueGrid) At(n int, mhz float64) (float64, error) {
 			continue
 		}
 		for j, ff := range g.MHz {
-			//palint:ignore floateq grid frequencies are copied verbatim from Grid.MHz; lookup by exact key is intended
+			//palint:ignore floateq -- grid frequencies are copied verbatim from Grid.MHz; lookup by exact key is intended
 			if ff == mhz {
 				return g.V[i][j], nil
 			}

@@ -45,7 +45,7 @@ func TestStoreMatchesFreshMeasurement(t *testing.T) {
 		if c.N != f.N || c.MHz != f.MHz {
 			t.Fatalf("cell %d: cached (N=%d f=%g) vs fresh (N=%d f=%g)", i, c.N, c.MHz, f.N, f.MHz)
 		}
-		//palint:ignore floateq bit-identity is the property under test, not a tolerance comparison
+		//palint:ignore floateq -- bit-identity is the property under test, not a tolerance comparison
 		if c.Res.Seconds != f.Res.Seconds || c.Res.Joules != f.Res.Joules {
 			t.Errorf("cell N=%d f=%g: cached (%.17g s, %.17g J) differs from fresh (%.17g s, %.17g J)",
 				c.N, c.MHz, c.Res.Seconds, c.Res.Joules, f.Res.Seconds, f.Res.Joules)
@@ -111,7 +111,7 @@ func TestMergeCampaigns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		//palint:ignore floateq the merged measurement must carry the source value verbatim
+		//palint:ignore floateq -- the merged measurement must carry the source value verbatim
 		if tm != c.Res.Seconds {
 			t.Errorf("merged time at N=%d f=%g is %.17g, want %.17g", c.N, c.MHz, tm, c.Res.Seconds)
 		}
@@ -137,10 +137,10 @@ func TestStoreHitMissCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := obs.Default().Snapshot().Delta(before)
-	if d.Counter("store.misses") != 1 { //palint:ignore floateq exact integer counter delta
+	if d.Counter("store.misses") != 1 { //palint:ignore floateq -- exact integer counter delta
 		t.Errorf("first measurement: misses delta = %g, want 1", d.Counter("store.misses"))
 	}
-	if d.Counter("store.hits") != 0 { //palint:ignore floateq exact integer counter delta
+	if d.Counter("store.hits") != 0 { //palint:ignore floateq -- exact integer counter delta
 		t.Errorf("first measurement: hits delta = %g, want 0", d.Counter("store.hits"))
 	}
 	const reuses = 3
@@ -150,10 +150,10 @@ func TestStoreHitMissCounters(t *testing.T) {
 		}
 	}
 	d = obs.Default().Snapshot().Delta(before)
-	if d.Counter("store.misses") != 1 { //palint:ignore floateq exact integer counter delta
+	if d.Counter("store.misses") != 1 { //palint:ignore floateq -- exact integer counter delta
 		t.Errorf("after %d reuses: misses delta = %g, want 1 (campaign re-measured?)", reuses, d.Counter("store.misses"))
 	}
-	if d.Counter("store.hits") != reuses { //palint:ignore floateq exact integer counter delta
+	if d.Counter("store.hits") != reuses { //palint:ignore floateq -- exact integer counter delta
 		t.Errorf("after %d reuses: hits delta = %g, want %d", reuses, d.Counter("store.hits"), reuses)
 	}
 }
@@ -184,7 +184,7 @@ func TestStoreCampaignSpan(t *testing.T) {
 	for _, c := range camp.Cells {
 		total += c.Res.Seconds
 	}
-	//palint:ignore floateq the span must carry the summed seconds verbatim
+	//palint:ignore floateq -- the span must carry the summed seconds verbatim
 	if spans[0].End != total {
 		t.Errorf("span end = %g, want summed cell seconds %g", spans[0].End, total)
 	}
@@ -210,7 +210,7 @@ func TestRunKernelObserved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	//palint:ignore floateq bit-identity is the property under test, not a tolerance comparison
+	//palint:ignore floateq -- bit-identity is the property under test, not a tolerance comparison
 	if res.Seconds != plain.Seconds || res.Joules != plain.Joules {
 		t.Errorf("observed run differs from plain run: %g s %g J vs %g s %g J",
 			res.Seconds, res.Joules, plain.Seconds, plain.Joules)
@@ -237,7 +237,7 @@ func TestRunKernelObserved(t *testing.T) {
 	if phases == 0 {
 		t.Error("no phase spans recorded for an observed FT run")
 	}
-	if rec.Metrics().Snapshot().Counter("mpi.runs") != 1 { //palint:ignore floateq exact integer counter
+	if rec.Metrics().Snapshot().Counter("mpi.runs") != 1 { //palint:ignore floateq -- exact integer counter
 		t.Error("observed run did not count on the recorder registry")
 	}
 }

@@ -255,7 +255,7 @@ func (s Suite) Table7From(camp *Campaign) (*Table7Result, error) {
 		if tp <= 0 {
 			return 0, fmt.Errorf("experiments: FP predicted non-positive time at N=%d f=%g", n, f)
 		}
-		//palint:ignore floatdiv guarded: tp <= 0 returns above
+		//palint:ignore floatdiv -- guarded: tp <= 0 returns above
 		return t1 / float64(tp), nil
 	}
 	fpGrid, err := errorGridFrom("Table 7 (FP): LU speedup error, fine-grain parameterization",

@@ -84,8 +84,10 @@ const overheadSlots = 8
 // size at the rank's current frequency, memoized per (frequency, bytes).
 // The cached value is the result of the exact same Config.CPUOverhead call,
 // so timing stays bit-identical to the unmemoized path.
+//
+//palint:hotpath
 func (c *Ctx) cpuOverhead(bytes int) float64 {
-	if c.ovFreq != c.state.Freq { //palint:ignore floateq exact-key cache invalidation, not a tolerance comparison
+	if c.ovFreq != c.state.Freq { //palint:ignore floateq -- exact-key cache invalidation, not a tolerance comparison
 		c.ovFreq = c.state.Freq
 		c.ovValid = [overheadSlots]bool{}
 	}
@@ -109,17 +111,21 @@ const maxCachedBuffers = 16
 // retain or read the slice after freeing it. Freeing is purely an
 // optimization — dropping the slice for the garbage collector is always
 // correct.
+//
+//palint:hotpath
 func (c *Ctx) Free(buf []float64) {
 	if cap(buf) == 0 || len(c.bufCache) >= maxCachedBuffers {
 		return
 	}
-	c.bufCache = append(c.bufCache, buf)
+	c.bufCache = append(c.bufCache, buf) //palint:ignore hotalloc -- cache growth is bounded by maxCachedBuffers, then Free becomes a no-op
 }
 
 // snapshotPayload copies data into a caller-owned buffer, reusing a freed
 // one when a large enough buffer is cached. The copy preserves the eager
 // snapshot-at-send semantics: the sender may overwrite data immediately
 // after Send returns.
+//
+//palint:hotpath
 func (c *Ctx) snapshotPayload(data []float64) []float64 {
 	if len(data) == 0 {
 		return nil // matches append([]float64(nil), data...) exactly
@@ -134,7 +140,7 @@ func (c *Ctx) snapshotPayload(data []float64) []float64 {
 			return b
 		}
 	}
-	b := make([]float64, len(data))
+	b := make([]float64, len(data)) //palint:ignore hotalloc -- freelist miss path: amortized away once the cache warms up
 	copy(b, data)
 	return b
 }

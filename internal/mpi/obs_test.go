@@ -148,7 +148,7 @@ func TestObsLeavesRunBitIdentical(t *testing.T) {
 		if base.Trace.TimelineCSV() != observed.Trace.TimelineCSV() {
 			t.Errorf("%s: attaching a recorder changed the timeline", name)
 		}
-		//palint:ignore floateq bit-identity is the property under test, not a tolerance comparison
+		//palint:ignore floateq -- bit-identity is the property under test, not a tolerance comparison
 		if base.Seconds != observed.Seconds || base.Joules != observed.Joules {
 			t.Errorf("%s: attaching a recorder changed the outcome: %g s %g J vs %g s %g J",
 				name, base.Seconds, base.Joules, observed.Seconds, observed.Joules)
@@ -173,13 +173,13 @@ func TestObsRunMetrics(t *testing.T) {
 		wantMsgs += r.Msgs
 		wantBytes += r.MsgBytes
 	}
-	if got := s.Counter("mpi.msgs"); got != float64(wantMsgs) { //palint:ignore floateq exact integer counts
+	if got := s.Counter("mpi.msgs"); got != float64(wantMsgs) { //palint:ignore floateq -- exact integer counts
 		t.Errorf("mpi.msgs = %g, want %d", got, wantMsgs)
 	}
-	if got := s.Counter("mpi.wire_bytes"); got != float64(wantBytes) { //palint:ignore floateq exact integer counts
+	if got := s.Counter("mpi.wire_bytes"); got != float64(wantBytes) { //palint:ignore floateq -- exact integer counts
 		t.Errorf("mpi.wire_bytes = %g, want %d", got, wantBytes)
 	}
-	if got := s.Counter("mpi.runs"); got != 1 { //palint:ignore floateq exact integer counts
+	if got := s.Counter("mpi.runs"); got != 1 { //palint:ignore floateq -- exact integer counts
 		t.Errorf("mpi.runs = %g, want 1", got)
 	}
 	byKind := res.Trace.TotalByKind()
@@ -192,7 +192,7 @@ func TestObsRunMetrics(t *testing.T) {
 			mkGauge = g.Value
 		}
 	}
-	if mkGauge != res.Seconds { //palint:ignore floateq the gauge must carry the result value verbatim
+	if mkGauge != res.Seconds { //palint:ignore floateq -- the gauge must carry the result value verbatim
 		t.Errorf("makespan gauge = %g, want %g", mkGauge, res.Seconds)
 	}
 	for _, h := range s.Histograms {
@@ -216,7 +216,7 @@ func TestObsSpanHierarchy(t *testing.T) {
 	if len(spans) == 0 || spans[0].Name != "run" {
 		t.Fatalf("first span = %+v, want the run span", spans[0])
 	}
-	if spans[0].End != res.Seconds { //palint:ignore floateq the span must carry the makespan verbatim
+	if spans[0].End != res.Seconds { //palint:ignore floateq -- the span must carry the makespan verbatim
 		t.Errorf("run span ends at %g, makespan is %g", spans[0].End, res.Seconds)
 	}
 	perRank := map[int][]string{}

@@ -263,7 +263,7 @@ func (is IS) rank(c *mpi.Ctx) (ISResult, error) {
 		}
 		totalKeys += b[3]
 	}
-	//palint:ignore floateq key counts are integer-valued floats carried through Allgather; conservation must be exact
+	//palint:ignore floateq -- key counts are integer-valued floats carried through Allgather; conservation must be exact
 	if totalKeys != float64(total) {
 		allSorted = false
 	}
@@ -324,6 +324,8 @@ func splitBuckets(global []float64, n int) []int {
 }
 
 // keyRange returns the half-open key interval covered by rank's buckets.
+//
+//palint:hotpath
 func keyRange(owner []int, rank int, shift uint) (lo, hi int) {
 	lo, hi = -1, -1
 	for b, d := range owner {

@@ -178,7 +178,7 @@ func (g *luGrid) idx(i, j, k int) int { return (i*g.jdim+j)*g.kdim + k }
 // exact is the manufactured solution u*(x,y,z) = xyz(1−x)(1−y)(1−z) on the
 // unit cube, evaluated at global 0-based lattice coordinates in [0, n+1].
 func (g *luGrid) exact(gi, gj, gk int) float64 {
-	//palint:ignore floatdiv n+1 >= 1 for any non-negative grid size, so the mesh spacing denominator is structurally positive
+	//palint:ignore floatdiv -- n+1 >= 1 for any non-negative grid size, so the mesh spacing denominator is structurally positive
 	h := 1.0 / float64(g.n+1)
 	x, y, z := float64(gi)*h, float64(gj)*h, float64(gk)*h
 	return 64 * x * (1 - x) * y * (1 - y) * z * (1 - z)

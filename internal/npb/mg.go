@@ -288,6 +288,8 @@ func (s *mgState) exchange(l *mgLevel, a []float64) error {
 // serves all seven accesses (the neighbours sit at strides ±side², ±side,
 // ±1); the operand order matches the indexed form, so the result is
 // bit-identical.
+//
+//palint:hotpath
 func (l *mgLevel) applyA(a []float64, p, j, i int) float64 {
 	s := l.side()
 	id := (p*s+j)*s + i
@@ -446,7 +448,11 @@ func (s *mgState) agglomerate(fine, coarse *mgLevel) error {
 			copy(coarse.rhs[base:base+planeLen], part[off:off+planeLen])
 			off += planeLen
 		}
-		s.c.Free(part)
+		if len(parts) > 1 {
+			// n == 1 allgather returns the caller's own buffer (here kept
+			// as s.aggBuf), not a copy; freeing it would recycle live data.
+			s.c.Free(part)
+		}
 	}
 	return nil
 }
@@ -603,7 +609,7 @@ func (m MG) rank(c *mpi.Ctx) (MGResult, error) {
 	// u* = 64·xyz(1−x)(1−y)(1−z), zero on the boundary.
 	c.SetPhase("mg-setup")
 	fin := s.levels[0]
-	//palint:ignore floatdiv m+1 >= 1 for any non-negative grid size, so the mesh spacing denominator is structurally positive
+	//palint:ignore floatdiv -- m+1 >= 1 for any non-negative grid size, so the mesh spacing denominator is structurally positive
 	h := 1.0 / float64(fin.m+1)
 	exact := func(k, j, i int) float64 {
 		x, y, z := float64(i)*h, float64(j)*h, float64(k)*h

@@ -73,13 +73,13 @@ func TestFTPhaseSpans(t *testing.T) {
 	for rank, ps := range perRank {
 		last := 0.0
 		for _, s := range ps {
-			//palint:ignore floateq phase spans must tile the rank's clock exactly: each opens where the previous closed
+			//palint:ignore floateq -- phase spans must tile the rank's clock exactly: each opens where the previous closed
 			if s.Start != last {
 				t.Errorf("rank %d: span %q starts at %g, previous ended at %g", rank, s.Name, s.Start, last)
 			}
 			last = s.End
 		}
-		//palint:ignore floateq the final phase closes at the rank's final clock verbatim
+		//palint:ignore floateq -- the final phase closes at the rank's final clock verbatim
 		if last != res.PerRank[rank].Seconds {
 			t.Errorf("rank %d: phases end at %g, rank clock is %g", rank, last, res.PerRank[rank].Seconds)
 		}

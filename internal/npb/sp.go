@@ -160,7 +160,7 @@ func (st *spState) solveLocalLines(a []float64, base func(line int) int, stride,
 	for ln := 0; ln < lines; ln++ {
 		b0 := base(ln)
 		// Thomas forward elimination.
-		//palint:ignore floatdiv diag = 1+2σ >= 1: the system is diagonally dominant for any σ >= 0
+		//palint:ignore floatdiv -- diag = 1+2σ >= 1: the system is diagonally dominant for any σ >= 0
 		cPrev := -sig / diag
 		a[b0] /= diag
 		cp[0] = cPrev
@@ -234,7 +234,7 @@ func (st *spState) solveZ(a []float64) error {
 					}
 					m = diag - (-sig)*cPrev
 				}
-				//palint:ignore floatdiv m >= 1 by diagonal dominance: diag = 1+2σ and the Thomas recurrence keeps |c'| < 1
+				//palint:ignore floatdiv -- m >= 1 by diagonal dominance: diag = 1+2σ and the Thomas recurrence keeps |c'| < 1
 				cp[id] = -sig / m
 				var dPrev float64
 				if p == 0 {
@@ -244,7 +244,7 @@ func (st *spState) solveZ(a []float64) error {
 				} else {
 					dPrev = a[(p-1)*total+q]
 				}
-				//palint:ignore floatdiv m >= 1 by diagonal dominance: diag = 1+2σ and the Thomas recurrence keeps |c'| < 1
+				//palint:ignore floatdiv -- m >= 1 by diagonal dominance: diag = 1+2σ and the Thomas recurrence keeps |c'| < 1
 				a[id] = (a[id] + sig*dPrev) / m
 			}
 		}

@@ -114,7 +114,7 @@ func (r *EnergyReport) ByPhase() []PhaseEnergy {
 		out = append(out, *p)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		//palint:ignore floateq exact inequality as sort tie-break: equal values fall through to the name key
+		//palint:ignore floateq -- exact inequality as sort tie-break: equal values fall through to the name key
 		if out[i].Joules != out[j].Joules {
 			return out[i].Joules > out[j].Joules
 		}

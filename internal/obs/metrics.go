@@ -49,6 +49,8 @@ func Default() *Registry { return defaultRegistry }
 type Counter struct{ bits atomic.Uint64 }
 
 // Add increases the counter by v (v ≥ 0 by convention; Add does not check).
+//
+//palint:hotpath
 func (c *Counter) Add(v float64) {
 	for {
 		old := c.bits.Load()
@@ -69,6 +71,8 @@ func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores v.
+//
+//palint:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value returns the stored value.
@@ -89,6 +93,8 @@ func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
 
 // ObserveN records n observations of v in one update (the mpi layer uses it
 // for a collective's n−1 equal-size messages).
+//
+//palint:hotpath
 func (h *Histogram) ObserveN(v float64, n int64) {
 	if n <= 0 {
 		return

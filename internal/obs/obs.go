@@ -163,6 +163,8 @@ func (r *Recorder) AddRunAttrs(attrs ...Attr) {
 }
 
 // Rank returns rank i's phase-span log. Only valid after BeginRun.
+//
+//palint:ignore atomicmix -- ranks is written once inside BeginRun before any rank goroutine starts; the mpi.Run barrier publishes it
 func (r *Recorder) Rank(i int) *RankLog { return r.ranks[i] }
 
 // EndRun closes the run span at the job's makespan.
@@ -238,7 +240,7 @@ func SortSpans(spans []Span) {
 		if a.Rank != b.Rank {
 			return a.Rank < b.Rank
 		}
-		if a.Start != b.Start { //palint:ignore floateq exact inequality as sort key: equal starts fall through to the ID tie-break
+		if a.Start != b.Start { //palint:ignore floateq -- exact inequality as sort key: equal starts fall through to the ID tie-break
 			return a.Start < b.Start
 		}
 		return a.ID < b.ID

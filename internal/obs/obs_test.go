@@ -16,7 +16,7 @@ func TestCounterGaugeBasics(t *testing.T) {
 	c := r.Counter("msgs")
 	c.Inc()
 	c.Add(2.5)
-	if got := c.Value(); got != 3.5 { //palint:ignore floateq exact sums of exactly-representable values
+	if got := c.Value(); got != 3.5 { //palint:ignore floateq -- exact sums of exactly-representable values
 		t.Errorf("counter = %g, want 3.5", got)
 	}
 	if r.Counter("msgs") != c {
@@ -24,7 +24,7 @@ func TestCounterGaugeBasics(t *testing.T) {
 	}
 	g := r.Gauge("makespan")
 	g.Set(12.25)
-	if got := g.Value(); got != 12.25 { //palint:ignore floateq exact round-trip of a stored value
+	if got := g.Value(); got != 12.25 { //palint:ignore floateq -- exact round-trip of a stored value
 		t.Errorf("gauge = %g, want 12.25", got)
 	}
 }
@@ -43,7 +43,7 @@ func TestCounterConcurrentAdds(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if got := c.Value(); got != 8000 { //palint:ignore floateq integer counts are exact in float64
+	if got := c.Value(); got != 8000 { //palint:ignore floateq -- integer counts are exact in float64
 		t.Errorf("concurrent counter = %g, want 8000", got)
 	}
 }
@@ -70,7 +70,7 @@ func TestHistogramBuckets(t *testing.T) {
 	if p.Count != 6 {
 		t.Errorf("count = %d, want 6", p.Count)
 	}
-	if p.Sum != 5+10+50+1000+14 { //palint:ignore floateq exact sums of exactly-representable values
+	if p.Sum != 5+10+50+1000+14 { //palint:ignore floateq -- exact sums of exactly-representable values
 		t.Errorf("sum = %g", p.Sum)
 	}
 }
@@ -100,10 +100,10 @@ func TestSnapshotDelta(t *testing.T) {
 	r.Counter("misses").Inc()
 	r.Histogram("h", []float64{1}).Observe(2)
 	d := r.Snapshot().Delta(before)
-	if got := d.Counter("hits"); got != 3 { //palint:ignore floateq exact integer delta
+	if got := d.Counter("hits"); got != 3 { //palint:ignore floateq -- exact integer delta
 		t.Errorf("hits delta = %g, want 3", got)
 	}
-	if got := d.Counter("misses"); got != 1 { //palint:ignore floateq exact integer delta
+	if got := d.Counter("misses"); got != 1 { //palint:ignore floateq -- exact integer delta
 		t.Errorf("misses delta = %g, want 1", got)
 	}
 	if len(d.Histograms) != 1 || d.Histograms[0].Count != 1 || d.Histograms[0].Counts[1] != 1 {
@@ -133,7 +133,7 @@ func TestRecorderSpanHierarchy(t *testing.T) {
 		t.Errorf("span 0 = %+v, want root campaign", spans[0])
 	}
 	run := spans[1]
-	if run.Name != "run" || run.End != 3 { //palint:ignore floateq exact virtual-time bookkeeping
+	if run.Name != "run" || run.End != 3 { //palint:ignore floateq -- exact virtual-time bookkeeping
 		t.Errorf("run span = %+v", run)
 	}
 	if len(run.Attrs) != 2 || run.Attrs[1].Key != "kernel" {
@@ -143,10 +143,10 @@ func TestRecorderSpanHierarchy(t *testing.T) {
 	if rank0.Name != "rank 0" || rank0.Parent != run.ID || rank0.Rank != 0 {
 		t.Errorf("rank 0 span = %+v", rank0)
 	}
-	if spans[3].Name != "init" || spans[3].Parent != rank0.ID || spans[3].End != 1.5 { //palint:ignore floateq exact virtual-time bookkeeping
+	if spans[3].Name != "init" || spans[3].Parent != rank0.ID || spans[3].End != 1.5 { //palint:ignore floateq -- exact virtual-time bookkeeping
 		t.Errorf("phase span = %+v", spans[3])
 	}
-	if spans[4].Name != "exchange" || spans[4].Start != 1.5 || spans[4].End != 3 { //palint:ignore floateq exact virtual-time bookkeeping
+	if spans[4].Name != "exchange" || spans[4].Start != 1.5 || spans[4].End != 3 { //palint:ignore floateq -- exact virtual-time bookkeeping
 		t.Errorf("phase span = %+v", spans[4])
 	}
 	if spans[5].Name != "rank 1" || spans[6].Name != "init" {

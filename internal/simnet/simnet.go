@@ -98,13 +98,13 @@ func (c Config) Validate() error {
 // message of the given size at core frequency freq. The result is plain
 // float64 seconds: it feeds the simulator's virtual clock.
 func (c Config) CPUOverhead(bytes int, freq units.Hertz) float64 {
-	//palint:ignore floatdiv freq is a validated P-state frequency (> 0); callers pass machine gear frequencies
+	//palint:ignore floatdiv -- freq is a validated P-state frequency (> 0); callers pass machine gear frequencies
 	return (c.MsgCPUIns + c.ByteCPUIns*float64(bytes)) / float64(freq)
 }
 
 // WireTime returns the serialization time of bytes on an uncontended port.
 func (c Config) WireTime(bytes int) float64 {
-	//palint:ignore floatdiv Config.Validate rejects non-positive BandwidthBps before any simulation runs
+	//palint:ignore floatdiv -- Config.Validate rejects non-positive BandwidthBps before any simulation runs
 	return float64(bytes) / c.BandwidthBps
 }
 

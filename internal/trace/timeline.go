@@ -137,7 +137,7 @@ func (l *Log) CriticalPhase() (phase string, share float64) {
 		total += sec
 		// Strict-greater with a name tie-break keeps the result independent
 		// of map iteration order when two phases have equal durations.
-		//palint:ignore floateq exact equality is the tie-break condition itself; a tolerance would reintroduce order dependence
+		//palint:ignore floateq -- exact equality is the tie-break condition itself; a tolerance would reintroduce order dependence
 		if phase == "" || sec > by[phase] || (sec == by[phase] && p < phase) {
 			phase = p
 		}

@@ -180,7 +180,7 @@ func (l *Log) Summary() string {
 		rows = append(rows, row{p, s})
 	}
 	sort.Slice(rows, func(i, j int) bool {
-		//palint:ignore floateq exact inequality as sort tie-break: equal values fall through to the name key
+		//palint:ignore floateq -- exact inequality as sort tie-break: equal values fall through to the name key
 		if rows[i].sec != rows[j].sec {
 			return rows[i].sec > rows[j].sec
 		}

@@ -69,7 +69,7 @@ func (f Hertz) Times(k float64) Hertz { return Hertz(float64(f) * k) }
 
 // Per returns the dimensionless frequency ratio f/f0 — the r of Eqs. 9–12.
 func (f Hertz) Per(f0 Hertz) Ratio {
-	//palint:ignore floatdiv pure unit arithmetic; profiles validate P-state frequencies > 0 before the model runs
+	//palint:ignore floatdiv -- pure unit arithmetic; profiles validate P-state frequencies > 0 before the model runs
 	return Ratio(float64(f) / float64(f0))
 }
 
@@ -102,7 +102,7 @@ func (s Seconds) Times(k float64) Seconds { return Seconds(float64(s) * k) }
 
 // Div divides the duration by a dimensionless count.
 func (s Seconds) Div(k float64) Seconds {
-	//palint:ignore floatdiv pure unit arithmetic; callers guard the count (loads, reps) before dividing
+	//palint:ignore floatdiv -- pure unit arithmetic; callers guard the count (loads, reps) before dividing
 	return Seconds(float64(s) / k)
 }
 
@@ -111,7 +111,7 @@ func (n Nanos) Times(k float64) Nanos { return Nanos(float64(n) * k) }
 
 // Div divides the nanosecond duration by a dimensionless count.
 func (n Nanos) Div(k float64) Nanos {
-	//palint:ignore floatdiv pure unit arithmetic; callers guard the count before dividing
+	//palint:ignore floatdiv -- pure unit arithmetic; callers guard the count before dividing
 	return Nanos(float64(n) / k)
 }
 
@@ -121,14 +121,14 @@ func (c Cycles) Times(k float64) Cycles { return Cycles(float64(c) * k) }
 
 // Div divides the cycle count by a dimensionless count.
 func (c Cycles) Div(k float64) Cycles {
-	//palint:ignore floatdiv pure unit arithmetic; callers guard the count (ON-chip instruction total) before dividing
+	//palint:ignore floatdiv -- pure unit arithmetic; callers guard the count (ON-chip instruction total) before dividing
 	return Cycles(float64(c) / k)
 }
 
 // At returns the wall-clock time to execute c cycles at frequency f
 // (cycles / Hz → s) — the CPI/f quantity Table 6 tabulates.
 func (c Cycles) At(f Hertz) Seconds {
-	//palint:ignore floatdiv pure unit arithmetic; Config/Profile.Validate reject non-positive frequencies before the hot path
+	//palint:ignore floatdiv -- pure unit arithmetic; Config/Profile.Validate reject non-positive frequencies before the hot path
 	return Seconds(float64(c) / float64(f))
 }
 
