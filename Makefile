@@ -18,7 +18,7 @@ BENCHJSON ?= BENCH_1.json
 # Fuzz budget per target; CI's fuzz smoke runs with FUZZTIME=10s.
 FUZZTIME ?= 30s
 
-.PHONY: all build test shuffle race lint fmt-check fuzz bench trace-smoke verify
+.PHONY: all build test shuffle race lint fmt-check fuzz bench trace-smoke conformance-smoke verify
 
 # trace-smoke output names; CI uploads both as artifacts.
 TRACEJSON ?= run.trace.json
@@ -46,9 +46,11 @@ race:
 # go vet plus palint, the repo's domain-aware analyzer: the v1 per-file
 # checks (unguarded float division, exact float comparison, dropped
 # model-API errors, map-order output, unsynchronized goroutine writes,
-# unitcheck's dimensional analysis) and the v3 interprocedural passes
+# unitcheck's dimensional analysis), the v3 interprocedural passes
 # (detsource nondeterminism tainting, ownfree payload ownership, atomicmix
-# synchronization discipline, hotalloc hot-path allocation budgets).
+# synchronization discipline, hotalloc hot-path allocation budgets) and
+# the v4 communication passes (commshape rank-dependent collectives,
+# phasebal phase discipline, deadlock symbolic rendezvous simulation).
 # Suppressions live in the source as //palint:ignore comments with
 # mandatory reasons; the full finding set — suppressed entries and their
 # reasons included — lands in $(LINTJSON), which CI uploads per run.
@@ -77,6 +79,26 @@ trace-smoke:
 	$(GO) run ./cmd/patrace -kernel ft -n 4 -f 600 -suite quick \
 		-chaos "seed=7,jitter=0.5" -metrics \
 		-out $(TRACEJSON) -manifest $(MANIFESTJSON)
+
+# Trace conformance smoke: extract the module's communication skeleton with
+# palint, run the FT kernel with the protocol recorder attached at N = 2, 4
+# and 8, and replay each log against the skeleton with paverify. A non-zero
+# exit means the run performed a phase transition, collective or message
+# endpoint the static extraction does not predict — the commcheck passes and
+# the runtime have drifted apart. CI uploads $(SKELJSON) and the report.
+SKELJSON ?= skeleton.json
+CONFREPORT ?= conformance.txt
+
+conformance-smoke:
+	$(GO) run ./cmd/palint -skeleton $(SKELJSON) ./...
+	@: > $(CONFREPORT)
+	@for n in 2 4 8; do \
+		$(GO) run ./cmd/patrace -kernel ft -n $$n -f 600 -suite quick \
+			-out /dev/null -commlog comm_$$n.json >/dev/null || exit 1; \
+		$(GO) run ./cmd/paverify -skeleton $(SKELJSON) \
+			-commlog comm_$$n.json -kernel ft >> $(CONFREPORT) \
+			|| { cat $(CONFREPORT); exit 1; }; \
+	done; cat $(CONFREPORT)
 
 # Short fuzz pass over the core model contract (finite, non-negative,
 # error-or-value) and the chaos harness's injector/parser invariants.

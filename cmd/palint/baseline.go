@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pasp/internal/analysis"
+)
+
+// A baseline records the tree's accepted findings so later runs fail only on
+// new ones. Entries deliberately omit line numbers: unrelated edits above a
+// finding must not invalidate the baseline, so the (analyzer, file, message)
+// triple with a multiplicity identifies it. Moving a finding to a different
+// file or changing its message counts as new — the conservative direction.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	// File is module-relative with forward slashes, so the baseline is
+	// portable across checkouts.
+	File    string `json:"file"`
+	Message string `json:"message"`
+	// Count is the number of identical findings accepted in this file.
+	Count int `json:"count"`
+}
+
+// baselineFile is the on-disk shape.
+type baselineFile struct {
+	Findings []baselineEntry `json:"findings"`
+}
+
+// baselineKey is the identity triple of an entry.
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+func relFile(root, file string) string {
+	if r, err := filepath.Rel(root, file); err == nil {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(file)
+}
+
+// saveBaseline writes the active (unsuppressed) findings as a deterministic
+// baseline file and returns how many it recorded.
+func saveBaseline(file, root string, diags []analysis.Diagnostic) (int, error) {
+	counts := map[baselineKey]int{}
+	total := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		counts[baselineKey{d.Analyzer, relFile(root, d.File), d.Message}]++
+		total++
+	}
+	bf := baselineFile{Findings: []baselineEntry{}}
+	for k, n := range counts {
+		bf.Findings = append(bf.Findings, baselineEntry{Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n})
+	}
+	sort.Slice(bf.Findings, func(i, j int) bool {
+		a, b := bf.Findings[i], bf.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(file, append(data, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// applyBaseline suppresses every active finding the baseline accepts (up to
+// its recorded multiplicity), leaving only new findings active. A missing or
+// malformed baseline is a hard error: silently linting without one would
+// report the whole accepted debt as regressions.
+func applyBaseline(file, root string, diags []analysis.Diagnostic) ([]analysis.Diagnostic, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", file, err)
+	}
+	remaining := map[baselineKey]int{}
+	for _, e := range bf.Findings {
+		if e.Count <= 0 {
+			return nil, fmt.Errorf("baseline %s: entry %s/%s has non-positive count %d", file, e.File, e.Analyzer, e.Count)
+		}
+		remaining[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	for i, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		k := baselineKey{d.Analyzer, relFile(root, d.File), d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			diags[i].Suppressed = true
+			diags[i].Reason = "baselined in " + file
+		}
+	}
+	return diags, nil
+}

@@ -12,10 +12,20 @@
 // Usage:
 //
 //	palint [-json] [-artifact file] [-only a,b] [-exclude glob,glob]
+//	       [-baseline file] [-write-baseline file] [-skeleton file]
 //	       [-list] [-explain analyzer] [packages...]
 //
 // Packages follow the go tool's pattern shape ("./...", "./internal/core").
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// -skeleton extracts the static communication skeleton (phases, collective
+// sites, point-to-point endpoints in the rank algebra of internal/commspec)
+// of the loaded packages instead of linting, writing canonical JSON for
+// cmd/paverify to replay recorded traces against.
+//
+// -write-baseline records the current active findings; a later run with
+// -baseline suppresses exactly those and fails only on new ones, so a tree
+// with accepted debt still gates regressions.
 //
 // Findings are silenced inline with
 //
@@ -47,6 +57,10 @@ func main() {
 		list     = flag.Bool("list", false, "list analyzers and exit")
 		explain  = flag.String("explain", "", "print one analyzer's full rule and a representative example, then exit")
 		verbose  = flag.Bool("v", false, "also show suppressed findings and their reasons")
+
+		skeleton      = flag.String("skeleton", "", "write the static communication skeleton as JSON to this file (\"-\" for stdout) and exit")
+		baseline      = flag.String("baseline", "", "suppress findings recorded in this baseline; fail only on new ones")
+		writeBaseline = flag.String("write-baseline", "", "record the current active findings to this file and exit 0")
 	)
 	flag.Parse()
 
@@ -99,8 +113,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *skeleton != "" {
+		if err := writeSkeleton(*skeleton, root, pkgs); err != nil {
+			fmt.Fprintf(os.Stderr, "palint: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
 	diags := analysis.Run(pkgs, analyzers)
 	diags = applyPathExcludes(diags, root, *exclude)
+
+	if *writeBaseline != "" {
+		n, err := saveBaseline(*writeBaseline, root, diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "palint: baseline written with %d finding(s)\n", n)
+		return
+	}
+	if *baseline != "" {
+		var err error
+		diags, err = applyBaseline(*baseline, root, diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palint: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	active := analysis.Active(diags)
 
 	if *artifact != "" {
@@ -175,6 +215,28 @@ func writeArtifact(file string, diags []analysis.Diagnostic) error {
 		return err
 	}
 	return os.WriteFile(file, append(data, '\n'), 0o644)
+}
+
+// writeSkeleton extracts the loaded packages' communication skeleton and
+// writes its canonical JSON.
+func writeSkeleton(file, root string, pkgs []*analysis.Package) error {
+	module, err := analysis.ModulePath(root)
+	if err != nil {
+		return err
+	}
+	sk, err := analysis.BuildSkeleton(root, module, pkgs, analysis.NewProgram(pkgs))
+	if err != nil {
+		return err
+	}
+	data, err := sk.JSON()
+	if err != nil {
+		return err
+	}
+	if file == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(file, data, 0o644)
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

@@ -161,17 +161,19 @@ func TestJSONEmptyArrayOnCleanRun(t *testing.T) {
 	}
 }
 
-// TestTreeClean is the acceptance gate for the v3 interprocedural passes:
-// the repository itself must carry zero active findings from detsource,
-// ownfree, atomicmix and hotalloc (every remaining hit is suppressed with
-// a reason).
+// TestTreeClean is the acceptance gate for the interprocedural passes: the
+// repository itself must carry zero active findings from the v3 passes
+// (detsource, ownfree, atomicmix, hotalloc) and the communication passes
+// (commshape, phasebal, deadlock) — every remaining hit is suppressed with
+// a reason.
 func TestTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repo-wide type-check is slow; run without -short")
 	}
-	stdout, stderr, code := runPalint(t, "-only", "detsource,ownfree,atomicmix,hotalloc", "./...")
+	stdout, stderr, code := runPalint(t,
+		"-only", "detsource,ownfree,atomicmix,hotalloc,commshape,phasebal,deadlock", "./...")
 	if code != 0 {
-		t.Errorf("v3 passes over ./...: exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+		t.Errorf("interprocedural passes over ./...: exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
 	}
 }
 
@@ -226,6 +228,111 @@ func TestArtifactWritesFullSet(t *testing.T) {
 	}
 }
 
+// TestBaselineRoundTrip pins the regression-gate contract: a freshly
+// written baseline silences exactly the current findings (exit 0), while
+// findings absent from the baseline still fail the run.
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if _, stderr, code := runPalint(t, "-write-baseline", base, seeded); code != 0 {
+		t.Fatalf("-write-baseline: exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	var bf struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Message  string `json:"message"`
+			Count    int    `json:"count"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v\n%s", err, data)
+	}
+	if len(bf.Findings) == 0 {
+		t.Fatal("baseline recorded no findings on the seeded package")
+	}
+	for _, f := range bf.Findings {
+		if strings.Contains(f.File, "\\") || filepath.IsAbs(f.File) {
+			t.Errorf("baseline file path not module-relative slash form: %q", f.File)
+		}
+		if f.Count <= 0 {
+			t.Errorf("baseline entry with non-positive count: %+v", f)
+		}
+	}
+
+	// Same package under its own baseline: clean.
+	stdout, stderr, code := runPalint(t, "-baseline", base, seeded)
+	if code != 0 {
+		t.Errorf("run under matching baseline: exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	// A package with findings the baseline does not know: still fails.
+	div := "internal/analysis/testdata/src/floatdiv"
+	if _, _, code := runPalint(t, "-baseline", base, div); code != 1 {
+		t.Errorf("new findings under unrelated baseline: exit %d, want 1", code)
+	}
+	// -v surfaces the baselined findings as suppressed.
+	stdout, _, _ = runPalint(t, "-baseline", base, "-v", seeded)
+	if !strings.Contains(stdout, "baselined in") {
+		t.Errorf("-v under baseline should show baselined findings:\n%s", stdout)
+	}
+}
+
+// TestBaselineMissingFileIsUsageError pins exit 2: silently linting without
+// the accepted-debt list would report it all as regressions.
+func TestBaselineMissingFileIsUsageError(t *testing.T) {
+	if _, stderr, code := runPalint(t, "-baseline", filepath.Join(t.TempDir(), "nope.json"), seeded); code != 2 {
+		t.Errorf("missing baseline: exit %d, want 2 (stderr: %s)", code, stderr)
+	}
+}
+
+// TestSkeletonFlag pins the -skeleton mode: canonical JSON that re-parses,
+// byte-identical across runs.
+func TestSkeletonFlag(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "skeleton.json")
+	stdout, stderr, code := runPalint(t, "-skeleton", file, "internal/analysis/testdata/src/skel")
+	if code != 0 {
+		t.Fatalf("-skeleton: exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatalf("skeleton not written: %v", err)
+	}
+	if !strings.Contains(string(data), "\"ft\"") {
+		t.Errorf("skeleton missing the seeded kernel:\n%s", data)
+	}
+	stdoutDash, _, code := runPalint(t, "-skeleton", "-", "internal/analysis/testdata/src/skel")
+	if code != 0 {
+		t.Fatalf("-skeleton -: exit %d", code)
+	}
+	if stdoutDash != string(data) {
+		t.Errorf("-skeleton output differs between file and stdout modes")
+	}
+}
+
+// TestArtifactByteIdentical pins the artifact determinism the CI upload
+// relies on: two runs over the same tree write identical bytes.
+func TestArtifactByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	runPalint(t, "-artifact", a, seeded)
+	runPalint(t, "-artifact", b, seeded)
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Errorf("artifact bytes differ across runs:\n--- a ---\n%s--- b ---\n%s", da, db)
+	}
+}
+
 // TestOutputDeterministicAcrossGOMAXPROCS pins the ordering contract at
 // the binary level: byte-identical output whether the runtime uses one
 // thread or many.
@@ -234,11 +341,14 @@ func TestOutputDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		t.Skip("runs the binary repeatedly; skip under -short")
 	}
 	run := func(procs string) string {
-		cmd := exec.Command(palintBin, "-only", "detsource,ownfree,atomicmix,hotalloc",
+		cmd := exec.Command(palintBin, "-only", "detsource,ownfree,atomicmix,hotalloc,commshape,phasebal,deadlock",
 			"internal/analysis/testdata/src/detsource",
 			"internal/analysis/testdata/src/ownfree",
 			"internal/analysis/testdata/src/atomicmix",
-			"internal/analysis/testdata/src/hotalloc")
+			"internal/analysis/testdata/src/hotalloc",
+			"internal/analysis/testdata/src/commshape",
+			"internal/analysis/testdata/src/phasebal",
+			"internal/analysis/testdata/src/deadlock")
 		cmd.Dir = filepath.Join("..", "..")
 		cmd.Env = append(os.Environ(), "GOMAXPROCS="+procs)
 		var out strings.Builder

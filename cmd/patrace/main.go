@@ -8,6 +8,12 @@
 //
 //	patrace -kernel ft -n 16 -f 1.4ghz [-suite paper|quick] [-chaos spec]
 //	        [-out run.trace.json] [-manifest run.json] [-metrics]
+//	        [-commlog comm.json]
+//
+// With -commlog the run also records its communication-protocol events
+// (phase transitions, message endpoints, collective entries) and writes
+// them as a deterministic rank-major JSON log; cmd/paverify replays that
+// log against the skeleton palint -skeleton extracts.
 //
 // The -f flag accepts "1.4ghz", "1400mhz" or a plain megahertz count. The
 // exported trace is validated against the trace-event schema before it is
@@ -28,6 +34,7 @@ import (
 	"pasp/internal/experiments"
 	"pasp/internal/faults"
 	"pasp/internal/obs"
+	"pasp/internal/trace"
 	"pasp/internal/units"
 )
 
@@ -62,6 +69,7 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("out", "run.trace.json", "write the Chrome trace-event JSON here")
 	manifest := fs.String("manifest", "", "write the run manifest JSON here")
 	metrics := fs.Bool("metrics", false, "print the metric snapshot")
+	commlog := fs.String("commlog", "", "record communication-protocol events and write them here (for cmd/paverify)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,7 +89,11 @@ func run(args []string, stdout io.Writer) error {
 	s.Platform.Faults = cfg
 
 	rec := obs.NewRecorder()
-	res, err := s.RunKernelObserved(*kernel, *n, mhz, rec)
+	var comm *trace.CommRecorder
+	if *commlog != "" {
+		comm = new(trace.CommRecorder)
+	}
+	res, err := s.RunKernelTraced(*kernel, *n, mhz, rec, comm)
 	if err != nil {
 		return err
 	}
@@ -118,6 +130,18 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "\ntrace OK (%d events) written to %s\n", nEvents, *out)
+
+	if comm != nil {
+		cdata, err := comm.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*commlog, cdata, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "comm log (%d events over %d ranks) written to %s\n",
+			len(comm.Events()), comm.N(), *commlog)
+	}
 
 	if *manifest != "" {
 		m := obs.NewManifest("patrace")

@@ -43,6 +43,8 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicMix,
+		CommShape,
+		Deadlock,
 		DetSource,
 		DroppedErr,
 		FloatDiv,
@@ -51,6 +53,7 @@ func All() []*Analyzer {
 		MapOrder,
 		NakedGo,
 		OwnFree,
+		PhaseBal,
 		UnitCheck,
 	}
 }
@@ -151,12 +154,24 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// NewProgram builds the whole-program context (call graph plus memoized
+// interprocedural fact tables) once, for callers that run several analyzer
+// sets — or the skeleton emitter — over one load.
+func NewProgram(pkgs []*Package) *Program {
+	return newProgram(pkgs)
+}
+
 // Run executes the analyzers over the packages and returns every diagnostic
 // — suppressed ones included, flagged as such — sorted by file, line,
 // column, analyzer. Callers filter on Suppressed for the exit status.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunWithProgram(NewProgram(pkgs), pkgs, analyzers)
+}
+
+// RunWithProgram is Run against an existing Program, so one load and one
+// fact computation serve every pass and the -skeleton emitter alike.
+func RunWithProgram(prog *Program, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	prog := newProgram(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &diags}

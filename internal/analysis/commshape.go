@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"fmt"
+)
+
+// CommShape reports collective divergence: collectives and phase
+// transitions control-dependent on rank-derived conditions.
+var CommShape = &Analyzer{
+	Name: "commshape",
+	Doc:  "collectives or SetPhase control-dependent on rank-derived conditions",
+	Explain: `The runtime's collectives (Barrier, Allreduce, Alltoall, ...) and
+phase transitions must execute in lockstep: every rank reaches the same
+call sites in the same order, or ranks block forever in mismatched
+collectives and the per-(rank, phase) energy attribution silently
+mispredicts. commshape extracts each function's communication tree and
+reports any collective or SetPhase call (direct, or reached through a
+module-internal helper) that is control-dependent on a rank-derived
+condition — a branch or loop bound computed from Ctx.Rank(), from a
+struct field holding a rank-derived value, or from a helper whose return
+derives from the rank. Branches that merely take a rank-guarded error
+return are exempt: the job aborts on error anyway. Point-to-point calls
+are naturally rank-asymmetric and are left to the deadlock pass.`,
+	Example: `if c.Rank() == 0 {
+	c.Barrier() // commshape: collective Barrier control-dependent on rank-derived condition
+}`,
+	Run: runCommShape,
+}
+
+func runCommShape(pass *Pass) {
+	if isMPIRuntimePkg(pass.Pkg) {
+		return
+	}
+	prog := pass.Prog
+	eachReportedFunc(pass, func(info *FuncInfo) {
+		tree := prog.commTree(info)
+		var walk func(nodes []*opNode, guards []string)
+		walk = func(nodes []*opNode, guards []string) {
+			// A rank-guarded arm that returns early makes everything after
+			// the branch conditional too: ranks taking the return skip it.
+			after := guards
+			for _, n := range nodes {
+				switch n.kind {
+				case opBranch:
+					g := after
+					if n.condTainted {
+						g = append(g[:len(g):len(g)], describeGuard(n))
+					}
+					walk(n.then, g)
+					walk(n.els, g)
+					if n.condTainted && branchReturnsNonError(n) {
+						after = append(after[:len(after):len(after)],
+							describeGuard(n)+" via early return")
+					}
+				case opLoop:
+					g := after
+					if n.loopTainted {
+						g = append(g[:len(g):len(g)], "loop over rank-derived bounds")
+					}
+					walk(n.body, g)
+				case opClosure:
+					walk(n.body, after)
+				case opColl:
+					if len(after) > 0 {
+						pass.Reportf(n.pos, "collective %s control-dependent on rank-derived condition %s; all ranks must reach collectives in lockstep", n.opName, after[len(after)-1])
+					}
+				case opPhase:
+					if len(after) > 0 {
+						pass.Reportf(n.pos, "phase transition SetPhase(%s) control-dependent on rank-derived condition %s; ranks would disagree on the phase sequence", phaseLabel(n), after[len(after)-1])
+					}
+				case opCall:
+					if len(after) == 0 {
+						continue
+					}
+					fact := prog.commFactOf(n.callee)
+					step := shortFuncName(n.callee)
+					for _, w := range fact.colls {
+						if prog.sanctioned(pass.Analyzer.Name, w.pos) {
+							continue
+						}
+						pass.Reportf(n.pos, "collective %s (via %s) control-dependent on rank-derived condition %s; all ranks must reach collectives in lockstep", w.name, joinVia(step, w.via), after[len(after)-1])
+					}
+					for _, w := range fact.phases {
+						if prog.sanctioned(pass.Analyzer.Name, w.pos) {
+							continue
+						}
+						pass.Reportf(n.pos, "phase transition (via %s) control-dependent on rank-derived condition %s; ranks would disagree on the phase sequence", joinVia(step, w.via), after[len(after)-1])
+					}
+				}
+			}
+		}
+		walk(tree, nil)
+	})
+}
+
+// branchReturnsNonError reports whether either arm of the branch returns
+// without surfacing an error — the divergence that outlives the branch.
+// Error returns abort the whole job, so ranks never run past them
+// disagreeing.
+func branchReturnsNonError(n *opNode) bool {
+	pred := func(c *opNode) bool { return c.kind == opReturn && !c.errReturn }
+	return subtreeHas(n.then, pred) || subtreeHas(n.els, pred)
+}
+
+// phaseLabel renders the SetPhase argument for reports.
+func phaseLabel(n *opNode) string {
+	if n.phaseConst {
+		return fmt.Sprintf("%q", n.phaseName)
+	}
+	return "…"
+}

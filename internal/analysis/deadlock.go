@@ -1,0 +1,440 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"pasp/internal/commspec"
+)
+
+// Deadlock simulates each kernel's matched Send/Recv protocol symbolically
+// and reports rendezvous cycles, unmatched endpoints and self-sends.
+var Deadlock = &Analyzer{
+	Name: "deadlock",
+	Doc:  "rendezvous cycles, unmatched endpoints and self-sends in the p2p protocol",
+	Explain: `The runtime's Send/Recv rendezvous blocks both sides until the
+partners meet, so a protocol whose wait-for graph contains a cycle
+hangs every run. deadlock expands each analysis root (a function that
+launches an mpi job, or an uncalled function performing p2p) into a
+whole-protocol operation tree, renders every partner and tag as an
+expression over {rank, N} (ring neighbours "(rank+1)%N", xor pairs
+"rank^1", mirrors "N-1-rank"), instantiates the tree for every rank at
+N ∈ {2, 4, 8}, and runs the rendezvous semantics: sends and receives
+match by (source, destination) and compatible tag, SendRecv posts its
+send buffered before blocking in the receive, collectives are an
+all-ranks barrier. It reports cycles ("rank 0 → 1 → 0"), endpoints
+with no matching operation, ranks that return while others block in a
+collective, buffered messages never received, tag mismatches, and
+sends whose partner expression is the sender itself. Functions whose
+branches or partners cannot be resolved over {rank, N} are skipped
+(unsimulatable), never guessed at.`,
+	Example: `// every rank sends first: nobody reaches Recv — rendezvous cycle
+c.Send((c.Rank()+1)%c.Size(), 1, data)
+c.Recv((c.Rank()-1+c.Size())%c.Size(), 1)`,
+	Run: runDeadlock,
+}
+
+// simSizes are the job sizes the simulation instantiates. Power-of-two
+// sizes match the tree's kernels (FT/CG transpose and reduction patterns
+// assume them); composite sizes would spuriously fail xor-pair protocols.
+var simSizes = []int{2, 4, 8}
+
+// simKind discriminates instantiated operations.
+type simKind int
+
+const (
+	simSend simKind = iota
+	simSendBuf
+	simRecv
+	simColl
+)
+
+// simOp is one concrete operation of one rank at one N.
+type simOp struct {
+	kind    simKind
+	partner int
+	tag     int // -1 when unresolvable: matches any tag
+	opName  string
+	pos     token.Pos
+}
+
+func runDeadlock(pass *Pass) {
+	if isMPIRuntimePkg(pass.Pkg) {
+		return
+	}
+	prog := pass.Prog
+	called := prog.calledFuncs()
+	// Deduplicate program-wide: several roots (a kernel's Run method and
+	// an experiments wrapper, say) expand to the same protocol and would
+	// re-report the same operation from different reporting packages.
+	if prog.commDeadlockSeen == nil {
+		prog.commDeadlockSeen = map[string]bool{}
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		key := pass.Fset().Position(pos).String() + "\x00" + msg
+		if prog.commDeadlockSeen[key] {
+			return
+		}
+		prog.commDeadlockSeen[key] = true
+		pass.Reportf(pos, "%s", msg)
+	}
+	eachReportedFunc(pass, func(info *FuncInfo) {
+		isRoot := prog.containsMPIRun(info) || !called[info.Obj]
+		if !isRoot {
+			return
+		}
+		tree, ok := prog.expandTree(info.Obj, 0, map[*types.Func]bool{})
+		if !ok {
+			return
+		}
+		if !forestHasP2P(tree) {
+			return
+		}
+		// Self-sends are manifest in the partner expression alone.
+		reportSelfSends(tree, report)
+		for _, n := range simSizes {
+			perRank := make([][]simOp, n)
+			simulatable := true
+			for r := 0; r < n; r++ {
+				ops, ok := instantiate(tree, r, n)
+				if !ok {
+					simulatable = false
+					break
+				}
+				perRank[r] = ops
+			}
+			if !simulatable {
+				continue
+			}
+			simulate(perRank, n, report)
+		}
+	})
+}
+
+// forestHasP2P reports whether any p2p leaf survives expansion.
+func forestHasP2P(nodes []*opNode) bool {
+	return subtreeHas(nodes, func(n *opNode) bool { return n.kind == opP2P })
+}
+
+// reportSelfSends flags p2p calls whose partner expression is literally the
+// executing rank — a guaranteed runtime abort at every N.
+func reportSelfSends(nodes []*opNode, report func(token.Pos, string, ...any)) {
+	subtreeHas(nodes, func(n *opNode) bool {
+		if n.kind == opP2P && n.partner == "rank" {
+			report(n.pos, "%s targets the executing rank itself; the runtime rejects self-directed messages", n.opName)
+		}
+		return false
+	})
+}
+
+// instantiate renders the tree into rank r's concrete operation sequence
+// at job size n. ok=false marks the protocol unsimulatable at this N:
+// an unresolvable rank-dependent branch over communication, a partner
+// outside [0, n), or a division-by-zero in a partner expression.
+func instantiate(nodes []*opNode, r, n int) ([]simOp, bool) {
+	var out []simOp
+	var walk func(nodes []*opNode) (terminated, ok bool)
+	evalPartner := func(src string, pos token.Pos) (int, bool) {
+		if src == commspec.Unknown {
+			return 0, false
+		}
+		v, known, err := commspec.EvalInt(src, r, n)
+		if err != nil || !known {
+			return 0, false
+		}
+		if v < 0 || v >= n || v == r {
+			// Out of range at this N (or a self-message already reported
+			// statically): the protocol is not meant for this job size.
+			return 0, false
+		}
+		return v, true
+	}
+	evalTag := func(src string) int {
+		if src == commspec.Unknown {
+			return -1
+		}
+		v, known, err := commspec.EvalInt(src, r, n)
+		if err != nil || !known {
+			return -1
+		}
+		return v
+	}
+	walk = func(nodes []*opNode) (bool, bool) {
+		for _, node := range nodes {
+			switch node.kind {
+			case opP2P:
+				p, ok := evalPartner(node.partner, node.pos)
+				if !ok {
+					return false, false
+				}
+				tag := evalTag(node.tag)
+				switch node.comm {
+				case commSend:
+					out = append(out, simOp{kind: simSend, partner: p, tag: tag, opName: node.opName, pos: node.pos})
+				case commRecv:
+					out = append(out, simOp{kind: simRecv, partner: p, tag: tag, opName: node.opName, pos: node.pos})
+				case commSendRecv:
+					src, ok := evalPartner(node.partner2, node.pos)
+					if !ok {
+						return false, false
+					}
+					out = append(out, simOp{kind: simSendBuf, partner: p, tag: tag, opName: node.opName, pos: node.pos})
+					out = append(out, simOp{kind: simRecv, partner: src, tag: tag, opName: node.opName, pos: node.pos})
+				}
+			case opColl:
+				out = append(out, simOp{kind: simColl, opName: node.opName, pos: node.pos})
+			case opBranch:
+				if node.condStr != commspec.Unknown {
+					v, known, err := commspec.EvalBool(node.condStr, r, n)
+					if err != nil || !known {
+						return false, false
+					}
+					arm := node.then
+					if !v {
+						arm = node.els
+					}
+					term, ok := walk(arm)
+					if !ok {
+						return false, false
+					}
+					if term {
+						return true, true
+					}
+					continue
+				}
+				// Unresolvable condition. Rank-uniform ones take the same
+				// arm on every rank, so preferring the communicating arm is
+				// consistent; neither-arm communication (error returns,
+				// bookkeeping) falls through. Rank-dependent ones cannot be
+				// guessed: give up rather than invent a protocol.
+				thenComm := forestHasComm(node.then)
+				elsComm := forestHasComm(node.els)
+				if node.condTainted && (thenComm || elsComm) {
+					return false, false
+				}
+				var arm []*opNode
+				switch {
+				case thenComm:
+					arm = node.then
+				case elsComm:
+					arm = node.els
+				default:
+					continue
+				}
+				term, ok := walk(arm)
+				if !ok {
+					return false, false
+				}
+				if term {
+					return true, true
+				}
+			case opLoop:
+				// One symbolic iteration: rendezvous matching is per-site,
+				// so iteration counts cancel as long as all ranks loop
+				// alike; rank-dependent trip counts are commshape findings.
+				term, ok := walk(node.body)
+				if !ok {
+					return false, false
+				}
+				if term {
+					return true, true
+				}
+			case opClosure:
+				term, ok := walk(node.body)
+				if !ok {
+					return false, false
+				}
+				if term {
+					return true, true
+				}
+			case opReturn:
+				return true, true
+			}
+		}
+		return false, true
+	}
+	if _, ok := walk(nodes); !ok {
+		return nil, false
+	}
+	return out, true
+}
+
+// forestHasComm reports p2p or collective leaves (opCall edges are gone
+// after expansion).
+func forestHasComm(nodes []*opNode) bool {
+	return subtreeHas(nodes, func(n *opNode) bool {
+		return n.kind == opP2P || n.kind == opColl
+	})
+}
+
+// bufMsg is one posted-but-unreceived buffered send.
+type bufMsg struct {
+	tag int
+	pos token.Pos
+}
+
+// simulate runs the rendezvous semantics over the per-rank sequences and
+// reports every way the protocol fails to drain.
+func simulate(perRank [][]simOp, n int, report func(token.Pos, string, ...any)) {
+	idx := make([]int, n)
+	buffered := map[[2]int][]bufMsg{} // (src, dst) → FIFO
+	cur := func(r int) *simOp {
+		if idx[r] >= len(perRank[r]) {
+			return nil
+		}
+		return &perRank[r][idx[r]]
+	}
+	tagsMatch := func(a, b int) bool { return a == -1 || b == -1 || a == b }
+
+	for {
+		moved := false
+		// Buffered sends post without blocking.
+		for r := 0; r < n; r++ {
+			for op := cur(r); op != nil && op.kind == simSendBuf; op = cur(r) {
+				key := [2]int{r, op.partner}
+				buffered[key] = append(buffered[key], bufMsg{tag: op.tag, pos: op.pos})
+				idx[r]++
+				moved = true
+			}
+		}
+		// Receives drain buffered messages first (FIFO per pair).
+		for r := 0; r < n; r++ {
+			op := cur(r)
+			if op == nil || op.kind != simRecv {
+				continue
+			}
+			key := [2]int{op.partner, r}
+			q := buffered[key]
+			if len(q) == 0 {
+				continue
+			}
+			if !tagsMatch(q[0].tag, op.tag) {
+				report(op.pos, "tag mismatch at N=%d: rank %d receives tag %d from rank %d but the pending message carries tag %d", n, r, op.tag, op.partner, q[0].tag)
+			}
+			buffered[key] = q[1:]
+			idx[r]++
+			moved = true
+		}
+		// Rendezvous: a send meets a receive pointed back at it.
+		for r := 0; r < n; r++ {
+			op := cur(r)
+			if op == nil || op.kind != simSend {
+				continue
+			}
+			peer := cur(op.partner)
+			if peer == nil || peer.kind != simRecv || peer.partner != r {
+				continue
+			}
+			if !tagsMatch(op.tag, peer.tag) {
+				report(peer.pos, "tag mismatch at N=%d: rank %d receives tag %d from rank %d but the matching send carries tag %d", n, op.partner, peer.tag, r, op.tag)
+			}
+			idx[r]++
+			idx[op.partner]++
+			moved = true
+		}
+		// Collectives: an all-ranks barrier, advanced when everyone arrives.
+		allAtColl := true
+		for r := 0; r < n; r++ {
+			op := cur(r)
+			if op == nil || op.kind != simColl {
+				allAtColl = false
+				break
+			}
+		}
+		if allAtColl {
+			for r := 0; r < n; r++ {
+				idx[r]++
+			}
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+
+	var stuck []int
+	for r := 0; r < n; r++ {
+		if cur(r) != nil {
+			stuck = append(stuck, r)
+		}
+	}
+	if len(stuck) == 0 {
+		// Everything drained; leftover buffered sends are lost messages.
+		keys := make([][2]int, 0, len(buffered))
+		for k, q := range buffered {
+			if len(q) > 0 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			m := buffered[k][0]
+			report(m.pos, "message from rank %d to rank %d is never received at N=%d", k[0], k[1], n)
+		}
+		return
+	}
+
+	// Wait-for edges: who is each stuck rank waiting on?
+	waitsOn := map[int]int{}
+	for _, r := range stuck {
+		op := cur(r)
+		if op.kind == simSend || op.kind == simRecv {
+			waitsOn[r] = op.partner
+		}
+	}
+	// Cycle detection over the (functional) wait-for graph.
+	inCycle := map[int]bool{}
+	for _, r := range stuck {
+		seen := map[int]int{}
+		path := []int{}
+		cur := r
+		for {
+			if step, ok := seen[cur]; ok {
+				cycle := path[step:]
+				if len(cycle) > 1 && !inCycle[cycle[0]] {
+					for _, c := range cycle {
+						inCycle[c] = true
+					}
+					first := cycle[0]
+					desc := ""
+					for _, c := range cycle {
+						desc += fmt.Sprintf("%d → ", c)
+					}
+					desc += fmt.Sprintf("%d", first)
+					op := perRank[first][idx[first]]
+					report(op.pos, "rendezvous deadlock at N=%d: wait-for cycle rank %s", n, desc)
+				}
+				break
+			}
+			next, ok := waitsOn[cur]
+			if !ok {
+				break
+			}
+			seen[cur] = len(path)
+			path = append(path, cur)
+			cur = next
+		}
+	}
+	for _, r := range stuck {
+		if inCycle[r] {
+			continue
+		}
+		op := cur(r)
+		switch op.kind {
+		case simColl:
+			report(op.pos, "rank %d blocks in collective %s at N=%d while other ranks never arrive", r, op.opName, n)
+		case simSend:
+			report(op.pos, "unmatched endpoint at N=%d: rank %d blocks in %s to rank %d with no matching receive", n, r, op.opName, op.partner)
+		case simRecv:
+			report(op.pos, "unmatched endpoint at N=%d: rank %d blocks in %s from rank %d with no matching send", n, r, op.opName, op.partner)
+		}
+	}
+}

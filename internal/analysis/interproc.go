@@ -83,6 +83,28 @@ type Program struct {
 	atomicGathered bool
 	atomicFields   map[types.Object]bool
 	atomicAllowed  map[ast.Node]bool
+
+	// commcheck substrate (comm.go): per-function call maps, rank taint,
+	// symbolic renderers, transitive communication facts and guarded
+	// operation trees, shared by commshape, phasebal, deadlock and the
+	// -skeleton emitter.
+	commCallMaps    map[*types.Func]map[*ast.CallExpr]*types.Func
+	commTaints      map[*types.Func]map[types.Object]bool
+	commRankRet     map[*types.Func]bool
+	commRankRetBusy map[*types.Func]bool
+	commRenders     map[*types.Func]*renderEnv
+	commFacts       map[*types.Func]*commFact
+	commFactBusy    map[*types.Func]bool
+	commTrees       map[*types.Func][]*opNode
+	commCalled      map[*types.Func]bool
+	// commDeadlockSeen deduplicates deadlock reports program-wide:
+	// multiple roots expand to the same underlying operations.
+	commDeadlockSeen map[string]bool
+
+	// rank-identity field gather: struct fields assigned rank-derived
+	// values anywhere in the program, done once like atomicFields.
+	rankFieldsGathered bool
+	rankFields         map[types.Object]bool
 }
 
 // newProgram indexes the packages (and their module-internal dependencies)
@@ -103,6 +125,15 @@ func newProgram(pkgs []*Package) *Program {
 		freesBusy:  map[*types.Func]bool{},
 		owned:      map[*types.Func]*ownedFact{},
 		ownedBusy:  map[*types.Func]bool{},
+
+		commCallMaps:    map[*types.Func]map[*ast.CallExpr]*types.Func{},
+		commTaints:      map[*types.Func]map[types.Object]bool{},
+		commRankRet:     map[*types.Func]bool{},
+		commRankRetBusy: map[*types.Func]bool{},
+		commRenders:     map[*types.Func]*renderEnv{},
+		commFacts:       map[*types.Func]*commFact{},
+		commFactBusy:    map[*types.Func]bool{},
+		commTrees:       map[*types.Func][]*opNode{},
 	}
 	seen := map[string]*Package{}
 	for _, p := range pkgs {

@@ -1,0 +1,193 @@
+package analysis
+
+// PhaseBal verifies phase discipline: communication happens inside named
+// phases, phase transitions are statically ordered, and no phase is empty.
+var PhaseBal = &Analyzer{
+	Name: "phasebal",
+	Doc:  "phase discipline: ordered SetPhase transitions, no comm outside a named phase",
+	Explain: `The energy-attribution model (DESIGN §10) assumes phases tile each
+rank's clock: every rank walks the same statically known SetPhase
+sequence, and every communication or compute event lands inside a named
+phase. phasebal walks each function's communication tree with an
+abstract phase state and reports: (1) communication before the
+function's first SetPhase when the function does transition phases
+later — those events are misattributed to the caller's phase; (2)
+communication under an ambiguous phase, i.e. after branch arms that
+leave different phases open — ranks (or runs) would attribute the event
+differently; (3) SetPhase calls whose label is not a string constant,
+which make the static phase sequence unknowable; and (4) empty phases —
+two consecutive different SetPhase calls with no communication or
+compute between them, dead weight in the phase table. Functions that
+never call SetPhase inherit their caller's phase and are exempt from
+(1).`,
+	Example: `c.Allreduce(&x, mpi.Sum) // phasebal: communication before the function's first SetPhase
+c.SetPhase("solve")`,
+	Run: runPhaseBal,
+}
+
+// pbState is the abstract phase state threaded through one function.
+type pbState struct {
+	// phase is "" before the first transition (caller's phase), a known
+	// label after a constant SetPhase, or pbAmbiguous after diverging arms.
+	phase string
+	// firstDone is true once every path has transitioned at least once.
+	firstDone bool
+	// activity is true when communication or compute happened since the
+	// last transition (guards the empty-phase check).
+	activity bool
+	// lastPhase is the node of the last unambiguous SetPhase, for
+	// attributing empty-phase reports; nil when unknown.
+	lastPhase *opNode
+	// terminated is true after a return: the rest of the sequence is dead.
+	terminated bool
+}
+
+const pbAmbiguous = "\x00ambiguous"
+
+func runPhaseBal(pass *Pass) {
+	if isMPIRuntimePkg(pass.Pkg) {
+		return
+	}
+	prog := pass.Prog
+	eachReportedFunc(pass, func(info *FuncInfo) {
+		tree := prog.commTree(info)
+		hasOwnPhase := hasPhaseOutsideClosures(tree)
+		reportedBefore := false
+		reportedAmbiguous := map[string]bool{}
+
+		var walkSeq func(nodes []*opNode, st pbState) pbState
+		comm := func(st *pbState, n *opNode, what string) {
+			if hasOwnPhase && !st.firstDone && st.phase == "" && !reportedBefore {
+				reportedBefore = true
+				pass.Reportf(n.pos, "%s precedes the function's first SetPhase; events are attributed to the caller's phase", what)
+			}
+			if st.phase == pbAmbiguous {
+				key := pass.Fset().Position(n.pos).String()
+				if !reportedAmbiguous[key] {
+					reportedAmbiguous[key] = true
+					pass.Reportf(n.pos, "%s under an ambiguous phase: earlier branch arms leave different phases open", what)
+				}
+			}
+			st.activity = true
+		}
+		walkSeq = func(nodes []*opNode, st pbState) pbState {
+			for _, n := range nodes {
+				if st.terminated {
+					return st
+				}
+				switch n.kind {
+				case opPhase:
+					if !n.phaseConst {
+						pass.Reportf(n.pos, "SetPhase with a non-constant label; the phase sequence cannot be statically verified")
+						st.phase = pbAmbiguous
+						st.firstDone = true
+						st.activity = false
+						st.lastPhase = nil
+						continue
+					}
+					if st.lastPhase != nil && n.phaseName == st.lastPhase.phaseName {
+						// Re-entering the current phase is a runtime no-op.
+						continue
+					}
+					if st.lastPhase != nil && !st.activity {
+						pass.Reportf(st.lastPhase.pos, "empty phase %q: no communication or compute before the transition to %q", st.lastPhase.phaseName, n.phaseName)
+					}
+					st.phase = n.phaseName
+					st.firstDone = true
+					st.activity = false
+					st.lastPhase = n
+				case opColl:
+					comm(&st, n, "collective "+n.opName)
+				case opP2P:
+					comm(&st, n, "point-to-point "+n.opName)
+				case opCompute:
+					st.activity = true
+				case opCall:
+					fact := prog.commFactOf(n.callee)
+					if len(fact.phases) > 0 {
+						// The callee names its own phases (exchange-style
+						// helpers SetPhase before they communicate); its
+						// exit phase is its business — resume tracking at
+						// the next local SetPhase without claiming
+						// ambiguity, and don't count its communication as
+						// outside a named phase.
+						st.firstDone = true
+						st.lastPhase = nil
+						st.activity = true
+						continue
+					}
+					if fact.hasComm() {
+						comm(&st, n, "communication (via "+shortFuncName(n.callee)+")")
+					}
+					if fact.hasCompute {
+						st.activity = true
+					}
+				case opBranch:
+					thenSt := walkSeq(n.then, st)
+					elsSt := walkSeq(n.els, st)
+					st = mergePB(thenSt, elsSt)
+				case opLoop:
+					bodySt := walkSeq(n.body, st)
+					bodySt.terminated = false // the loop may run zero times
+					st = mergePB(st, bodySt)
+				case opClosure:
+					// Def-site approximation: the closure runs under some
+					// caller-determined phase; check only its interior
+					// ordering, not its boundary against ours.
+					walkSeq(n.body, pbState{firstDone: true})
+					st.activity = true
+				case opReturn:
+					st.terminated = true
+				}
+			}
+			return st
+		}
+		end := walkSeq(tree, pbState{})
+		if end.lastPhase != nil && !end.activity && !end.terminated {
+			pass.Reportf(end.lastPhase.pos, "empty phase %q: no communication or compute after the final transition", end.lastPhase.phaseName)
+		}
+	})
+}
+
+// hasPhaseOutsideClosures reports whether the function itself (not a
+// def-site closure it merely defines) transitions phases.
+func hasPhaseOutsideClosures(nodes []*opNode) bool {
+	for _, n := range nodes {
+		switch n.kind {
+		case opPhase:
+			return true
+		case opBranch:
+			if hasPhaseOutsideClosures(n.then) || hasPhaseOutsideClosures(n.els) {
+				return true
+			}
+		case opLoop:
+			if hasPhaseOutsideClosures(n.body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mergePB joins the states of two control-flow arms.
+func mergePB(a, b pbState) pbState {
+	if a.terminated {
+		return b
+	}
+	if b.terminated {
+		return a
+	}
+	out := pbState{
+		firstDone: a.firstDone && b.firstDone,
+		activity:  a.activity || b.activity,
+	}
+	if a.phase == b.phase {
+		out.phase = a.phase
+	} else {
+		out.phase = pbAmbiguous
+	}
+	if a.lastPhase == b.lastPhase {
+		out.lastPhase = a.lastPhase
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+// Package commshape seeds collective-divergence violations: collectives and
+// phase transitions control-dependent on rank-derived conditions.
+package commshape
+
+import mpi "pasp/internal/analysis/testdata/src/mpistub"
+
+// BadCollUnderRankGuard executes a collective only on rank 0 — every other
+// rank never arrives.
+func BadCollUnderRankGuard(c *mpi.Ctx) error {
+	if c.Rank() == 0 {
+		return c.Barrier() // want: collective under rank-derived condition
+	}
+	return nil
+}
+
+// BadPhaseUnderRankGuard transitions phase on even ranks only, so the
+// per-(rank, phase) attribution diverges.
+func BadPhaseUnderRankGuard(c *mpi.Ctx) {
+	if c.Rank()%2 == 0 {
+		c.SetPhase("even-half") // want: SetPhase under rank-derived condition
+	}
+}
+
+// BadEarlyReturn diverges via a rank-guarded non-error return: ranks > 0
+// skip everything after the branch.
+func BadEarlyReturn(c *mpi.Ctx) error {
+	if c.Rank() > 0 {
+		return nil
+	}
+	return c.Barrier() // want: collective guarded via early return
+}
+
+// BadViaHelper reaches an interprocedural collective under a rank guard.
+func BadViaHelper(c *mpi.Ctx) error {
+	if c.Rank() < c.Size()/2 {
+		return reduceHalf(c) // want: collective Allreduce (via reduceHalf)
+	}
+	return nil
+}
+
+func reduceHalf(c *mpi.Ctx) error {
+	_, err := c.Allreduce([]float64{1}, mpi.Sum, 8)
+	return err
+}
+
+// BadLoopBound runs a collective a rank-dependent number of times.
+func BadLoopBound(c *mpi.Ctx) error {
+	for i := 0; i < c.Rank(); i++ {
+		if err := c.Barrier(); err != nil { // want: collective under rank-derived loop bound
+			return err
+		}
+	}
+	return nil
+}
+
+// GoodUniformGuard is clean: the guard is rank-uniform (Size is identical
+// on every rank).
+func GoodUniformGuard(c *mpi.Ctx) error {
+	if c.Size() > 1 {
+		return c.Barrier()
+	}
+	return nil
+}
+
+// GoodRankGuardedSend is clean: point-to-point calls are naturally
+// rank-asymmetric and belong to the deadlock pass.
+func GoodRankGuardedSend(c *mpi.Ctx) error {
+	if c.Rank() > 0 {
+		return c.Send(c.Rank()-1, 1, nil, 8)
+	}
+	return nil
+}
+
+// GoodErrorReturnGuard is clean: the rank-guarded arm only surfaces an
+// error, which aborts the whole job anyway.
+func GoodErrorReturnGuard(c *mpi.Ctx) error {
+	if c.Rank() > 0 {
+		if err := c.Send(c.Rank()-1, 2, nil, 8); err != nil {
+			return err
+		}
+	}
+	return c.Barrier()
+}
+
+// SuppressedRootOnly carries a sanctioned divergence.
+func SuppressedRootOnly(c *mpi.Ctx) error {
+	if c.Rank() == 0 {
+		return c.Barrier() //palint:ignore commshape -- driver-side barrier pairs with the workers' barrier in a separate job step
+	}
+	return nil
+}

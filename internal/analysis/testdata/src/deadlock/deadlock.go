@@ -1,0 +1,129 @@
+// Package deadlock seeds p2p protocol failures: rendezvous cycles, tag
+// mismatches, unmatched endpoints, lost buffered messages, collective
+// stragglers and self-sends.
+package deadlock
+
+import mpi "pasp/internal/analysis/testdata/src/mpistub"
+
+// BadRingSendFirst sends before receiving on every rank: nobody reaches
+// Recv and the wait-for graph is one big cycle.
+func BadRingSendFirst(c *mpi.Ctx) error {
+	n := c.Size()
+	next := (c.Rank() + 1) % n
+	prev := (c.Rank() - 1 + n) % n
+	if err := c.Send(next, 7, nil, 8); err != nil { // want: rendezvous cycle
+		return err
+	}
+	got, err := c.Recv(prev, 7)
+	if err != nil {
+		return err
+	}
+	c.Free(got)
+	return nil
+}
+
+// BadSelfSend targets the executing rank itself.
+func BadSelfSend(c *mpi.Ctx) error {
+	return c.Send(c.Rank(), 1, nil, 8) // want: self-send
+}
+
+// BadTagMismatch pairs a send and a receive that disagree on the tag.
+func BadTagMismatch(c *mpi.Ctx) error {
+	if c.Rank() == 0 {
+		return c.Send(1, 10, nil, 8)
+	}
+	if c.Rank() == 1 {
+		_, err := c.Recv(0, 11) // want: tag mismatch
+		return err
+	}
+	return nil
+}
+
+// BadForgottenRecv sends with no receive anywhere in the protocol.
+func BadForgottenRecv(c *mpi.Ctx) error {
+	if c.Rank() == 0 {
+		return c.Send(1, 5, nil, 8) // want: unmatched endpoint
+	}
+	return nil
+}
+
+// BadLostExchange posts a buffered exchange half that the peer never
+// drains: rank 1 sends but never receives rank 0's counterpart.
+func BadLostExchange(c *mpi.Ctx) error {
+	if c.Rank() == 0 {
+		_, err := c.SendRecv(1, 1, 6, nil, 8) // want: message never received
+		return err
+	}
+	if c.Rank() == 1 {
+		return c.Send(0, 6, nil, 8)
+	}
+	return nil
+}
+
+// BadCollectiveStraggler lets rank 0 return before the barrier every other
+// rank enters.
+func BadCollectiveStraggler(c *mpi.Ctx) error {
+	if c.Rank()%2 == 0 {
+		if err := c.Send(c.Rank()+1, 3, nil, 8); err != nil {
+			return err
+		}
+	} else {
+		got, err := c.Recv(c.Rank()-1, 3)
+		if err != nil {
+			return err
+		}
+		c.Free(got)
+	}
+	if c.Rank() == 0 {
+		return nil
+	}
+	return c.Barrier() // want: collective straggler
+}
+
+// GoodXorExchange is clean: the full-duplex exchange posts its send
+// buffered, so symmetric pairs cannot cycle.
+func GoodXorExchange(c *mpi.Ctx) error {
+	peer := c.Rank() ^ 1
+	got, err := c.SendRecv(peer, peer, 2, nil, 8)
+	if err != nil {
+		return err
+	}
+	c.Free(got)
+	return nil
+}
+
+// GoodPipelinedShift is clean: rank 0 anchors the chain, everyone else
+// receives before sending.
+func GoodPipelinedShift(c *mpi.Ctx) error {
+	if c.Rank() > 0 {
+		got, err := c.Recv(c.Rank()-1, 4)
+		if err != nil {
+			return err
+		}
+		c.Free(got)
+	}
+	if c.Rank() < c.Size()-1 {
+		return c.Send(c.Rank()+1, 4, nil, 8)
+	}
+	return nil
+}
+
+// GoodSendRecvRing is clean: every rank's send is buffered by SendRecv, so
+// the ring drains.
+func GoodSendRecvRing(c *mpi.Ctx) error {
+	n := c.Size()
+	got, err := c.SendRecv((c.Rank()+1)%n, (c.Rank()-1+n)%n, 12, nil, 8)
+	if err != nil {
+		return err
+	}
+	c.Free(got)
+	return nil
+}
+
+// SuppressedHandshake carries a sanctioned one-sided send.
+func SuppressedHandshake(c *mpi.Ctx) error {
+	if c.Rank() != 0 {
+		return nil
+	}
+	return c.Send(1, 9, nil, 8) //palint:ignore deadlock -- the controller side of this handshake lives outside the analyzed tree
+}

@@ -1,0 +1,88 @@
+// Package phasebal seeds phase-discipline violations: communication outside
+// named phases, ambiguous phase states, dynamic labels and empty phases.
+package phasebal
+
+import mpi "pasp/internal/analysis/testdata/src/mpistub"
+
+// BadCommBeforePhase communicates before its first SetPhase, so the events
+// are attributed to whatever phase the caller happened to leave open.
+func BadCommBeforePhase(c *mpi.Ctx) error {
+	if err := c.Barrier(); err != nil { // want: comm precedes first SetPhase
+		return err
+	}
+	c.SetPhase("work")
+	return c.Compute(1)
+}
+
+// BadAmbiguousPhase communicates after branch arms that leave different
+// phases open.
+func BadAmbiguousPhase(c *mpi.Ctx, wide bool) error {
+	if wide {
+		c.SetPhase("wide")
+	} else {
+		c.SetPhase("narrow")
+	}
+	if err := c.Compute(1); err != nil {
+		return err
+	}
+	return c.Barrier() // want: collective under ambiguous phase
+}
+
+// BadDynamicLabel builds its label at run time, so the static phase
+// sequence is unknowable.
+func BadDynamicLabel(c *mpi.Ctx, step string) error {
+	c.SetPhase("solve-" + step) // want: non-constant SetPhase label
+	return c.Compute(1)
+}
+
+// BadEmptyPhase opens a phase and transitions away without any activity.
+func BadEmptyPhase(c *mpi.Ctx) error {
+	c.SetPhase("setup") // want: empty phase "setup"
+	c.SetPhase("solve")
+	return c.Compute(1)
+}
+
+// BadTrailingEmpty ends the function inside a phase that never saw any
+// communication or compute.
+func BadTrailingEmpty(c *mpi.Ctx) {
+	c.SetPhase("work")
+	_ = c.Compute(1)
+	c.SetPhase("drain") // want: empty phase "drain" after the final transition
+}
+
+// GoodPhaseless is clean: it never transitions phases and simply runs in
+// its caller's phase.
+func GoodPhaseless(c *mpi.Ctx) error {
+	return c.Barrier()
+}
+
+// GoodExchange is clean: it names its own phase before communicating.
+func GoodExchange(c *mpi.Ctx) error {
+	c.SetPhase("halo")
+	return c.Barrier()
+}
+
+// GoodSelfNamingCallee is clean: the callee names its own phases, so the
+// call is not communication outside a named phase.
+func GoodSelfNamingCallee(c *mpi.Ctx) error {
+	if err := GoodExchange(c); err != nil {
+		return err
+	}
+	c.SetPhase("after")
+	return c.Compute(1)
+}
+
+// GoodReenterSamePhase is clean: re-entering the current phase is a
+// runtime no-op, not an empty phase.
+func GoodReenterSamePhase(c *mpi.Ctx) error {
+	c.SetPhase("loop")
+	c.SetPhase("loop")
+	return c.Compute(1)
+}
+
+// SuppressedEmptyInit carries a sanctioned zero-width phase.
+func SuppressedEmptyInit(c *mpi.Ctx) error {
+	c.SetPhase("init") //palint:ignore phasebal -- zero-width init phase keeps the event stream aligned with the reference trace
+	c.SetPhase("run")
+	return c.Compute(1)
+}

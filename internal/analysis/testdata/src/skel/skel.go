@@ -1,0 +1,53 @@
+// Package skel seeds a clean kernel-shaped entry point for the skeleton
+// extractor tests: a Run method that launches an mpi job with phases, a
+// guarded pipeline shift and a collective.
+package skel
+
+import mpi "pasp/internal/analysis/testdata/src/mpistub"
+
+// FT mimics a kernel driver struct; the extractor names the kernel after
+// the lowercased receiver type.
+type FT struct {
+	Steps int
+}
+
+// MG mimics a kernel whose rank body is a named function rather than an
+// inline closure: the extractor must descend into it all the same.
+type MG struct{}
+
+// Run launches the stub job with a named body.
+func (MG) Run(w mpi.World) error {
+	_, err := mpi.Run(w, mgBody)
+	return err
+}
+
+func mgBody(c *mpi.Ctx) error {
+	c.SetPhase("mg-smooth")
+	return c.Barrier()
+}
+
+// Run launches the stub job.
+func (f FT) Run(w mpi.World) error {
+	_, err := mpi.Run(w, func(c *mpi.Ctx) error {
+		c.SetPhase("ft-setup")
+		if err := c.Compute(1); err != nil {
+			return err
+		}
+		c.SetPhase("ft-exchange")
+		if c.Rank() > 0 {
+			got, err := c.Recv(c.Rank()-1, 1)
+			if err != nil {
+				return err
+			}
+			c.Free(got)
+		}
+		if c.Rank() < c.Size()-1 {
+			if err := c.Send(c.Rank()+1, 1, nil, 8); err != nil {
+				return err
+			}
+		}
+		_, err := c.Allreduce([]float64{1}, mpi.Sum, 8)
+		return err
+	})
+	return err
+}

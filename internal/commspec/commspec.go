@@ -1,0 +1,238 @@
+// Package commspec is the partner-expression algebra shared by the static
+// commcheck passes (package analysis) and the dynamic conformance checker
+// (cmd/paverify). A communication skeleton describes each kernel's message
+// partners, tags and guards as small integer/boolean expressions over two
+// free variables — "rank" (the executing rank) and "N" (the job size) —
+// rendered as Go expression syntax: "((rank+1)%N)", "(rank^1)",
+// "((rank>0)&&(rank<(N-1)))". The static side emits these strings; this
+// package parses and evaluates them at concrete (rank, N) points so the
+// deadlock simulation and the trace-conformance gate agree on one semantics
+// (Go's: truncated division and remainder, exactly what the kernels
+// themselves compute).
+//
+// The distinguished string "?" (Unknown) marks an expression the static
+// analysis could not resolve; evaluation reports it as not-known rather
+// than an error, and conformance checks treat it as a wildcard.
+package commspec
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+)
+
+// Unknown is the wildcard expression: the static side emits it when a
+// partner, tag or guard is not expressible over {rank, N, constants}.
+const Unknown = "?"
+
+// Expr is one compiled expression.
+type Expr struct {
+	src  string
+	node ast.Expr
+	wild bool
+}
+
+// Compile parses src into an evaluable expression. The wildcard "?"
+// compiles to an expression whose evaluations report not-known.
+func Compile(src string) (*Expr, error) {
+	if src == Unknown {
+		return &Expr{src: src, wild: true}, nil
+	}
+	node, err := parser.ParseExpr(src)
+	if err != nil {
+		return nil, fmt.Errorf("commspec: parse %q: %w", src, err)
+	}
+	// Validate eagerly so malformed skeletons fail at load, not mid-check.
+	if _, err := eval(node, 0, 2); err != nil {
+		return nil, err
+	}
+	return &Expr{src: src, node: node}, nil
+}
+
+// String returns the source form.
+func (e *Expr) String() string { return e.src }
+
+// Int evaluates the expression as an integer at (rank, n). known is false
+// for the wildcard.
+func (e *Expr) Int(rank, n int) (v int, known bool, err error) {
+	if e.wild {
+		return 0, false, nil
+	}
+	val, err := eval(e.node, rank, n)
+	if err != nil {
+		return 0, false, err
+	}
+	if val.isBool {
+		return 0, false, fmt.Errorf("commspec: %q is boolean, want integer", e.src)
+	}
+	return val.i, true, nil
+}
+
+// Bool evaluates the expression as a boolean at (rank, n). known is false
+// for the wildcard — conformance treats an unknown guard as satisfiable.
+func (e *Expr) Bool(rank, n int) (v bool, known bool, err error) {
+	if e.wild {
+		return false, false, nil
+	}
+	val, err := eval(e.node, rank, n)
+	if err != nil {
+		return false, false, err
+	}
+	if !val.isBool {
+		return false, false, fmt.Errorf("commspec: %q is integer, want boolean", e.src)
+	}
+	return val.b, true, nil
+}
+
+// EvalInt is the one-shot form of Compile + Int.
+func EvalInt(src string, rank, n int) (v int, known bool, err error) {
+	e, err := Compile(src)
+	if err != nil {
+		return 0, false, err
+	}
+	return e.Int(rank, n)
+}
+
+// EvalBool is the one-shot form of Compile + Bool.
+func EvalBool(src string, rank, n int) (v bool, known bool, err error) {
+	e, err := Compile(src)
+	if err != nil {
+		return false, false, err
+	}
+	return e.Bool(rank, n)
+}
+
+// value is an evaluation result: an integer or a boolean.
+type value struct {
+	i      int
+	b      bool
+	isBool bool
+}
+
+// eval walks the parsed expression with Go's integer semantics.
+func eval(e ast.Expr, rank, n int) (value, error) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return eval(x.X, rank, n)
+	case *ast.BasicLit:
+		if x.Kind != token.INT {
+			return value{}, fmt.Errorf("commspec: literal %s is not an integer", x.Value)
+		}
+		v, err := strconv.ParseInt(x.Value, 0, 64)
+		if err != nil {
+			return value{}, fmt.Errorf("commspec: bad integer %s", x.Value)
+		}
+		return value{i: int(v)}, nil
+	case *ast.Ident:
+		switch x.Name {
+		case "rank":
+			return value{i: rank}, nil
+		case "N":
+			return value{i: n}, nil
+		case "true":
+			return value{b: true, isBool: true}, nil
+		case "false":
+			return value{b: false, isBool: true}, nil
+		}
+		return value{}, fmt.Errorf("commspec: unknown identifier %q (want rank or N)", x.Name)
+	case *ast.UnaryExpr:
+		v, err := eval(x.X, rank, n)
+		if err != nil {
+			return value{}, err
+		}
+		switch x.Op {
+		case token.SUB:
+			if v.isBool {
+				return value{}, fmt.Errorf("commspec: unary minus on boolean")
+			}
+			return value{i: -v.i}, nil
+		case token.NOT:
+			if !v.isBool {
+				return value{}, fmt.Errorf("commspec: ! on integer")
+			}
+			return value{b: !v.b, isBool: true}, nil
+		case token.ADD:
+			return v, nil
+		}
+		return value{}, fmt.Errorf("commspec: unsupported unary operator %s", x.Op)
+	case *ast.BinaryExpr:
+		l, err := eval(x.X, rank, n)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := eval(x.Y, rank, n)
+		if err != nil {
+			return value{}, err
+		}
+		return applyBinary(x.Op, l, r)
+	}
+	return value{}, fmt.Errorf("commspec: unsupported expression node %T", e)
+}
+
+func applyBinary(op token.Token, l, r value) (value, error) {
+	switch op {
+	case token.LAND, token.LOR:
+		if !l.isBool || !r.isBool {
+			return value{}, fmt.Errorf("commspec: %s needs boolean operands", op)
+		}
+		if op == token.LAND {
+			return value{b: l.b && r.b, isBool: true}, nil
+		}
+		return value{b: l.b || r.b, isBool: true}, nil
+	}
+	if l.isBool || r.isBool {
+		// == and != over booleans are legal Go but never emitted; keep the
+		// algebra minimal.
+		return value{}, fmt.Errorf("commspec: %s needs integer operands", op)
+	}
+	a, b := l.i, r.i
+	switch op {
+	case token.ADD:
+		return value{i: a + b}, nil
+	case token.SUB:
+		return value{i: a - b}, nil
+	case token.MUL:
+		return value{i: a * b}, nil
+	case token.QUO:
+		if b == 0 {
+			return value{}, fmt.Errorf("commspec: division by zero")
+		}
+		return value{i: a / b}, nil
+	case token.REM:
+		if b == 0 {
+			return value{}, fmt.Errorf("commspec: remainder by zero")
+		}
+		return value{i: a % b}, nil
+	case token.AND:
+		return value{i: a & b}, nil
+	case token.OR:
+		return value{i: a | b}, nil
+	case token.XOR:
+		return value{i: a ^ b}, nil
+	case token.SHL:
+		if b < 0 || b > 62 {
+			return value{}, fmt.Errorf("commspec: shift count %d out of range", b)
+		}
+		return value{i: a << uint(b)}, nil
+	case token.SHR:
+		if b < 0 || b > 62 {
+			return value{}, fmt.Errorf("commspec: shift count %d out of range", b)
+		}
+		return value{i: a >> uint(b)}, nil
+	case token.EQL:
+		return value{b: a == b, isBool: true}, nil
+	case token.NEQ:
+		return value{b: a != b, isBool: true}, nil
+	case token.LSS:
+		return value{b: a < b, isBool: true}, nil
+	case token.LEQ:
+		return value{b: a <= b, isBool: true}, nil
+	case token.GTR:
+		return value{b: a > b, isBool: true}, nil
+	case token.GEQ:
+		return value{b: a >= b, isBool: true}, nil
+	}
+	return value{}, fmt.Errorf("commspec: unsupported binary operator %s", op)
+}

@@ -1,0 +1,232 @@
+package commspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Skeleton is the statically extracted communication contract of a module:
+// one entry per kernel (a function that launches an mpi job), listing the
+// phases it may enter and the collective and point-to-point operations it
+// may perform, with partners/tags/guards in the rank algebra. palint
+// -skeleton emits it; cmd/paverify replays recorded traces against it.
+type Skeleton struct {
+	// Module is the Go module the skeleton was extracted from.
+	Module string `json:"module"`
+	// Kernels is sorted by name for byte-deterministic output.
+	Kernels []Kernel `json:"kernels"`
+}
+
+// Kernel is one mpi entry point's communication shape.
+type Kernel struct {
+	// Name is the lowercased receiver (or function) name — "ft", "lu" —
+	// matching the -kernel flags of the simulation drivers.
+	Name string `json:"name"`
+	// Func is the declaring function, e.g. "npb.(FT).Run".
+	Func string `json:"func"`
+	// Phases are the SetPhase labels the kernel can enter, in static
+	// traversal order. The implicit initial phase "main" is always legal.
+	Phases []string `json:"phases"`
+	// Collectives are the collective call sites.
+	Collectives []Collective `json:"collectives,omitempty"`
+	// P2P are the point-to-point endpoints; a SendRecv contributes one
+	// send and one recv entry.
+	P2P []P2P `json:"p2p,omitempty"`
+}
+
+// Collective is one collective call site.
+type Collective struct {
+	// Op is the mpi method name: "Allreduce", "Barrier", ...
+	Op string `json:"op"`
+	// Phase is the phase the call executes under, or "?" when ambiguous.
+	Phase string `json:"phase"`
+	// Guard is the conjunction of enclosing conditions in the rank
+	// algebra; empty means unconditional, "?" unresolvable.
+	Guard string `json:"guard,omitempty"`
+	// Pos is the module-relative file:line of the call.
+	Pos string `json:"pos"`
+}
+
+// P2P is one point-to-point endpoint.
+type P2P struct {
+	// Dir is "send" or "recv".
+	Dir string `json:"dir"`
+	// Partner is the peer rank expression over {rank, N}, or "?".
+	Partner string `json:"partner"`
+	// Tag is the message tag expression, or "?".
+	Tag string `json:"tag"`
+	// Phase is the phase the call executes under, or "?".
+	Phase string `json:"phase"`
+	// Guard is as in Collective.
+	Guard string `json:"guard,omitempty"`
+	// Pos is the module-relative file:line of the call.
+	Pos string `json:"pos"`
+}
+
+// Normalize sorts the skeleton into its canonical order: kernels by name,
+// collectives by (op, guard, pos), p2p by (dir, partner, tag, guard, pos).
+// Phases keep their traversal order (it is already deterministic).
+func (s *Skeleton) Normalize() {
+	sort.Slice(s.Kernels, func(i, j int) bool { return s.Kernels[i].Name < s.Kernels[j].Name })
+	for k := range s.Kernels {
+		ker := &s.Kernels[k]
+		sort.Slice(ker.Collectives, func(i, j int) bool {
+			a, b := ker.Collectives[i], ker.Collectives[j]
+			if a.Op != b.Op {
+				return a.Op < b.Op
+			}
+			if a.Guard != b.Guard {
+				return a.Guard < b.Guard
+			}
+			return a.Pos < b.Pos
+		})
+		sort.Slice(ker.P2P, func(i, j int) bool {
+			a, b := ker.P2P[i], ker.P2P[j]
+			if a.Dir != b.Dir {
+				return a.Dir < b.Dir
+			}
+			if a.Partner != b.Partner {
+				return a.Partner < b.Partner
+			}
+			if a.Tag != b.Tag {
+				return a.Tag < b.Tag
+			}
+			if a.Guard != b.Guard {
+				return a.Guard < b.Guard
+			}
+			return a.Pos < b.Pos
+		})
+	}
+}
+
+// JSON renders the skeleton as canonical indented JSON (Normalize first for
+// byte determinism).
+func (s *Skeleton) JSON() ([]byte, error) {
+	s.Normalize()
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseSkeleton loads a skeleton written by JSON, validating every
+// expression so conformance checking cannot fail mid-replay.
+func ParseSkeleton(data []byte) (*Skeleton, error) {
+	var s Skeleton
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("commspec: bad skeleton: %w", err)
+	}
+	for _, k := range s.Kernels {
+		for _, c := range k.Collectives {
+			if err := checkGuard(c.Guard); err != nil {
+				return nil, fmt.Errorf("commspec: kernel %s collective %s: %w", k.Name, c.Op, err)
+			}
+		}
+		for _, p := range k.P2P {
+			if p.Dir != "send" && p.Dir != "recv" {
+				return nil, fmt.Errorf("commspec: kernel %s: bad p2p dir %q", k.Name, p.Dir)
+			}
+			if _, err := Compile(p.Partner); err != nil {
+				return nil, fmt.Errorf("commspec: kernel %s p2p partner: %w", k.Name, err)
+			}
+			if _, err := Compile(p.Tag); err != nil {
+				return nil, fmt.Errorf("commspec: kernel %s p2p tag: %w", k.Name, err)
+			}
+			if err := checkGuard(p.Guard); err != nil {
+				return nil, fmt.Errorf("commspec: kernel %s p2p guard: %w", k.Name, err)
+			}
+		}
+	}
+	return &s, nil
+}
+
+func checkGuard(g string) error {
+	if g == "" {
+		return nil
+	}
+	_, err := Compile(g)
+	return err
+}
+
+// Kernel returns the named kernel, or nil.
+func (s *Skeleton) Kernel(name string) *Kernel {
+	for i := range s.Kernels {
+		if s.Kernels[i].Name == name {
+			return &s.Kernels[i]
+		}
+	}
+	return nil
+}
+
+// guardHolds reports whether the guard can be satisfied at (rank, n):
+// empty and wildcard guards are satisfiable, a resolvable guard must
+// evaluate to true.
+func guardHolds(guard string, rank, n int) bool {
+	if guard == "" || guard == Unknown {
+		return true
+	}
+	v, known, err := EvalBool(guard, rank, n)
+	if err != nil || !known {
+		return true // unresolvable at replay time: treat as wildcard
+	}
+	return v
+}
+
+// phaseMatches reports whether an observed phase is admitted by a site's
+// static phase label.
+func phaseMatches(site, observed string) bool {
+	return site == observed || site == Unknown
+}
+
+// CheckPhase verifies an observed phase transition: the label must be one
+// the skeleton predicts for this kernel.
+func (k *Kernel) CheckPhase(name string) error {
+	for _, p := range k.Phases {
+		if p == name || p == Unknown {
+			return nil
+		}
+	}
+	return fmt.Errorf("phase %q not predicted by skeleton for kernel %s (static phases: %v)", name, k.Name, k.Phases)
+}
+
+// CheckCollective verifies an observed collective: some predicted
+// collective site must match the op under a satisfiable guard in the
+// observed phase.
+func (k *Kernel) CheckCollective(op, phase string, rank, n int) error {
+	for _, c := range k.Collectives {
+		if c.Op == op && phaseMatches(c.Phase, phase) && guardHolds(c.Guard, rank, n) {
+			return nil
+		}
+	}
+	return fmt.Errorf("collective %s by rank %d in phase %q (N=%d) not predicted by skeleton for kernel %s", op, rank, phase, n, k.Name)
+}
+
+// CheckP2P verifies an observed message endpoint: some predicted p2p site
+// with the right direction must resolve to the observed peer (or be a
+// wildcard), carry the observed tag (or a wildcard), match the phase and
+// hold its guard.
+func (k *Kernel) CheckP2P(dir string, rank, peer, tag int, phase string, n int) error {
+	for _, p := range k.P2P {
+		if p.Dir != dir || !phaseMatches(p.Phase, phase) || !guardHolds(p.Guard, rank, n) {
+			continue
+		}
+		pv, pKnown, err := EvalInt(p.Partner, rank, n)
+		if err != nil {
+			continue
+		}
+		if pKnown && pv != peer {
+			continue
+		}
+		tv, tKnown, err := EvalInt(p.Tag, rank, n)
+		if err != nil {
+			continue
+		}
+		if tKnown && tv != tag {
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("%s rank %d ↔ rank %d tag %d in phase %q (N=%d) not predicted by skeleton for kernel %s", dir, rank, peer, tag, phase, n, k.Name)
+}

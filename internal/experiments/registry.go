@@ -7,6 +7,7 @@ import (
 	"pasp/internal/cluster"
 	"pasp/internal/mpi"
 	"pasp/internal/obs"
+	"pasp/internal/trace"
 )
 
 // Kernel is one registered benchmark: its runner and its campaign grid.
@@ -73,10 +74,17 @@ func (s Suite) RunKernelOnce(name string, n int, mhz float64) (*mpi.Result, erro
 // RunKernelObserved executes the named kernel at one configuration with an
 // observability recorder attached: the run span (stamped with the kernel
 // name), per-rank phase spans and run metrics land on rec. A nil rec is
-// exactly RunKernelOnce. The recorder is injected on the World rather than
-// the Platform so the campaign store's content fingerprint of Platform
-// never sees a pointer.
+// exactly RunKernelOnce.
 func (s Suite) RunKernelObserved(name string, n int, mhz float64, rec *obs.Recorder) (*mpi.Result, error) {
+	return s.RunKernelTraced(name, n, mhz, rec, nil)
+}
+
+// RunKernelTraced executes the named kernel at one configuration with an
+// observability recorder and a communication-protocol recorder attached;
+// either may be nil to disable that side. The recorders are injected on the
+// World rather than the Platform so the campaign store's content
+// fingerprint of Platform never sees a pointer.
+func (s Suite) RunKernelTraced(name string, n int, mhz float64, rec *obs.Recorder, comm *trace.CommRecorder) (*mpi.Result, error) {
 	k, err := s.Kernel(name)
 	if err != nil {
 		return nil, err
@@ -86,6 +94,7 @@ func (s Suite) RunKernelObserved(name string, n int, mhz float64, rec *obs.Recor
 		return nil, err
 	}
 	w.Obs = rec
+	w.Comm = comm
 	res, err := k.Run(w)
 	if err != nil {
 		return nil, err

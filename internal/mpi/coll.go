@@ -68,6 +68,7 @@ func (c *Ctx) collective(payload any, cost float64) (*collSnapshot, error) {
 // Barrier blocks until every rank arrives; it costs a recursive-doubling
 // round trip of empty messages.
 func (c *Ctx) Barrier() error {
+	c.noteColl("Barrier")
 	n := c.Size()
 	if n == 1 {
 		return nil
@@ -98,6 +99,7 @@ func (c *Ctx) Bcast(root int, data []float64, vbytes int) ([]float64, error) {
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("mpi: bcast root %d out of range", root)
 	}
+	c.noteColl("Bcast")
 	if n == 1 {
 		return data, nil
 	}
@@ -166,6 +168,7 @@ func (c *Ctx) reduceCost(b int) float64 {
 // Allreduce combines every rank's vector with op and returns the result on
 // all ranks. vbytes, when positive, overrides the timed payload size.
 func (c *Ctx) Allreduce(data []float64, op Op, vbytes int) ([]float64, error) {
+	c.noteColl("Allreduce")
 	if c.Size() == 1 {
 		return append([]float64(nil), data...), nil
 	}
@@ -183,6 +186,7 @@ func (c *Ctx) Reduce(root int, data []float64, op Op, vbytes int) ([]float64, er
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("mpi: reduce root %d out of range", root)
 	}
+	c.noteColl("Reduce")
 	if n == 1 {
 		return append([]float64(nil), data...), nil
 	}
@@ -210,6 +214,7 @@ func (c *Ctx) Alltoall(parts [][]float64, vbytesPerPair int) ([][]float64, error
 	if len(parts) != n {
 		return nil, fmt.Errorf("mpi: alltoall needs %d parts, got %d", n, len(parts))
 	}
+	c.noteColl("Alltoall")
 	if n == 1 {
 		return [][]float64{parts[0]}, nil
 	}
@@ -257,6 +262,7 @@ func (c *Ctx) Alltoall(parts [][]float64, vbytesPerPair int) ([][]float64, error
 // rank s's contribution. The cost follows the ring algorithm: n−1 rounds of
 // b bytes with all ports active.
 func (c *Ctx) Allgather(data []float64, vbytes int) ([][]float64, error) {
+	c.noteColl("Allgather")
 	n := c.Size()
 	if n == 1 {
 		return [][]float64{data}, nil
@@ -288,6 +294,7 @@ func (c *Ctx) Gather(root int, data []float64, vbytes int) ([][]float64, error) 
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("mpi: gather root %d out of range", root)
 	}
+	c.noteColl("Gather")
 	if n == 1 {
 		return [][]float64{append([]float64(nil), data...)}, nil
 	}
@@ -327,6 +334,7 @@ func (c *Ctx) Scatter(root int, parts [][]float64, vbytesPerPart int) ([]float64
 	if c.rank == root && len(parts) != n {
 		return nil, fmt.Errorf("mpi: scatter needs %d parts, got %d", n, len(parts))
 	}
+	c.noteColl("Scatter")
 	if n == 1 {
 		return append([]float64(nil), parts[0]...), nil
 	}

@@ -77,6 +77,7 @@ func (c *Ctx) Send(dst, tag int, data []float64, vbytes int) error {
 	if err := c.checkPeer("destination", dst); err != nil {
 		return err
 	}
+	c.noteP2P(trace.CommSend, dst, tag)
 	// MPI semantics: the send buffer is the caller's again as soon as Send
 	// returns, so the payload must be snapshotted here — senders routinely
 	// reuse (and mutate) their buffers immediately.
@@ -137,6 +138,7 @@ func (c *Ctx) Recv(src, tag int) ([]float64, error) {
 	if err := c.checkPeer("source", src); err != nil {
 		return nil, err
 	}
+	c.noteP2P(trace.CommRecv, src, tag)
 	var m message
 	select {
 	case m = <-c.box(src, c.rank):
@@ -246,6 +248,7 @@ func (c *Ctx) SendRecv(dst, src, tag int, data []float64, vbytes int) ([]float64
 	if err := c.checkPeer("destination", dst); err != nil {
 		return nil, err
 	}
+	c.noteP2P(trace.CommSend, dst, tag)
 	net := &c.rt.w.Net
 	out := message{tag: tag, data: c.snapshotPayload(data), vbytes: vbytes, exchange: true}
 	c.noteMsgs(1, out.Bytes())

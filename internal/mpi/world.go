@@ -77,6 +77,12 @@ type World struct {
 	// (the alloc and golden tests in obs_test.go enforce this). A
 	// Recorder instruments exactly one run; reuse panics.
 	Obs *obs.Recorder
+	// Comm, when non-nil, records the run's communication-protocol events
+	// (phase transitions, message endpoints, collective entries) for
+	// trace-conformance checking against the statically extracted skeleton
+	// (cmd/paverify). Nil follows the same contract as Obs and Faults: no
+	// allocation, no timing change, bit-identical traces.
+	Comm *trace.CommRecorder
 }
 
 // Validate reports an error for an unusable configuration.
@@ -326,6 +332,9 @@ func Run(w World, fn RankFunc) (*Result, error) {
 	}
 	if w.Obs != nil {
 		beginObserve(w)
+	}
+	if w.Comm != nil {
+		w.Comm.Start(w.N)
 	}
 	rt := newRuntime(w)
 	ctxs := make([]*Ctx, w.N)

@@ -203,8 +203,11 @@ func (st *spState) solveZ(a []float64) error {
 		// Forward elimination: receive (c', d') of the plane below.
 		prevC := make([]float64, width)
 		prevD := make([]float64, width)
+		// Unconditional: every rank walks the same phase sequence even when
+		// its rank skips the transfer, or per-(rank, phase) attribution
+		// diverges (commshape).
+		st.c.SetPhase("sp-z-forward")
 		if rank > 0 {
-			st.c.SetPhase("sp-z-forward")
 			got, err := st.c.Recv(rank-1, spTagForward)
 			if err != nil {
 				return err
@@ -251,8 +254,8 @@ func (st *spState) solveZ(a []float64) error {
 		if err := st.billCells(float64(width * lz)); err != nil {
 			return err
 		}
+		st.c.SetPhase("sp-z-forward")
 		if rank < nranks-1 {
-			st.c.SetPhase("sp-z-forward")
 			msg := make([]float64, 2*width)
 			for q := lo; q < hi; q++ {
 				msg[q-lo] = cp[(lz-1)*total+q]
@@ -270,8 +273,8 @@ func (st *spState) solveZ(a []float64) error {
 		hi := total * (ch + 1) / nchunks
 		width := hi - lo
 		upper := make([]float64, width) // x of the plane above (zero beyond the top)
+		st.c.SetPhase("sp-z-back")
 		if rank < nranks-1 {
-			st.c.SetPhase("sp-z-back")
 			got, err := st.c.Recv(rank+1, spTagBack)
 			if err != nil {
 				return err
@@ -294,8 +297,8 @@ func (st *spState) solveZ(a []float64) error {
 		if err := st.billCells(float64(width*lz) * 0.5); err != nil {
 			return err
 		}
+		st.c.SetPhase("sp-z-back")
 		if rank > 0 {
-			st.c.SetPhase("sp-z-back")
 			msg := make([]float64, width)
 			for q := lo; q < hi; q++ {
 				msg[q-lo] = a[q] // plane p = 0

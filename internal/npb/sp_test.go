@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pasp/internal/stats"
+	"pasp/internal/trace"
 )
 
 func TestSPValidate(t *testing.T) {
@@ -161,5 +162,42 @@ func TestSPDeterministic(t *testing.T) {
 	}
 	if a.Seconds != b.Seconds || a.Joules != b.Joules {
 		t.Error("SP timing not deterministic")
+	}
+}
+
+// TestSPPhaseSequenceUniform pins the commshape fix: SetPhase transitions
+// in the z-sweep are unconditional, so every rank walks the identical
+// phase sequence — the invariant the per-(rank, phase) energy attribution
+// and the statically extracted skeleton both assume. The comm recorder sees
+// the transitions themselves (unlike the energy trace, whose phase events
+// only materialize where a rank spends time).
+func TestSPPhaseSequenceUniform(t *testing.T) {
+	var rec trace.CommRecorder
+	w := npbWorld(4, 600)
+	w.Comm = &rec
+	if _, _, err := (SP{N: 16, Steps: 2}).Run(w); err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([][]string, rec.N())
+	for i := range seqs {
+		for _, ev := range rec.Rank(i) {
+			if ev.Kind == trace.CommPhase {
+				seqs[i] = append(seqs[i], ev.Name)
+			}
+		}
+	}
+	if len(seqs[0]) == 0 {
+		t.Fatal("rank 0 recorded no phase transitions")
+	}
+	for rank := 1; rank < len(seqs); rank++ {
+		if len(seqs[rank]) != len(seqs[0]) {
+			t.Fatalf("rank %d phase sequence length %d != rank 0's %d:\n%v\nvs\n%v",
+				rank, len(seqs[rank]), len(seqs[0]), seqs[rank], seqs[0])
+		}
+		for i := range seqs[0] {
+			if seqs[rank][i] != seqs[0][i] {
+				t.Fatalf("rank %d diverges at step %d: %q vs %q", rank, i, seqs[rank][i], seqs[0][i])
+			}
+		}
 	}
 }

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleRecorder() *CommRecorder {
+	var r CommRecorder
+	r.Start(2)
+	r.Record(CommEvent{Rank: 0, T: 0, Kind: CommPhase, Name: "exchange"})
+	r.Record(CommEvent{Rank: 0, T: 0.5, Kind: CommSend, Peer: 1, Tag: 7, Phase: "exchange"})
+	r.Record(CommEvent{Rank: 1, T: 0.25, Kind: CommRecv, Peer: 0, Tag: 7, Phase: "main"})
+	r.Record(CommEvent{Rank: 0, T: 1, Kind: CommColl, Name: "Allreduce", Phase: "exchange"})
+	r.Record(CommEvent{Rank: 1, T: 1, Kind: CommColl, Name: "Allreduce", Phase: "main"})
+	return &r
+}
+
+func TestCommRecorderEventsRankMajor(t *testing.T) {
+	r := sampleRecorder()
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Rank < evs[i-1].Rank {
+			t.Fatalf("events not rank-major at %d: %+v", i, evs)
+		}
+	}
+	if r.N() != 2 {
+		t.Fatalf("N() = %d, want 2", r.N())
+	}
+	if len(r.Rank(1)) != 2 {
+		t.Fatalf("rank 1 has %d events, want 2", len(r.Rank(1)))
+	}
+}
+
+func TestCommRecorderRecordOutOfRange(t *testing.T) {
+	var r CommRecorder
+	r.Start(1)
+	r.Record(CommEvent{Rank: -1, Kind: CommPhase})
+	r.Record(CommEvent{Rank: 1, Kind: CommPhase})
+	if n := len(r.Events()); n != 0 {
+		t.Fatalf("out-of-range records were kept: %d events", n)
+	}
+}
+
+func TestCommRecorderStartResets(t *testing.T) {
+	r := sampleRecorder()
+	r.Start(2)
+	if n := len(r.Events()); n != 0 {
+		t.Fatalf("Start did not discard prior events: %d left", n)
+	}
+}
+
+func TestCommLogJSONRoundTrip(t *testing.T) {
+	r := sampleRecorder()
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("JSON output missing trailing newline")
+	}
+	l, err := ParseCommLog(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.N != 2 || len(l.Events) != 5 {
+		t.Fatalf("round trip lost shape: n=%d events=%d", l.N, len(l.Events))
+	}
+	for i, ev := range r.Events() {
+		if l.Events[i] != ev {
+			t.Fatalf("event %d changed across round trip: %+v vs %+v", i, l.Events[i], ev)
+		}
+	}
+	// Serialization is deterministic byte for byte.
+	again, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("JSON output not deterministic")
+	}
+}
+
+func TestCommLogPerRank(t *testing.T) {
+	r := sampleRecorder()
+	per := r.Log().PerRank()
+	if len(per) != 2 {
+		t.Fatalf("PerRank returned %d ranks", len(per))
+	}
+	if len(per[0]) != 3 || len(per[1]) != 2 {
+		t.Fatalf("per-rank split wrong: %d/%d", len(per[0]), len(per[1]))
+	}
+	if per[0][1].Kind != CommSend || per[1][0].Kind != CommRecv {
+		t.Error("per-rank program order lost")
+	}
+}
+
+func TestParseCommLogRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"malformed", `{`},
+		{"zero ranks", `{"n":0,"events":[]}`},
+		{"negative rank", `{"n":2,"events":[{"rank":-1,"t":0,"kind":"phase"}]}`},
+		{"rank beyond n", `{"n":2,"events":[{"rank":2,"t":0,"kind":"send"}]}`},
+		{"unknown kind", `{"n":2,"events":[{"rank":0,"t":0,"kind":"mystery"}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseCommLog([]byte(tc.data)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
