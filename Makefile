@@ -14,11 +14,12 @@ GO ?= go
 # suite for smoke runs.
 BENCHTIME ?= 1x
 BENCHJSON ?= BENCH_1.json
+BENCH2JSON ?= BENCH_2.json
 
 # Fuzz budget per target; CI's fuzz smoke runs with FUZZTIME=10s.
 FUZZTIME ?= 30s
 
-.PHONY: all build test shuffle race lint fmt-check fuzz bench trace-smoke conformance-smoke verify
+.PHONY: all build test shuffle race lint fmt-check fuzz bench bench-scale trace-smoke conformance-smoke verify
 
 # trace-smoke output names; CI uploads both as artifacts.
 TRACEJSON ?= run.trace.json
@@ -70,6 +71,15 @@ fmt-check:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/pabench -o $(BENCHJSON)
 
+# Scaling harness (BenchmarkScale): FT and CG swept past the paper's 16
+# nodes — per engine, N up to 1024, base and top gears — writing the
+# scaling artifact $(BENCH2JSON) next to the reproduction's $(BENCHJSON).
+# The simulated seconds/joules in the rows are engine-independent (the
+# equivalence contract); ns/op is what the event engine buys.
+bench-scale:
+	PASP_BENCH_SUITE=scale $(GO) test -run '^$$' -bench Scale -benchmem -benchtime $(BENCHTIME) . | \
+		PASP_BENCH_SUITE=scale $(GO) run ./cmd/pabench -o $(BENCH2JSON)
+
 # One observed FT run through the patrace exporter. patrace validates the
 # trace-event JSON against the schema and checks the per-phase energy
 # attribution sums to the run total before writing anything, so a zero exit
@@ -82,10 +92,12 @@ trace-smoke:
 
 # Trace conformance smoke: extract the module's communication skeleton with
 # palint, run the FT kernel with the protocol recorder attached at N = 2, 4
-# and 8, and replay each log against the skeleton with paverify. A non-zero
-# exit means the run performed a phase transition, collective or message
-# endpoint the static extraction does not predict — the commcheck passes and
-# the runtime have drifted apart. CI uploads $(SKELJSON) and the report.
+# and 8 (quick suite) plus N = 64 on the event engine (scale suite — the
+# protocol contract past the paper's grid), and replay each log against the
+# skeleton with paverify. A non-zero exit means the run performed a phase
+# transition, collective or message endpoint the static extraction does not
+# predict — the commcheck passes and the runtime have drifted apart. CI
+# uploads $(SKELJSON) and the report.
 SKELJSON ?= skeleton.json
 CONFREPORT ?= conformance.txt
 
@@ -98,7 +110,13 @@ conformance-smoke:
 		$(GO) run ./cmd/paverify -skeleton $(SKELJSON) \
 			-commlog comm_$$n.json -kernel ft >> $(CONFREPORT) \
 			|| { cat $(CONFREPORT); exit 1; }; \
-	done; cat $(CONFREPORT)
+	done
+	@$(GO) run ./cmd/patrace -kernel ft -n 64 -f 600 -suite scale -engine event \
+		-out /dev/null -commlog comm_64.json >/dev/null || exit 1; \
+	$(GO) run ./cmd/paverify -skeleton $(SKELJSON) \
+		-commlog comm_64.json -kernel ft >> $(CONFREPORT) \
+		|| { cat $(CONFREPORT); exit 1; }; \
+	cat $(CONFREPORT)
 
 # Short fuzz pass over the core model contract (finite, non-negative,
 # error-or-value) and the chaos harness's injector/parser invariants.

@@ -34,6 +34,13 @@ type Platform struct {
 	// part of the platform's identity, so perturbed campaigns are keyed
 	// apart from clean ones in the campaign store.
 	Faults faults.Config
+	// Engine selects the mpi rank runtime for every world the platform
+	// builds. Engines are timing-equivalent (pinned by the cross-engine
+	// differential tests), so this only changes how fast the simulation
+	// runs, not what it computes. It is still part of the campaign-store
+	// key via the platform fingerprint, which keeps cache entries
+	// attributable to the runtime that produced them.
+	Engine mpi.Engine
 }
 
 // PentiumM returns the paper's platform: 16 Dell Inspiron 8600 nodes
@@ -45,6 +52,11 @@ func PentiumM() Platform {
 		Net:      simnet.FastEthernet(),
 		Prof:     power.PentiumM(),
 		MaxNodes: 16,
+		// The event engine is the default runtime: identical results to the
+		// goroutine engine (see the differential goldens in internal/npb)
+		// with far less real scheduler time, which is what keeps the full
+		// paper reproduction under its wall-clock budget.
+		Engine: mpi.EngineEvent,
 	}
 }
 
@@ -65,6 +77,9 @@ func (p Platform) Validate() error {
 	if err := p.Faults.Validate(); err != nil {
 		return err
 	}
+	if err := p.Engine.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -77,7 +92,7 @@ func (p Platform) World(n int, mhz float64) (mpi.World, error) {
 	if err != nil {
 		return mpi.World{}, err
 	}
-	w := mpi.World{N: n, Net: p.Net, Mach: p.Mach, Prof: p.Prof, State: st, Faults: p.Faults}
+	w := mpi.World{N: n, Net: p.Net, Mach: p.Mach, Prof: p.Prof, State: st, Faults: p.Faults, Engine: p.Engine}
 	// A configured P-state transition latency relaxes the paper's
 	// Assumption 2: gear switches are no longer free. DVFS policies that
 	// set their own SwitchSec override this downstream.
@@ -134,9 +149,18 @@ type Cell struct {
 // RunFunc executes a kernel on a configured world.
 type RunFunc func(w mpi.World) (*mpi.Result, error)
 
-// Sweep measures run at every grid cell. Cells execute concurrently on up
-// to GOMAXPROCS workers; each cell's simulation is itself deterministic, so
-// the sweep result does not depend on scheduling.
+// Sweep measures run at every grid cell on a pool of up to GOMAXPROCS
+// workers; each cell's simulation is itself deterministic and the work
+// distribution never influences results, so the sweep's bytes are
+// identical at any GOMAXPROCS (pinned by TestSweepGOMAXPROCSDeterminism).
+//
+// Under the event engine the frequency axis is swept by record/replay:
+// kernel control flow, data movement and message shapes do not depend on
+// the operating frequency, so the kernel executes for real once per rank
+// count (at the grid's base frequency, recording every rank's operation
+// stream) and the remaining frequencies re-time the recorded stream
+// through the same mpi timing paths — bit-identical to direct runs (see
+// mpi.Replay) at a fifth of the work on the paper's five-frequency grid.
 func Sweep(p Platform, g Grid, run RunFunc) ([]Cell, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -150,39 +174,24 @@ func Sweep(p Platform, g Grid, run RunFunc) ([]Cell, error) {
 			cells = append(cells, Cell{N: n, MHz: f})
 		}
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	var (
-		wg   sync.WaitGroup
-		next = make(chan int)
-		errs = make([]error, len(cells))
-	)
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				w, err := p.World(cells[i].N, cells[i].MHz)
-				if err != nil {
-					errs[i] = fmt.Errorf("cluster: N=%d f=%gMHz: %w", cells[i].N, cells[i].MHz, err)
-					continue
-				}
-				res, err := run(w)
-				if err != nil {
-					errs[i] = fmt.Errorf("cluster: N=%d f=%gMHz: %w", cells[i].N, cells[i].MHz, err)
-					continue
-				}
-				cells[i].Res = res
+	errs := make([]error, len(cells))
+	if p.Engine == mpi.EngineEvent && len(g.MHz) > 1 {
+		// Replay path: one unit per rank count, so a unit's record run and
+		// its replays share a worker while independent rank counts spread
+		// across the pool.
+		sweepUnits(len(g.Ns), func(u int) {
+			base := u * len(g.MHz)
+			rec := mpi.NewRecording()
+			for j := 0; j < len(g.MHz); j++ {
+				i := base + j
+				runCell(p, run, &cells[i], &errs[i], rec, j > 0)
 			}
-		}()
+		})
+	} else {
+		sweepUnits(len(cells), func(i int) {
+			runCell(p, run, &cells[i], &errs[i], nil, false)
+		})
 	}
-	for i := range cells {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 	// A failing sweep reports every broken cell, not just the first: a
 	// parameter that breaks several (N, MHz) configurations shows its whole
 	// footprint in one error.
@@ -190,4 +199,59 @@ func Sweep(p Platform, g Grid, run RunFunc) ([]Cell, error) {
 		return nil, err
 	}
 	return cells, nil
+}
+
+// sweepUnits runs do(0..units-1) on up to GOMAXPROCS workers. Units are
+// handed out in order; each writes only its own cells, so the fan-out is
+// race-free and the results are scheduling-independent.
+func sweepUnits(units int, do func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > units {
+		workers = units
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		//palint:ignore nakedgo -- sweep fan-out idiom: each unit writes only its own cell/err slots and wg.Wait publishes them to the caller
+		go func() {
+			defer wg.Done()
+			for u := range next {
+				do(u)
+			}
+		}()
+	}
+	for u := 0; u < units; u++ {
+		next <- u
+	}
+	close(next)
+	wg.Wait()
+}
+
+// runCell measures one grid cell. With a recording attached, the first
+// cell of a unit captures the kernel's operation stream and later cells
+// replay it; a recording the first run did not complete (the RunFunc
+// failed, or never reached mpi.Run) falls back to direct execution so the
+// per-cell error surface is unchanged.
+func runCell(p Platform, run RunFunc, cell *Cell, errSlot *error, rec *mpi.Recording, replay bool) {
+	w, err := p.World(cell.N, cell.MHz)
+	if err != nil {
+		*errSlot = fmt.Errorf("cluster: N=%d f=%gMHz: %w", cell.N, cell.MHz, err)
+		return
+	}
+	var res *mpi.Result
+	switch {
+	case replay && rec.Complete():
+		res, err = mpi.Replay(w, rec)
+	case rec != nil && !replay:
+		w.Record = rec
+		res, err = run(w)
+	default:
+		res, err = run(w)
+	}
+	if err != nil {
+		*errSlot = fmt.Errorf("cluster: N=%d f=%gMHz: %w", cell.N, cell.MHz, err)
+		return
+	}
+	cell.Res = res
 }

@@ -2,8 +2,12 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
+	"runtime"
+	"strings"
 	"testing"
 
+	"pasp/internal/faults"
 	"pasp/internal/machine"
 	"pasp/internal/mpi"
 )
@@ -125,6 +129,66 @@ func TestSweepDeterministicAcrossRuns(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Errorf("cell %d diverges across sweeps: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// sweepBytes runs one sweep of a small chaos-enabled campaign and folds
+// every cell into one byte string: the full timeline CSV plus the exact
+// time/energy of each cell, in grid order.
+func sweepBytes(t *testing.T, p Platform) string {
+	t.Helper()
+	g := Grid{Ns: []int{1, 2, 4}, MHz: []float64{600, 1000, 1400}}
+	cells, err := Sweep(p, g, func(w mpi.World) (*mpi.Result, error) {
+		return mpi.Run(w, func(c *mpi.Ctx) error {
+			c.SetPhase("work")
+			if err := c.Compute(machine.W(1e6, 1e5, 0, 1e4)); err != nil {
+				return err
+			}
+			if c.Size() > 1 {
+				peer := (c.Rank() + 1) % c.Size()
+				if err := c.Send(peer, 1, []float64{float64(c.Rank())}, 8); err != nil {
+					return err
+				}
+				got, err := c.Recv((c.Rank()+c.Size()-1)%c.Size(), 1)
+				if err != nil {
+					return err
+				}
+				c.Free(got)
+			}
+			_, err := c.Allreduce([]float64{1}, mpi.Sum, 8)
+			return err
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, c := range cells {
+		fmt.Fprintf(&b, "N=%d f=%g %.17g s %.17g J\n%s", c.N, c.MHz, c.Res.Seconds, c.Res.Joules, c.Res.Trace.TimelineCSV())
+	}
+	return b.String()
+}
+
+// TestSweepGOMAXPROCSDeterminism pins the campaign worker pool's
+// scheduling independence: the same sweep must produce the same bytes with
+// the pool serialized (GOMAXPROCS=1), at a modest width and oversubscribed
+// (GOMAXPROCS=8 against 3 sweep units), on both engines and with the event
+// engine's record/replay frequency axis in play. Work distribution may
+// change; bytes may not.
+func TestSweepGOMAXPROCSDeterminism(t *testing.T) {
+	for _, eng := range []mpi.Engine{mpi.EngineGoroutine, mpi.EngineEvent} {
+		p := PentiumM()
+		p.Engine = eng
+		p.Faults = faults.Config{Seed: 11, LatencyJitterFrac: 0.5, DropProb: 0.05}
+		base := sweepBytes(t, p)
+		for _, procs := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(procs)
+			got := sweepBytes(t, p)
+			runtime.GOMAXPROCS(prev)
+			if got != base {
+				t.Errorf("%s engine: sweep bytes changed under GOMAXPROCS=%d", eng, procs)
+			}
 		}
 	}
 }

@@ -90,6 +90,37 @@ func Quick() Suite {
 	}
 }
 
+// Scale returns the scaling suite: the event-engine regime past the
+// paper's 16 nodes, N ∈ {16, 64, 256, 1024} at the base and top gears.
+// FT and CG are the scaling kernels — CG's 1-D band decomposition (with an
+// explicit narrow band, so the halo stays below the per-rank row count)
+// reaches the full 1024 ranks, while FT's pencil transpose needs Ny and Nz
+// divisible by N and therefore stops at 256: a 1024-rank FT would force a
+// 1024² plane and an O(N²) all-to-all. The remaining kernels carry classes
+// that stay valid as far as their decompositions allow (EP anywhere, LU to
+// 1024, IS/SP to their structural limits), so single-configuration
+// commands work unchanged under -suite scale.
+func Scale() Suite {
+	p := cluster.PentiumM()
+	p.MaxNodes = 1024
+	// N=1 anchors the speedup surfaces (every figure normalizes against
+	// the sequential base run), then the scaling ladder proper.
+	g := cluster.Grid{Ns: []int{1, 16, 64, 256, 1024}, MHz: []float64{600, 1400}}
+	return Suite{
+		Platform: p,
+		Grid:     g,
+		LUGrid:   g,
+		EP:       npb.EP{LogPairs: 16, ScaleLog: 8},
+		FT:       npb.FT{Nx: 4, Ny: 256, Nz: 256, Iters: 2, Scale: 16},
+		LU:       npb.LU{N: 48, Iters: 4},
+		CG:       npb.CG{Size: 65536, Band: 8, OuterIters: 2, CGIters: 10, Scale: 8},
+		MG:       npb.MG{Size: 63, Cycles: 2, Scale: 8},
+		IS:       npb.IS{LogKeys: 16, LogMaxKey: 19, Iters: 3, ScaleLog: 5},
+		SP:       npb.SP{N: 64, Steps: 4},
+		PingReps: 10,
+	}
+}
+
 // Campaign is a measured grid plus the raw per-cell results. Campaigns
 // obtained from the MeasureXX entry points are memoized process-wide (see
 // store.go) and shared between callers, so a Campaign must be treated as

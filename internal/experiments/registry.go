@@ -112,7 +112,9 @@ func SuiteByName(name string) (Suite, error) {
 		return Paper(), nil
 	case "quick":
 		return Quick(), nil
+	case "scale":
+		return Scale(), nil
 	default:
-		return Suite{}, fmt.Errorf("experiments: unknown suite %q (have paper, quick)", name)
+		return Suite{}, fmt.Errorf("experiments: unknown suite %q (have paper, quick, scale)", name)
 	}
 }

@@ -26,22 +26,50 @@ func log2ceil(n int) int {
 	return r
 }
 
-// copyVec snapshots a payload vector at deposit time, so a rank that
-// mutates its buffer after the collective returns cannot corrupt what the
-// other ranks read.
-func copyVec(v []float64) []float64 {
-	return append([]float64(nil), v...)
-}
-
 // collective synchronizes all ranks, then advances every clock to
 // max(entry clocks) + cost. It returns the snapshot so callers can combine
 // payloads. Payloads must be private to the snapshot (copied by the
-// caller). All collectives are modelled as synchronizing, which matches the
+// caller, via snapshotPayload so the copies draw on the rank's buffer
+// cache). All collectives are modelled as synchronizing, which matches the
 // dense patterns the NAS kernels use (alltoall, allreduce, barrier).
-func (c *Ctx) collective(payload any, cost float64) (*collSnapshot, error) {
-	snap, err := c.rt.sync(c.rank, c.clock, payload)
+//
+// recycle marks a deposit whose snapshot references cannot outlive the
+// epoch: every reader copies or combines it before its own collective call
+// returns. Such a deposit is parked on the Ctx and reclaimed into the
+// buffer cache one epoch later — by the same argument that lets the
+// runtime rotate two snapshot containers (see runtime.sync), a rank
+// returns from epoch k+1's synchronization only after every rank finished
+// reading epoch k, so the parked buffers provably have no readers left.
+// Gather and Scatter hand deposit slices to their callers and must pass
+// recycle = false.
+func (c *Ctx) collective(payload any, cost float64, recycle bool) (*collSnapshot, error) {
+	var snap *collSnapshot
+	var err error
+	if c.ev != nil {
+		snap, err = c.ev.eng.deposit(c, payload)
+	} else {
+		snap, err = c.rt.sync(c.rank, c.clock, payload)
+	}
 	if err != nil {
 		return nil, err
+	}
+	if c.collFree != nil {
+		c.Free(c.collFree)
+		c.collFree = nil
+	}
+	if c.collFreeParts != nil {
+		for _, p := range c.collFreeParts {
+			c.Free(p)
+		}
+		c.collFreeParts = nil
+	}
+	if recycle {
+		switch p := payload.(type) {
+		case []float64:
+			c.collFree = p
+		case [][]float64:
+			c.collFreeParts = p
+		}
 	}
 	start := 0.0
 	for _, t := range snap.clocks {
@@ -68,6 +96,9 @@ func (c *Ctx) collective(payload any, cost float64) (*collSnapshot, error) {
 // Barrier blocks until every rank arrives; it costs a recursive-doubling
 // round trip of empty messages.
 func (c *Ctx) Barrier() error {
+	if c.rec != nil {
+		c.rec.add(recOp{kind: opBarrier})
+	}
 	c.noteColl("Barrier")
 	n := c.Size()
 	if n == 1 {
@@ -77,7 +108,7 @@ func (c *Ctx) Barrier() error {
 	rounds := log2ceil(n)
 	c.noteMsgs(rounds, 0)
 	cost := float64(rounds) * (2*c.cpuOverhead(0) + net.LatencySec)
-	_, err := c.collective(nil, cost)
+	_, err := c.collective(nil, cost, false)
 	return err
 }
 
@@ -99,6 +130,9 @@ func (c *Ctx) Bcast(root int, data []float64, vbytes int) ([]float64, error) {
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("mpi: bcast root %d out of range", root)
 	}
+	if c.rec != nil {
+		c.rec.add(recOp{kind: opBcast, peer: root, nlen: len(data), vbytes: vbytes})
+	}
 	c.noteColl("Bcast")
 	if n == 1 {
 		return data, nil
@@ -108,7 +142,7 @@ func (c *Ctx) Bcast(root int, data []float64, vbytes int) ([]float64, error) {
 	c.noteMsgs(1, b) // binomial tree: each rank forwards at most once per round; one send on average
 	rounds := float64(log2ceil(n))
 	cost := rounds * (2*c.cpuOverhead(b) + net.LatencySec + net.ContendedWireTime(b, n/2))
-	snap, err := c.collective(copyVec(data), cost)
+	snap, err := c.collective(c.snapshotPayload(data), cost, true)
 	if err != nil {
 		return nil, err
 	}
@@ -168,11 +202,14 @@ func (c *Ctx) reduceCost(b int) float64 {
 // Allreduce combines every rank's vector with op and returns the result on
 // all ranks. vbytes, when positive, overrides the timed payload size.
 func (c *Ctx) Allreduce(data []float64, op Op, vbytes int) ([]float64, error) {
+	if c.rec != nil {
+		c.rec.add(recOp{kind: opAllreduce, red: op, nlen: len(data), vbytes: vbytes})
+	}
 	c.noteColl("Allreduce")
 	if c.Size() == 1 {
 		return append([]float64(nil), data...), nil
 	}
-	snap, err := c.collective(copyVec(data), c.reduceCost(collBytes(data, vbytes)))
+	snap, err := c.collective(c.snapshotPayload(data), c.reduceCost(collBytes(data, vbytes)), true)
 	if err != nil {
 		return nil, err
 	}
@@ -186,11 +223,14 @@ func (c *Ctx) Reduce(root int, data []float64, op Op, vbytes int) ([]float64, er
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("mpi: reduce root %d out of range", root)
 	}
+	if c.rec != nil {
+		c.rec.add(recOp{kind: opReduce, peer: root, red: op, nlen: len(data), vbytes: vbytes})
+	}
 	c.noteColl("Reduce")
 	if n == 1 {
 		return append([]float64(nil), data...), nil
 	}
-	snap, err := c.collective(copyVec(data), c.reduceCost(collBytes(data, vbytes)))
+	snap, err := c.collective(c.snapshotPayload(data), c.reduceCost(collBytes(data, vbytes)), true)
 	if err != nil {
 		return nil, err
 	}
@@ -214,6 +254,13 @@ func (c *Ctx) Alltoall(parts [][]float64, vbytesPerPair int) ([][]float64, error
 	if len(parts) != n {
 		return nil, fmt.Errorf("mpi: alltoall needs %d parts, got %d", n, len(parts))
 	}
+	if c.rec != nil {
+		lens := make([]int, n)
+		for d := range parts {
+			lens[d] = len(parts[d])
+		}
+		c.rec.add(recOp{kind: opAlltoall, lens: lens, vbytes: vbytesPerPair})
+	}
 	c.noteColl("Alltoall")
 	if n == 1 {
 		return [][]float64{parts[0]}, nil
@@ -232,15 +279,15 @@ func (c *Ctx) Alltoall(parts [][]float64, vbytesPerPair int) ([][]float64, error
 	net := &c.rt.w.Net
 	perRound := 2*c.cpuOverhead(b) + net.LatencySec + net.ContendedWireTime(b, n)
 	cost := float64(n-1) * perRound
-	// Deposits are fresh copies, never recycled buffers: every other rank
-	// reads them from the snapshot, so they have no single owner to free
-	// them. The out-copies below are exclusively caller-owned and therefore
-	// may come from (and return to, via Free) the rank's buffer cache.
+	// Deposit copies are private to the snapshot while the epoch is live;
+	// collective() parks them and returns them to this rank's buffer cache
+	// once the next epoch proves all readers are gone. The out-copies below
+	// are exclusively caller-owned from the moment they are made.
 	deposit := make([][]float64, n)
 	for d := range parts {
-		deposit[d] = copyVec(parts[d])
+		deposit[d] = c.snapshotPayload(parts[d])
 	}
-	snap, err := c.collective(deposit, cost)
+	snap, err := c.collective(deposit, cost, true)
 	if err != nil {
 		return nil, err
 	}
@@ -262,6 +309,9 @@ func (c *Ctx) Alltoall(parts [][]float64, vbytesPerPair int) ([][]float64, error
 // rank s's contribution. The cost follows the ring algorithm: n−1 rounds of
 // b bytes with all ports active.
 func (c *Ctx) Allgather(data []float64, vbytes int) ([][]float64, error) {
+	if c.rec != nil {
+		c.rec.add(recOp{kind: opAllgather, nlen: len(data), vbytes: vbytes})
+	}
 	c.noteColl("Allgather")
 	n := c.Size()
 	if n == 1 {
@@ -272,7 +322,7 @@ func (c *Ctx) Allgather(data []float64, vbytes int) ([][]float64, error) {
 	net := &c.rt.w.Net
 	perRound := 2*c.cpuOverhead(b) + net.LatencySec + net.ContendedWireTime(b, n)
 	cost := float64(n-1) * perRound
-	snap, err := c.collective(copyVec(data), cost)
+	snap, err := c.collective(c.snapshotPayload(data), cost, true)
 	if err != nil {
 		return nil, err
 	}
@@ -294,6 +344,9 @@ func (c *Ctx) Gather(root int, data []float64, vbytes int) ([][]float64, error) 
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("mpi: gather root %d out of range", root)
 	}
+	if c.rec != nil {
+		c.rec.add(recOp{kind: opGather, peer: root, nlen: len(data), vbytes: vbytes})
+	}
 	c.noteColl("Gather")
 	if n == 1 {
 		return [][]float64{append([]float64(nil), data...)}, nil
@@ -305,7 +358,9 @@ func (c *Ctx) Gather(root int, data []float64, vbytes int) ([][]float64, error) 
 	// bounded by the total payload converging on one port.
 	rounds := float64(log2ceil(n))
 	cost := rounds*(2*c.cpuOverhead(b)+net.LatencySec) + net.WireTime(b*(n-1))
-	snap, err := c.collective(copyVec(data), cost)
+	// recycle = false: root hands the deposit slices themselves to its
+	// caller, so they escape the epoch and can never be reclaimed.
+	snap, err := c.collective(c.snapshotPayload(data), cost, false)
 	if err != nil {
 		return nil, err
 	}
@@ -334,6 +389,16 @@ func (c *Ctx) Scatter(root int, parts [][]float64, vbytesPerPart int) ([]float64
 	if c.rank == root && len(parts) != n {
 		return nil, fmt.Errorf("mpi: scatter needs %d parts, got %d", n, len(parts))
 	}
+	if c.rec != nil {
+		var lens []int
+		if c.rank == root {
+			lens = make([]int, n)
+			for d := range parts {
+				lens[d] = len(parts[d])
+			}
+		}
+		c.rec.add(recOp{kind: opScatter, peer: root, lens: lens, vbytes: vbytesPerPart})
+	}
 	c.noteColl("Scatter")
 	if n == 1 {
 		return append([]float64(nil), parts[0]...), nil
@@ -343,7 +408,7 @@ func (c *Ctx) Scatter(root int, parts [][]float64, vbytesPerPart int) ([]float64
 	if c.rank == root {
 		cp := make([][]float64, n)
 		for d := range parts {
-			cp[d] = copyVec(parts[d])
+			cp[d] = c.snapshotPayload(parts[d])
 			if b <= 0 && 8*len(parts[d]) > b {
 				b = 8 * len(parts[d])
 			}
@@ -357,7 +422,9 @@ func (c *Ctx) Scatter(root int, parts [][]float64, vbytesPerPart int) ([]float64
 	net := &c.rt.w.Net
 	rounds := float64(log2ceil(n))
 	cost := rounds*(2*c.cpuOverhead(b)+net.LatencySec) + net.WireTime(b*(n-1))
-	snap, err := c.collective(deposit, cost)
+	// recycle = false: every rank keeps its slice of root's deposit, so
+	// the parts escape the epoch and can never be reclaimed.
+	snap, err := c.collective(deposit, cost, false)
 	if err != nil {
 		return nil, err
 	}

@@ -19,6 +19,15 @@ type Ctx struct {
 	rt   *runtime
 	rank int
 
+	// ev is the rank's event-engine scheduling state; nil under the
+	// goroutine engine. Communication primitives branch on it to pick the
+	// blocking mechanism — all timing arithmetic is engine-independent.
+	ev *evRank
+
+	// rec is the rank's operation tape when the world carries a Recording;
+	// nil otherwise, the same nil-pointer hot-path guard as faults and obs.
+	rec *rankTape
+
 	state power.PState
 
 	clock       float64
@@ -65,6 +74,15 @@ type Ctx struct {
 	// happens-before edge the race detector checks).
 	bufCache [][]float64
 
+	// collFree / collFreeParts hold this rank's deposit from its previous
+	// collective epoch, reclaimed into bufCache once the next epoch's
+	// synchronization proves every reader is done with it (see
+	// Ctx.collective). Only deposits whose snapshot references never escape
+	// the collective call are parked here; Gather and Scatter hand deposit
+	// slices to callers, so theirs are never recycled.
+	collFree      []float64
+	collFreeParts [][]float64
+
 	// done is the rank's reusable rendezvous-completion channel. A sender
 	// has at most one rendezvous in flight, so one buffered slot suffices
 	// for the whole run instead of one channel per large message.
@@ -105,8 +123,11 @@ func (c *Ctx) cpuOverhead(bytes int) float64 {
 }
 
 // maxCachedBuffers bounds the per-rank buffer cache so a kernel that frees
-// many odd-sized buffers cannot pin unbounded memory.
-const maxCachedBuffers = 16
+// many odd-sized buffers cannot pin unbounded memory. Sized to cover an
+// Alltoall epoch at the platform's 16 ranks: n deposit parts plus n output
+// copies cycle through the cache in alternation, so 2×16 keeps the transpose
+// allocation-free in steady state.
+const maxCachedBuffers = 32
 
 // Free returns a payload buffer to the rank's buffer cache for reuse by a
 // later Send or collective copy. Only buffers the caller owns may be freed:
@@ -166,6 +187,12 @@ func newCtx(rt *runtime, rank int) *Ctx {
 		c.msgHist = rt.w.Obs.Metrics().Histogram("mpi.msg_bytes", obs.MsgBytesBuckets)
 	}
 	c.comm = rt.w.Comm
+	if rt.w.traceHint != nil {
+		c.log.Grow(rt.w.traceHint[rank])
+	}
+	if rt.w.Record != nil {
+		c.rec = &rt.w.Record.tapes[rank]
+	}
 	return c
 }
 
@@ -209,6 +236,9 @@ func (c *Ctx) SetPState(st power.PState) {
 	}
 	c.state = st
 	c.gearSwitches++
+	if c.rec != nil {
+		c.rec.add(recOp{kind: opPState, state: st})
+	}
 }
 
 // Machine returns the node timing model, letting kernels size working sets
@@ -223,6 +253,9 @@ func (c *Ctx) SetPhase(name string) {
 		return
 	}
 	c.phase = name
+	if c.rec != nil {
+		c.rec.add(recOp{kind: opPhase, name: name})
+	}
 	if c.obs != nil {
 		c.obs.Phase(name, c.clock)
 	}
@@ -243,6 +276,9 @@ func (c *Ctx) Counters() papi.Counters { return c.counters }
 func (c *Ctx) Compute(w machine.Work) error {
 	if err := w.Validate(); err != nil {
 		return err
+	}
+	if c.rec != nil {
+		c.rec.add(recOp{kind: opCompute, work: w})
 	}
 	dt := c.rt.w.Mach.TimeFor(w, c.Freq())
 	start := c.clock

@@ -77,6 +77,9 @@ func (c *Ctx) Send(dst, tag int, data []float64, vbytes int) error {
 	if err := c.checkPeer("destination", dst); err != nil {
 		return err
 	}
+	if c.rec != nil {
+		c.rec.add(recOp{kind: opSend, peer: dst, tag: tag, nlen: len(data), vbytes: vbytes})
+	}
 	c.noteP2P(trace.CommSend, dst, tag)
 	// MPI semantics: the send buffer is the caller's again as soon as Send
 	// returns, so the payload must be snapshotted here — senders routinely
@@ -90,6 +93,21 @@ func (c *Ctx) Send(dst, tag int, data []float64, vbytes int) error {
 
 	if net.Rendezvous(b) {
 		m.rendezvous = true
+		if c.ev != nil {
+			// Event engine: enqueue, then park until the receiver reports
+			// the sender-side completion time. The completion flags are set
+			// by the receiver under the execution token, so no channel is
+			// needed.
+			if err := c.ev.eng.send(c, dst, m); err != nil {
+				return err
+			}
+			doneAt, err := c.ev.eng.waitRendezvous(c)
+			if err != nil {
+				return err
+			}
+			c.egressFree = doneAt
+			return c.advanceComm(doneAt)
+		}
 		if c.done == nil {
 			c.done = make(chan float64, 1)
 		}
@@ -121,12 +139,26 @@ func (c *Ctx) Send(dst, tag int, data []float64, vbytes int) error {
 	injectEnd := injectStart + net.WireTime(b)
 	c.egressFree = injectEnd
 	m.arrival = injectEnd + net.LatencySec
+	if err := c.post(dst, m); err != nil {
+		return err
+	}
+	return c.advanceComm(m.ready)
+}
+
+// post enqueues an outbound message on the engine-appropriate queue,
+// blocking on mailboxDepth backpressure.
+//
+//palint:hotpath
+func (c *Ctx) post(dst int, m message) error {
+	if c.ev != nil {
+		return c.ev.eng.send(c, dst, m)
+	}
 	select {
-	case c.box(c.rank, dst) <- m:
+	case c.box(c.rank, dst) <- m: //palint:ignore hotalloc -- the mailbox literal allocates only on a pair's first message; every later send reuses the published channel
+		return nil
 	case <-c.rt.abort:
 		return ErrAborted
 	}
-	return c.advanceComm(m.ready)
 }
 
 // Recv receives the next message from rank src, which must carry the given
@@ -135,15 +167,32 @@ func (c *Ctx) Send(dst, tag int, data []float64, vbytes int) error {
 // contents have been copied out or consumed, the caller may recycle it with
 // Free.
 func (c *Ctx) Recv(src, tag int) ([]float64, error) {
+	if c.rec != nil {
+		c.rec.add(recOp{kind: opRecv, peer: src, tag: tag})
+	}
+	return c.recvTimed(src, tag)
+}
+
+// recvTimed is Recv without the recording hook: SendRecv's interior receive
+// goes through here so a recorded SendRecv replays as one operation, not
+// two.
+func (c *Ctx) recvTimed(src, tag int) ([]float64, error) {
 	if err := c.checkPeer("source", src); err != nil {
 		return nil, err
 	}
 	c.noteP2P(trace.CommRecv, src, tag)
 	var m message
-	select {
-	case m = <-c.box(src, c.rank):
-	case <-c.rt.abort:
-		return nil, ErrAborted
+	if c.ev != nil {
+		var err error
+		if m, err = c.ev.eng.recv(c, src); err != nil {
+			return nil, err
+		}
+	} else {
+		select {
+		case m = <-c.box(src, c.rank):
+		case <-c.rt.abort:
+			return nil, ErrAborted
+		}
 	}
 	if m.tag != tag {
 		c.rt.doAbort()
@@ -175,7 +224,11 @@ func (c *Ctx) Recv(src, tag int) ([]float64, error) {
 		}
 		wire := net.WireTime(b)
 		senderDone := start + wire + backoff + stretch
-		m.done <- senderDone
+		if c.ev != nil {
+			c.ev.eng.completeRendezvous(src, senderDone)
+		} else {
+			m.done <- senderDone
+		}
 		end := start + net.LatencySec + wire
 		if end < c.ingressBusy+wire {
 			end = c.ingressBusy + wire
@@ -248,18 +301,19 @@ func (c *Ctx) SendRecv(dst, src, tag int, data []float64, vbytes int) ([]float64
 	if err := c.checkPeer("destination", dst); err != nil {
 		return nil, err
 	}
+	if c.rec != nil {
+		c.rec.add(recOp{kind: opSendRecv, peer: dst, peer2: src, tag: tag, nlen: len(data), vbytes: vbytes})
+	}
 	c.noteP2P(trace.CommSend, dst, tag)
 	net := &c.rt.w.Net
 	out := message{tag: tag, data: c.snapshotPayload(data), vbytes: vbytes, exchange: true}
 	c.noteMsgs(1, out.Bytes())
 	out.ready = c.clock + c.cpuOverhead(out.Bytes())
 	c.egressFree = out.ready + net.WireTime(out.Bytes())
-	select {
-	case c.box(c.rank, dst) <- out:
-	case <-c.rt.abort:
-		return nil, ErrAborted
+	if err := c.post(dst, out); err != nil {
+		return nil, err
 	}
-	got, err := c.Recv(src, tag)
+	got, err := c.recvTimed(src, tag)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,271 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"pasp/internal/machine"
+	"pasp/internal/power"
+)
+
+// Record/replay across the frequency axis.
+//
+// A kernel's control flow, data movement and message sizes are functions of
+// the problem size and rank count only — never of the operating frequency.
+// Frequency enters the simulation purely through the timing arithmetic
+// inside Ctx (TimeFor, cpuOverhead, ReduceInsPerByte/hz). So a frequency
+// sweep does not need to execute the kernel's arithmetic once per
+// frequency: execute it once, record each rank's operation stream (phase
+// transitions, compute work, message and collective shapes), and re-time
+// the stream through the exact same public Ctx API at the other
+// frequencies with placeholder payloads. Replay runs the identical timing,
+// counter, energy, fault-injection and trace code, so its Result is
+// bit-identical to a direct run at that frequency — a property pinned by
+// TestReplayMatchesDirect. The chaos harness stays replayable because its
+// draws are a pure function of (seed, rank, draw index) and the per-rank
+// draw counts are frequency-independent: Message consumes a fixed number
+// of draws per received message, Collective a fixed number per collective.
+//
+// What recording refuses: an OnPhase hook (a DVFS scheduler's decisions
+// need not be frequency-independent; Run rejects the combination). What it
+// cannot see: a RankFunc that branches on Ctx.Now, Ctx.Freq or received
+// payload values. No NPB kernel does — their iteration structure is fixed
+// by the class parameters — and cluster.Sweep, the only in-tree replayer,
+// records those kernels exclusively.
+
+// opKind discriminates the recorded operations.
+type opKind uint8
+
+const (
+	opPhase opKind = iota
+	opPState
+	opCompute
+	opSend
+	opRecv
+	opSendRecv
+	opBarrier
+	opBcast
+	opAllreduce
+	opReduce
+	opAlltoall
+	opAllgather
+	opGather
+	opScatter
+)
+
+// recOp is one recorded Ctx call: the operation's shape, never its data.
+type recOp struct {
+	kind opKind
+	// peer is the destination, source or root rank, kind-dependent; peer2
+	// is SendRecv's source.
+	peer, peer2 int
+	tag         int
+	// nlen is the payload length in float64s; vbytes the virtual-size
+	// override passed through unchanged.
+	nlen   int
+	vbytes int
+	// lens holds the per-destination part lengths of Alltoall and Scatter.
+	lens []int
+	red  Op
+	work machine.Work
+	// name is the phase label (opPhase); state the target operating point
+	// (opPState).
+	name  string
+	state power.PState
+}
+
+// rankTape is one rank's recorded stream; appended to only by the rank
+// itself.
+type rankTape struct {
+	ops []recOp
+}
+
+func (t *rankTape) add(o recOp) {
+	t.ops = append(t.ops, o)
+}
+
+// Recording captures the operation streams of exactly one run (attach via
+// World.Record), after which Replay can re-time it at other operating
+// points. A Recording is single-use on the capture side: attaching it to a
+// second run fails, so a tape can never silently interleave two runs.
+type Recording struct {
+	n int
+	// state: 0 fresh, 1 capturing, 2 complete. Guarded by Run's
+	// fork/join — only the driver goroutine moves it.
+	state int
+	tapes []rankTape
+	// events is each rank's trace-event count from the capture run. Event
+	// counts are frequency-independent (the same operation stream emits the
+	// same intervals at every operating point), so Replay uses them to
+	// presize the per-rank trace logs instead of growing them by doubling.
+	events []int
+}
+
+// NewRecording returns an empty recording ready to attach to one run.
+func NewRecording() *Recording { return &Recording{} }
+
+func (r *Recording) begin(n int) error {
+	if r.state != 0 {
+		return errors.New("mpi: Recording already used; a recording captures exactly one run")
+	}
+	r.state = 1
+	r.n = n
+	r.tapes = make([]rankTape, n)
+	return nil
+}
+
+func (r *Recording) finish(ctxs []*Ctx) {
+	r.state = 2
+	r.events = make([]int, len(ctxs))
+	for i, c := range ctxs {
+		r.events[i] = c.log.Len()
+	}
+}
+
+// Complete reports whether the recording captured a full successful run
+// and can be replayed.
+func (r *Recording) Complete() bool { return r != nil && r.state == 2 }
+
+// N returns the rank count the recording was captured at.
+func (r *Recording) N() int { return r.n }
+
+// Ops returns the number of operations recorded for one rank.
+func (r *Recording) Ops(rank int) int { return len(r.tapes[rank].ops) }
+
+// Replay re-times a recorded run under w — typically the same world at a
+// different P-state — without executing any kernel code. It returns the
+// same Result a direct run of the original RankFunc under w would: the
+// replayed stream passes through the identical timing, energy, fault and
+// trace paths, with placeholder payloads standing in for the data (payload
+// values never influence timing).
+func Replay(w World, rec *Recording) (*Result, error) {
+	if !rec.Complete() {
+		return nil, errors.New("mpi: Replay needs a Recording completed by a successful run")
+	}
+	if w.N != rec.n {
+		return nil, fmt.Errorf("mpi: Replay world has %d ranks but the recording was captured at %d", w.N, rec.n)
+	}
+	if w.OnPhase != nil {
+		return nil, errors.New("mpi: cannot replay into a world with an OnPhase hook")
+	}
+	w.Record = nil
+	w.traceHint = rec.events
+	return Run(w, rec.replayRank)
+}
+
+// replayRank is the RankFunc that re-issues one rank's tape. One scratch
+// buffer stands in for every payload: collectives and sends snapshot their
+// inputs, so sharing it between operations is safe, and received buffers
+// are recycled where ownership is unambiguous so replay's allocation
+// profile stays flat like the kernels'.
+func (rec *Recording) replayRank(c *Ctx) error {
+	ops := rec.tapes[c.Rank()].ops
+	maxLen := 0
+	for i := range ops {
+		if ops[i].nlen > maxLen {
+			maxLen = ops[i].nlen
+		}
+		for _, l := range ops[i].lens {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+	}
+	scratch := make([]float64, maxLen)
+	n := c.Size()
+	var parts [][]float64
+	for i := range ops {
+		o := &ops[i]
+		switch o.kind {
+		case opPhase:
+			c.SetPhase(o.name)
+		case opPState:
+			c.SetPState(o.state)
+		case opCompute:
+			if err := c.Compute(o.work); err != nil {
+				return err
+			}
+		case opSend:
+			if err := c.Send(o.peer, o.tag, scratch[:o.nlen], o.vbytes); err != nil {
+				return err
+			}
+		case opRecv:
+			got, err := c.Recv(o.peer, o.tag)
+			if err != nil {
+				return err
+			}
+			c.Free(got)
+		case opSendRecv:
+			got, err := c.SendRecv(o.peer, o.peer2, o.tag, scratch[:o.nlen], o.vbytes)
+			if err != nil {
+				return err
+			}
+			c.Free(got)
+		case opBarrier:
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		case opBcast:
+			got, err := c.Bcast(o.peer, scratch[:o.nlen], o.vbytes)
+			if err != nil {
+				return err
+			}
+			if n > 1 {
+				c.Free(got) // n == 1 aliases the input; see Bcast
+			}
+		case opAllreduce:
+			got, err := c.Allreduce(scratch[:o.nlen], o.red, o.vbytes)
+			if err != nil {
+				return err
+			}
+			c.Free(got)
+		case opReduce:
+			if _, err := c.Reduce(o.peer, scratch[:o.nlen], o.red, o.vbytes); err != nil {
+				return err
+			}
+		case opAlltoall:
+			parts = parts[:0]
+			for _, l := range o.lens {
+				parts = append(parts, scratch[:l])
+			}
+			outs, err := c.Alltoall(parts, o.vbytes)
+			if err != nil {
+				return err
+			}
+			if n > 1 { // n == 1 aliases the input part
+				for _, b := range outs {
+					c.Free(b)
+				}
+			}
+		case opAllgather:
+			outs, err := c.Allgather(scratch[:o.nlen], o.vbytes)
+			if err != nil {
+				return err
+			}
+			if n > 1 { // n == 1 aliases the input
+				for _, b := range outs {
+					c.Free(b)
+				}
+			}
+		case opGather:
+			if _, err := c.Gather(o.peer, scratch[:o.nlen], o.vbytes); err != nil {
+				return err
+			}
+		case opScatter:
+			var sp [][]float64
+			if c.Rank() == o.peer {
+				parts = parts[:0]
+				for _, l := range o.lens {
+					parts = append(parts, scratch[:l])
+				}
+				sp = parts
+			}
+			if _, err := c.Scatter(o.peer, sp, o.vbytes); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("mpi: replay: unknown operation kind %d", o.kind)
+		}
+	}
+	return nil
+}

@@ -40,6 +40,35 @@ var ErrAborted = errors.New("mpi: job aborted because another rank failed")
 // of a reduction payload (one load + one add per element, amortized).
 const ReduceInsPerByte = 1.5
 
+// Engine selects the runtime that executes a job's ranks. Both engines run
+// the same Ctx/p2p/collective code and produce byte-identical timelines,
+// energy totals and traces (the equivalence is pinned by differential
+// tests); they differ only in how a rank blocks.
+type Engine string
+
+const (
+	// EngineGoroutine runs every rank as a goroutine with channel
+	// rendezvous — the original runtime, and the zero-value default.
+	EngineGoroutine Engine = "goroutine"
+	// EngineEvent runs ranks as cooperative coroutines under a
+	// discrete-event scheduler: one execution token, an indexed min-heap of
+	// runnable ranks ordered by virtual clock, no locks and no channel
+	// select on the hot path. Same results, much less real scheduler time,
+	// and virtual-time deadlocks are detected (ErrDeadlock) instead of
+	// hanging. See engine.go.
+	EngineEvent Engine = "event"
+)
+
+// Validate reports an error for an unknown engine name; the empty string
+// selects EngineGoroutine.
+func (e Engine) Validate() error {
+	switch e {
+	case "", EngineGoroutine, EngineEvent:
+		return nil
+	}
+	return fmt.Errorf("mpi: unknown engine %q (want %q or %q)", string(e), EngineGoroutine, EngineEvent)
+}
+
 // World configures a simulated job: cluster size, machine/network models,
 // and the P-state every node runs at.
 type World struct {
@@ -83,6 +112,22 @@ type World struct {
 	// (cmd/paverify). Nil follows the same contract as Obs and Faults: no
 	// allocation, no timing change, bit-identical traces.
 	Comm *trace.CommRecorder
+	// Engine selects the rank runtime; the zero value is EngineGoroutine.
+	// Engines are timing-equivalent, so this is purely a performance knob.
+	Engine Engine
+	// Record, when non-nil, captures every rank's operation stream (phases,
+	// compute work, message and collective shapes) so the run can be
+	// re-timed at another frequency with Replay without re-executing kernel
+	// code. Recording requires a nil OnPhase hook: kernel control flow and
+	// communication shapes are frequency-independent, but a DVFS scheduler's
+	// decisions need not be. A Recording captures exactly one run.
+	Record *Recording
+
+	// traceHint carries the per-rank trace-event counts of a recorded run
+	// into its replays, so each rank's log is sized once instead of grown
+	// by doubling. Purely a capacity hint — an absent or stale value only
+	// costs allocations, never correctness. Set by Replay.
+	traceHint []int
 }
 
 // Validate reports an error for an unusable configuration.
@@ -109,6 +154,9 @@ func (w World) Validate() error {
 		return fmt.Errorf("mpi: negative gear-switch time")
 	}
 	if err := w.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := w.Engine.Validate(); err != nil {
 		return err
 	}
 	return nil
@@ -246,11 +294,17 @@ func newRuntime(w World) *runtime {
 	n := w.N
 	r := &runtime{
 		w:        w,
-		boxes:    make([]atomic.Pointer[mailbox], n*n),
 		clocks:   make([]float64, n),
 		payloads: make([]any, n),
-		release:  make(chan struct{}),
 		abort:    make(chan struct{}),
+	}
+	// The event engine replaces the n² channel mailboxes with lazily created
+	// ring buffers (engine.go) and the release broadcast with token wake-ups,
+	// so neither is allocated for it — at N = 1024 the empty mailbox array
+	// alone would cost 16 MB.
+	if w.Engine != EngineEvent {
+		r.boxes = make([]atomic.Pointer[mailbox], n*n)
+		r.release = make(chan struct{})
 	}
 	for i := range r.snaps {
 		r.snaps[i] = collSnapshot{
@@ -330,11 +384,22 @@ func Run(w World, fn RankFunc) (*Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	if w.Record != nil {
+		if w.OnPhase != nil {
+			return nil, errors.New("mpi: cannot record a run with an OnPhase hook: replay re-times the stream at other frequencies, and a DVFS scheduler's decisions need not be frequency-independent")
+		}
+		if err := w.Record.begin(w.N); err != nil {
+			return nil, err
+		}
+	}
 	if w.Obs != nil {
 		beginObserve(w)
 	}
 	if w.Comm != nil {
 		w.Comm.Start(w.N)
+	}
+	if w.Engine == EngineEvent {
+		return runEvent(w, fn)
 	}
 	rt := newRuntime(w)
 	ctxs := make([]*Ctx, w.N)
@@ -352,6 +417,12 @@ func Run(w World, fn RankFunc) (*Result, error) {
 		}(rank)
 	}
 	wg.Wait()
+	return finishRun(w, ctxs, errs)
+}
+
+// finishRun is the engine-independent tail of a job: error selection,
+// recording completion, aggregation and observation.
+func finishRun(w World, ctxs []*Ctx, errs []error) (*Result, error) {
 	// Prefer the root cause: a rank that failed on its own error rather
 	// than one torn down by the abort.
 	var aborted error
@@ -369,6 +440,9 @@ func Run(w World, fn RankFunc) (*Result, error) {
 	}
 	if aborted != nil {
 		return nil, aborted
+	}
+	if w.Record != nil {
+		w.Record.finish(ctxs)
 	}
 	res := aggregate(w, ctxs)
 	if w.Obs != nil {

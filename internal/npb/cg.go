@@ -213,16 +213,16 @@ func (s *cgState) spmv(x []float64, y []float64) error {
 		return err
 	}
 	s.ctx.SetPhase("cg-spmv")
-	b := s.band
-	at := func(g int) float64 { // global index → halo-extended buffer
-		if g < 0 || g >= s.n {
-			return 0
-		}
-		return s.xExt[g-s.lo+s.halo]
-	}
-	for i := s.lo; i < s.hi; i++ {
-		v := s.d*at(i) - at(i-1) - at(i+1) - at(i-b) - at(i+b) - at(i-b*b) - at(i+b*b)
-		y[i-s.lo] = v
+	// Every neighbour offset is within ±band² = ±halo of row i, so all
+	// seven accesses land inside xExt: [0, halo) and [halo+rows, end) hold
+	// the neighbours' boundary segments or explicit zeros at the domain
+	// edges (haloExchange), which reproduces the old out-of-domain guard
+	// without a branch per access.
+	b, b2 := s.band, s.halo
+	xe, d := s.xExt, s.d
+	for j := 0; j < s.hi-s.lo; j++ {
+		e := j + b2
+		y[j] = d*xe[e] - xe[e-1] - xe[e+1] - xe[e-b] - xe[e+b] - xe[e-b2] - xe[e+b2]
 	}
 	rows := float64(s.hi - s.lo)
 	nnz := rows * nnzPerRow

@@ -1,0 +1,120 @@
+package npb
+
+import (
+	"reflect"
+	"testing"
+
+	"pasp/internal/faults"
+	"pasp/internal/mpi"
+	"pasp/internal/obs"
+)
+
+// diffChaosCfg is the fixed chaos seed of the differential matrix: every
+// injector class enabled, so the engines are compared on the retransmission
+// and straggler paths too, not just the clean schedule.
+var diffChaosCfg = faults.Config{
+	Seed:              7,
+	LatencyJitterFrac: 0.5,
+	DropProb:          0.05,
+	DegradeProb:       0.1,
+	DegradeFactor:     2,
+	StragglerFrac:     0.25,
+	StragglerSlowdown: 1.5,
+}
+
+// diffKernels is the full NAS suite in small classes that validate on
+// every rank count of the matrix (CG pins Band=4 so its halo of 16 rows
+// fits the 16-rank split; MG needs ≥ 2 planes per rank, hence 63³).
+type diffKernel struct {
+	name string
+	run  func(w mpi.World) (*mpi.Result, error)
+}
+
+func diffKernels() []diffKernel {
+	return []diffKernel{
+		{"ep", func(w mpi.World) (*mpi.Result, error) {
+			_, r, err := EP{LogPairs: 14, ScaleLog: 6}.Run(w)
+			return r, err
+		}},
+		{"ft", func(w mpi.World) (*mpi.Result, error) {
+			_, r, err := FT{Nx: 16, Ny: 16, Nz: 16, Iters: 2}.Run(w)
+			return r, err
+		}},
+		{"lu", func(w mpi.World) (*mpi.Result, error) {
+			_, r, err := LU{N: 16, Iters: 2}.Run(w)
+			return r, err
+		}},
+		{"cg", func(w mpi.World) (*mpi.Result, error) {
+			_, r, err := CG{Size: 256, Band: 4, OuterIters: 1, CGIters: 5}.Run(w)
+			return r, err
+		}},
+		{"mg", func(w mpi.World) (*mpi.Result, error) {
+			_, r, err := MG{Size: 63, Cycles: 1}.Run(w)
+			return r, err
+		}},
+		{"is", func(w mpi.World) (*mpi.Result, error) {
+			_, r, err := IS{LogKeys: 12, LogMaxKey: 15, Iters: 2}.Run(w)
+			return r, err
+		}},
+		{"sp", func(w mpi.World) (*mpi.Result, error) {
+			_, r, err := SP{N: 16, Steps: 2}.Run(w)
+			return r, err
+		}},
+	}
+}
+
+// runEngine executes one kernel on one engine with the observability
+// recorder attached and returns everything the matrix compares.
+func runEngine(t *testing.T, run func(mpi.World) (*mpi.Result, error), n int, cfg faults.Config, eng mpi.Engine) (*mpi.Result, string, *obs.EnergyReport) {
+	t.Helper()
+	w := npbWorld(n, 1400)
+	w.Faults = cfg
+	w.Engine = eng
+	rec := obs.NewRecorder()
+	w.Obs = rec
+	res, err := run(w)
+	if err != nil {
+		t.Fatalf("%s engine: %v", eng, err)
+	}
+	rankEnds := make([]float64, len(res.PerRank))
+	for i, r := range res.PerRank {
+		rankEnds[i] = r.Seconds
+	}
+	rep := obs.AttributeEnergy(res.Trace, w.Prof, w.State, res.Seconds, rankEnds)
+	return res, rec.Metrics().Snapshot().Text(), rep
+}
+
+// TestEngineDifferentialMatrix is the engine-equivalence contract at the
+// kernel level: every NAS kernel, at N ∈ {2, 4, 8, 16}, clean and under a
+// fixed chaos seed, must produce byte-identical timelines, metric
+// snapshots and per-(rank, phase) energy attributions under the goroutine
+// and event engines. The mpi-level differential (TestEngineDifferential)
+// pins the primitives; this matrix pins every composition of them the
+// reproduction actually runs.
+func TestEngineDifferentialMatrix(t *testing.T) {
+	for _, k := range diffKernels() {
+		for _, n := range []int{2, 4, 8, 16} {
+			for _, mode := range []struct {
+				label string
+				cfg   faults.Config
+			}{{"clean", faults.Config{}}, {"chaos", diffChaosCfg}} {
+				gor, gorMetrics, gorRep := runEngine(t, k.run, n, mode.cfg, mpi.EngineGoroutine)
+				ev, evMetrics, evRep := runEngine(t, k.run, n, mode.cfg, mpi.EngineEvent)
+				label := k.name + "/" + mode.label
+				if gor.Trace.TimelineCSV() != ev.Trace.TimelineCSV() {
+					t.Errorf("%s N=%d: timelines differ between engines", label, n)
+				}
+				if gor.Seconds != ev.Seconds || gor.Joules != ev.Joules {
+					t.Errorf("%s N=%d: outcome differs: %.17g s %.17g J vs %.17g s %.17g J",
+						label, n, gor.Seconds, gor.Joules, ev.Seconds, ev.Joules)
+				}
+				if gorMetrics != evMetrics {
+					t.Errorf("%s N=%d: metric snapshots differ between engines", label, n)
+				}
+				if !reflect.DeepEqual(gorRep.Rows, evRep.Rows) {
+					t.Errorf("%s N=%d: energy attribution rows differ between engines", label, n)
+				}
+			}
+		}
+	}
+}

@@ -83,16 +83,21 @@ func (p *fftPlan) transform(x []complex128, dir fftDir) error {
 	for size := 2; size <= p.n; size <<= 1 {
 		half := size / 2
 		step := p.n / size
-		for start := 0; start < p.n; start += size {
-			for k := 0; k < half; k++ {
-				w := p.twiddle[k*step]
-				if dir == fftInverse {
-					w = cmplx.Conj(w)
-				}
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
+		// k outer, block inner: the butterflies of one stage touch
+		// disjoint index pairs, so hoisting the twiddle load (and the
+		// direction conjugate) out of the block loop reorders independent
+		// operations only — each butterfly's arithmetic, and therefore the
+		// result, is bit-identical to the block-major order.
+		for k := 0; k < half; k++ {
+			w := p.twiddle[k*step]
+			if dir == fftInverse {
+				w = cmplx.Conj(w)
+			}
+			for i := k; i < p.n; i += size {
+				a := x[i]
+				b := x[i+half] * w
+				x[i] = a + b
+				x[i+half] = a - b
 			}
 		}
 	}

@@ -490,14 +490,15 @@ func (g *luGrid) lowerSweep(omega float64) error {
 		// Inlined relaxPoint with an incrementing index (i steps by
 		// jdim·kdim): same operand order, bit-identical result.
 		di := g.jdim * g.kdim
+		u, rhs, dk := g.u, g.rhs, g.kdim
 		for j := 1; j <= g.ly; j++ {
 			id := g.idx(1, j, k)
 			for i := 1; i <= g.lx; i++ {
-				au := 6*g.u[id] -
-					g.u[id-di] - g.u[id+di] -
-					g.u[id-g.kdim] - g.u[id+g.kdim] -
-					g.u[id-1] - g.u[id+1]
-				g.u[id] += omega * (g.rhs[id] - au) / 6
+				au := 6*u[id] -
+					u[id-di] - u[id+di] -
+					u[id-dk] - u[id+dk] -
+					u[id-1] - u[id+1]
+				u[id] += omega * (rhs[id] - au) / 6
 				id += di
 			}
 		}
@@ -552,14 +553,15 @@ func (g *luGrid) upperSweep(omega float64) error {
 		// Inlined relaxPoint, descending (same operand order as the
 		// forward form, bit-identical result).
 		di := g.jdim * g.kdim
+		u, rhs, dk := g.u, g.rhs, g.kdim
 		for j := g.ly; j >= 1; j-- {
 			id := g.idx(g.lx, j, k)
 			for i := g.lx; i >= 1; i-- {
-				au := 6*g.u[id] -
-					g.u[id-di] - g.u[id+di] -
-					g.u[id-g.kdim] - g.u[id+g.kdim] -
-					g.u[id-1] - g.u[id+1]
-				g.u[id] += omega * (g.rhs[id] - au) / 6
+				au := 6*u[id] -
+					u[id-di] - u[id+di] -
+					u[id-dk] - u[id+dk] -
+					u[id-1] - u[id+1]
+				u[id] += omega * (rhs[id] - au) / 6
 				id -= di
 			}
 		}

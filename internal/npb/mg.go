@@ -314,25 +314,27 @@ func (s *mgState) smooth(l *mgLevel) error {
 	// result is bit-identical to the indexed form.
 	sd := l.side()
 	ss := sd * sd
+	u, rhs, res := l.u, l.rhs, l.res
 	for p := 1; p <= l.lz(); p++ {
 		for j := 1; j <= l.m; j++ {
 			id := l.idx(p, j, 1)
 			for i := 1; i <= l.m; i++ {
-				au := 6*l.u[id] -
-					l.u[id-ss] - l.u[id+ss] -
-					l.u[id-sd] - l.u[id+sd] -
-					l.u[id-1] - l.u[id+1]
-				l.res[id] = l.u[id] + mgOmega*(l.rhs[id]-au)/6
+				au := 6*u[id] -
+					u[id-ss] - u[id+ss] -
+					u[id-sd] - u[id+sd] -
+					u[id-1] - u[id+1]
+				res[id] = u[id] + mgOmega*(rhs[id]-au)/6
 				id++
 			}
 		}
 	}
-	for p := 1; p <= l.lz(); p++ {
-		for j := 1; j <= l.m; j++ {
-			base := l.idx(p, j, 1)
-			copy(l.u[base:base+l.m], l.res[base:base+l.m])
-		}
-	}
+	// Publish the sweep by swapping the buffers instead of copying the
+	// interior back. Both buffers carry the level's zero borders (neither
+	// sweep loop ever writes them), and ghost planes are refreshed by
+	// exchange before any consumer reads them — on non-distributed levels
+	// they are the never-written boundary zeros in both buffers — so the
+	// observable values match the copy exactly.
+	l.u, l.res = l.res, l.u
 	return s.bill(s.ownedPoints(l), 1)
 }
 
@@ -344,15 +346,16 @@ func (s *mgState) residual(l *mgLevel) error {
 	s.c.SetPhase("mg-residual")
 	sd := l.side()
 	ss := sd * sd
+	u, rhs, res := l.u, l.rhs, l.res
 	for p := 1; p <= l.lz(); p++ {
 		for j := 1; j <= l.m; j++ {
 			id := l.idx(p, j, 1)
 			for i := 1; i <= l.m; i++ {
-				au := 6*l.u[id] -
-					l.u[id-ss] - l.u[id+ss] -
-					l.u[id-sd] - l.u[id+sd] -
-					l.u[id-1] - l.u[id+1]
-				l.res[id] = l.rhs[id] - au
+				au := 6*u[id] -
+					u[id-ss] - u[id+ss] -
+					u[id-sd] - u[id+sd] -
+					u[id-1] - u[id+1]
+				res[id] = rhs[id] - au
 				id++
 			}
 		}
@@ -389,15 +392,26 @@ func (s *mgState) restrict(fine, coarse *mgLevel) error {
 		} else {
 			pc = kc
 		}
+		// Flattened 27-point gather: the weight products and the
+		// accumulation order match the nested dz/dy/dx loops exactly
+		// ((wz·wy)·wx, added in the same sequence), so the sums are
+		// bit-identical to the indexed form.
+		fs := fine.side()
+		fss := fs * fs
+		fres := fine.res
 		for jc := 1; jc <= coarse.m; jc++ {
 			for ic := 1; ic <= coarse.m; ic++ {
+				base := fine.idx(pf, 2*jc, 2*ic)
 				sum := 0.0
 				for dz := -1; dz <= 1; dz++ {
+					wz := weights1D[dz+1]
+					zb := base + dz*fss
 					for dy := -1; dy <= 1; dy++ {
-						for dx := -1; dx <= 1; dx++ {
-							w := weights1D[dz+1] * weights1D[dy+1] * weights1D[dx+1]
-							sum += w * fine.res[fine.idx(pf+dz, 2*jc+dy, 2*ic+dx)]
-						}
+						wzy := wz * weights1D[dy+1]
+						rb := zb + dy*fs
+						sum += wzy * weights1D[0] * fres[rb-1]
+						sum += wzy * weights1D[1] * fres[rb]
+						sum += wzy * weights1D[2] * fres[rb+1]
 					}
 				}
 				// Galerkin-free rediscretization scaling: the 7-point
@@ -473,65 +487,89 @@ func (s *mgState) prolong(coarse, fine *mgLevel) error {
 		return err
 	}
 	s.c.SetPhase("mg-prolong")
-	// coarseAt fetches u_c at a global coarse plane kc (0 and mc+1 are
-	// boundary zeros / exchanged ghosts).
-	coarseAt := func(kc, jc, ic int) float64 {
-		var pc int
-		if coarse.distributed {
-			pc = kc - coarse.zlo + 1
-			if pc < 0 || pc > coarse.lz()+1 {
-				return 0
-			}
-		} else {
-			pc = kc
-			if pc < 0 || pc > coarse.m+1 {
-				return 0
-			}
-		}
-		if jc < 0 || jc > coarse.m+1 || ic < 0 || ic > coarse.m+1 {
-			return 0
-		}
-		return coarse.u[coarse.idx(pc, jc, ic)]
-	}
-	// Separable linear interpolation per dimension.
-	interp1D := func(f int) (c0 int, w0 float64, c1 int, w1 float64) {
+	// Separable linear interpolation per dimension: interp1D(f) yields one
+	// tap of weight 1 on even fine coordinates, two taps of weight ½ on odd
+	// ones. A zero-weight tap was skipped by the original nested form, so
+	// the tap lists below (length 1 or 2) visit exactly the taps it summed,
+	// in the same z → y → x order with the same ((wz·wy)·wx)·u product
+	// shape — the interpolated values are bit-identical.
+	//
+	// The y/x tap indices always land in [0, coarse.m] (fine.m = 2·coarse.m),
+	// so only the z tap needs the out-of-range guard the old coarseAt
+	// applied; an out-of-range plane contributes a literal zero through the
+	// same multiply-add the in-range path runs.
+	interp1D := func(f int) (t [2]int, w [2]float64, n int) {
 		if f%2 == 0 {
-			return f / 2, 1, f / 2, 0
+			return [2]int{f / 2}, [2]float64{1}, 1
 		}
-		return (f - 1) / 2, 0.5, (f + 1) / 2, 0.5
+		return [2]int{(f - 1) / 2, (f + 1) / 2}, [2]float64{0.5, 0.5}, 2
 	}
-	// The candidate coarse indices/weights per dimension live in fixed-size
-	// stack arrays; the accumulation order (z outer, y middle, x inner,
-	// zero weights skipped) matches the nested-literal form exactly, so the
-	// floating-point result is bit-identical.
+	cu := coarse.u
+	cs := coarse.side()
+	fu := fine.u
 	for kf := fine.zlo; kf < fine.zhi; kf++ {
 		pf := kf - fine.zlo + 1
-		kz0, wz0, kz1, wz1 := interp1D(kf)
-		zk, zw := [2]int{kz0, kz1}, [2]float64{wz0, wz1}
+		zk, zw, nz := interp1D(kf)
+		var pbase [2]int
+		var pok [2]bool
+		for zi := 0; zi < nz; zi++ {
+			var pc int
+			if coarse.distributed {
+				pc = zk[zi] - coarse.zlo + 1
+				pok[zi] = pc >= 0 && pc <= coarse.lz()+1
+			} else {
+				pc = zk[zi]
+				pok[zi] = pc >= 0 && pc <= coarse.m+1
+			}
+			pbase[zi] = pc * cs * cs
+		}
 		for jf := 1; jf <= fine.m; jf++ {
-			jy0, wy0, jy1, wy1 := interp1D(jf)
-			yj, yw := [2]int{jy0, jy1}, [2]float64{wy0, wy1}
+			yj, yw, ny := interp1D(jf)
+			// The (z, y) tap pairs — weight product, row base, plane
+			// validity — are fixed across the row; flatten them once in
+			// the same z → y order the nested loops visit.
+			var pw [4]float64
+			var prb [4]int
+			var pvalid [4]bool
+			np := 0
+			for zi := 0; zi < nz; zi++ {
+				for yi := 0; yi < ny; yi++ {
+					pw[np] = zw[zi] * yw[yi]
+					prb[np] = pbase[zi] + yj[yi]*cs
+					pvalid[np] = pok[zi]
+					np++
+				}
+			}
+			fid := fine.idx(pf, jf, 1)
 			for ifx := 1; ifx <= fine.m; ifx++ {
-				ix0, wx0, ix1, wx1 := interp1D(ifx)
-				xi, xw := [2]int{ix0, ix1}, [2]float64{wx0, wx1}
+				var x0, x1 int
+				var w0, w1 float64
+				nx := 1
+				if ifx&1 == 0 {
+					x0, w0 = ifx>>1, 1
+				} else {
+					x0, w0 = (ifx-1)>>1, 0.5
+					x1, w1 = x0+1, 0.5
+					nx = 2
+				}
 				v := 0.0
-				for zi := 0; zi < 2; zi++ {
-					if zw[zi] == 0 {
-						continue
+				for pi := 0; pi < np; pi++ {
+					wp := pw[pi]
+					val0, val1 := 0.0, 0.0
+					if pvalid[pi] {
+						rb := prb[pi]
+						val0 = cu[rb+x0]
+						if nx == 2 {
+							val1 = cu[rb+x1]
+						}
 					}
-					for yi := 0; yi < 2; yi++ {
-						if yw[yi] == 0 {
-							continue
-						}
-						for x := 0; x < 2; x++ {
-							if xw[x] == 0 {
-								continue
-							}
-							v += zw[zi] * yw[yi] * xw[x] * coarseAt(zk[zi], yj[yi], xi[x])
-						}
+					v += wp * w0 * val0
+					if nx == 2 {
+						v += wp * w1 * val1
 					}
 				}
-				fine.u[fine.idx(pf, jf, ifx)] += v
+				fu[fid] += v
+				fid++
 			}
 		}
 	}

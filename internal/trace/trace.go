@@ -90,6 +90,17 @@ type Log struct {
 // simulator bug and are surfaced by Validate.
 func (l *Log) Append(e Event) { l.events = append(l.events, e) }
 
+// Grow reserves capacity for n further events, for callers that know the
+// final size in advance (e.g. a replayed run, whose event count matches the
+// recorded one).
+func (l *Log) Grow(n int) {
+	if free := cap(l.events) - len(l.events); free < n {
+		grown := make([]Event, len(l.events), len(l.events)+n)
+		copy(grown, l.events)
+		l.events = grown
+	}
+}
+
 // Events returns the recorded events in insertion order.
 func (l *Log) Events() []Event { return l.events }
 
@@ -115,7 +126,11 @@ func (l *Log) Validate() error {
 // Merge returns a new log holding the events of all inputs, ordered by
 // (rank, start time).
 func Merge(logs ...*Log) *Log {
-	out := &Log{}
+	total := 0
+	for _, l := range logs {
+		total += len(l.events)
+	}
+	out := &Log{events: make([]Event, 0, total)}
 	for _, l := range logs {
 		out.events = append(out.events, l.events...)
 	}
