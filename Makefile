@@ -19,7 +19,7 @@ BENCH2JSON ?= BENCH_2.json
 # Fuzz budget per target; CI's fuzz smoke runs with FUZZTIME=10s.
 FUZZTIME ?= 30s
 
-.PHONY: all build test shuffle race lint fmt-check fuzz bench bench-scale trace-smoke conformance-smoke verify
+.PHONY: all build test shuffle race lint fmt-check fuzz bench bench-scale trace-smoke conformance-smoke serve-smoke verify
 
 # trace-smoke output names; CI uploads both as artifacts.
 TRACEJSON ?= run.trace.json
@@ -126,5 +126,38 @@ fuzz:
 	$(GO) test -fuzz=FuzzTermsSpeedup -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz=FuzzMessageFault -fuzztime=$(FUZZTIME) ./internal/faults/
 	$(GO) test -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/faults/
+	$(GO) test -fuzz=FuzzPredictRequest -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzParseGear -fuzztime=$(FUZZTIME) ./internal/serve/
+
+# Serving smoke: start paserve on the quick suite with FT pre-warmed, then
+# drive it with paload in two strict phases — the cache-hit regime at 1000
+# QPS (the throughput floor the serving layer promises) and a 10 s mixed
+# blend at 200 QPS. -strict fails the target on any transport error or
+# non-2xx response (429s included: a warmed quick-suite server must never
+# shed this load). The /metrics scrape and the paload JSON report are the
+# artifacts; the final SIGTERM exercises the graceful-drain path, and the
+# server's exit status certifies it.
+SERVEADDR ?= 127.0.0.1:18080
+LOADJSON ?= load.json
+SERVEMETRICS ?= serve-metrics.txt
+
+serve-smoke:
+	$(GO) build -o paserve.bin ./cmd/paserve
+	$(GO) build -o paload.bin ./cmd/paload
+	@./paserve.bin -addr $(SERVEADDR) -suite quick -warm ft & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	up=0; for i in $$(seq 1 100); do \
+		curl -fsS http://$(SERVEADDR)/healthz >/dev/null 2>&1 && { up=1; break; }; \
+		sleep 0.2; done; \
+	[ $$up -eq 1 ] || { echo "paserve did not come up on $(SERVEADDR)"; exit 1; }; \
+	./paload.bin -url http://$(SERVEADDR) -qps 1000 -duration 5s \
+		-mix predict -kernel ft -n 4 -f 1400mhz -strict -json $(LOADJSON) || exit 1; \
+	./paload.bin -url http://$(SERVEADDR) -qps 200 -duration 10s \
+		-mix quick -kernel ft -n 4 -f 1400mhz -strict || exit 1; \
+	curl -fsS http://$(SERVEADDR)/metrics > $(SERVEMETRICS) || exit 1; \
+	trap - EXIT; \
+	kill -TERM $$pid && wait $$pid || exit 1; \
+	echo "serve-smoke OK"
 
 verify: build test lint fmt-check race

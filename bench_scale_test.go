@@ -19,6 +19,7 @@
 package pasp
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -67,7 +68,7 @@ func BenchmarkScale(b *testing.B) {
 					p.Engine = eng
 					g := cluster.Grid{Ns: []int{n}, MHz: s.Grid.MHz}
 					for i := 0; i < b.N; i++ {
-						cells, err := cluster.Sweep(p, g, k.Run)
+						cells, err := cluster.Sweep(context.Background(), p, g, k.Run)
 						if err != nil {
 							b.Fatal(err)
 						}

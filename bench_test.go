@@ -19,6 +19,7 @@
 package pasp
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -79,7 +80,7 @@ func capN(s experiments.Suite, n int) int {
 func BenchmarkTable1(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		grid, err := s.Table1()
+		grid, err := s.Table1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkTable3(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		grid, err := s.Table3()
+		grid, err := s.Table3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func BenchmarkTable6(b *testing.B) {
 func BenchmarkTable7(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		r, err := s.Table7()
+		r, err := s.Table7(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func BenchmarkTable7(b *testing.B) {
 func BenchmarkFigure1(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		fig, err := s.Figure1()
+		fig, err := s.Figure1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -158,7 +159,7 @@ func BenchmarkFigure1(b *testing.B) {
 func BenchmarkFigure2(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		fig, err := s.Figure2()
+		fig, err := s.Figure2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +175,7 @@ func BenchmarkFigure2(b *testing.B) {
 func BenchmarkEDP(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		r, err := s.EDPForFT()
+		r, err := s.EDPForFT(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -255,11 +256,11 @@ func BenchmarkAblationCommCPU(b *testing.B) {
 	noCPU.Platform.Net.MsgCPUIns = 0
 	noCPU.Platform.Net.ByteCPUIns = 0
 	for i := 0; i < b.N; i++ {
-		withCPU, err := s.Table3()
+		withCPU, err := s.Table3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
-		without, err := noCPU.Table3()
+		without, err := noCPU.Table3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -323,7 +324,7 @@ func BenchmarkAblationWavefront(b *testing.B) {
 	last := fitNs[len(fitNs)-1]
 	f0 := s.LUGrid.MHz[0]
 	for i := 0; i < b.N; i++ {
-		camp, err := s.MeasureLU()
+		camp, err := s.MeasureLU(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -354,10 +355,10 @@ func BenchmarkAblationWavefront(b *testing.B) {
 
 // kernelFigure measures a campaign and prints its two-panel figure.
 func kernelFigure(b *testing.B, key, name string, s experiments.Suite,
-	measure func() (*experiments.Campaign, error), probeN int, probeMHz float64) {
+	measure func(context.Context) (*experiments.Campaign, error), probeN int, probeMHz float64) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		camp, err := measure()
+		camp, err := measure(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -403,7 +404,7 @@ func BenchmarkFigureIS(b *testing.B) {
 func BenchmarkSegmentModel(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		camp, err := s.MeasureFT()
+		camp, err := s.MeasureFT(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -421,7 +422,7 @@ func BenchmarkSegmentModel(b *testing.B) {
 // classification drives the DVFS schedule with no hand-written phase list.
 func BenchmarkModelDrivenDVFS(b *testing.B) {
 	s := benchSuite(b)
-	camp, err := s.MeasureFT()
+	camp, err := s.MeasureFT(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -451,7 +452,7 @@ func BenchmarkModelDrivenDVFS(b *testing.B) {
 // and scores it against the all-top baseline.
 func BenchmarkEDPOptimalGears(b *testing.B) {
 	s := benchSuite(b)
-	camp, err := s.MeasureFT()
+	camp, err := s.MeasureFT(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -484,7 +485,7 @@ func BenchmarkEDPOptimalGears(b *testing.B) {
 func BenchmarkScaledSpeedup(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
-		mg, err := s.ScaledMG()
+		mg, err := s.ScaledMG(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -514,11 +515,11 @@ func BenchmarkExtrapolation(b *testing.B) {
 		b.Skipf("extrapolation validates against a held-out N=16 run; grid tops out at %d", maxN(s))
 	}
 	for i := 0; i < b.N; i++ {
-		lu, err := s.ExtrapolateLU()
+		lu, err := s.ExtrapolateLU(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
-		ft, err := s.ExtrapolateFT()
+		ft, err := s.ExtrapolateFT(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

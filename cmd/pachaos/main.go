@@ -22,9 +22,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -96,6 +98,9 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print campaign-store metrics after the sweep")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	s, err := experiments.SuiteByName(*suite)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pachaos: %v\n", err)
@@ -113,7 +118,7 @@ func main() {
 		rec = obs.NewRecorder()
 		defer obs.SetGlobal(obs.SetGlobal(rec))
 	}
-	res, err := s.Robustness(spec)
+	res, err := s.Robustness(ctx, spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pachaos: %v\n", err)
 		os.Exit(1)

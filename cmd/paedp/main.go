@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"pasp/internal/core"
 	"pasp/internal/experiments"
@@ -29,12 +31,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var camp *experiments.Campaign
 	switch *bench {
 	case "ep":
-		camp, err = s.MeasureEP()
+		camp, err = s.MeasureEP(ctx)
 	case "ft":
-		camp, err = s.MeasureFT()
+		camp, err = s.MeasureFT(ctx)
 	default:
 		fmt.Fprintf(os.Stderr, "paedp: unknown bench %q\n", *bench)
 		os.Exit(2)

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"pasp/internal/experiments"
 )
@@ -27,6 +29,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pamodel: %v\n", err)
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	run := func(name string, f func() (fmt.Stringer, error)) {
 		if *which != "all" && *which != name {
@@ -43,9 +47,9 @@ func main() {
 	if *which == "all" || *which == "2" {
 		fmt.Println(s.Table2())
 	}
-	run("1", func() (fmt.Stringer, error) { return s.Table1() })
-	run("3", func() (fmt.Stringer, error) { return s.Table3() })
+	run("1", func() (fmt.Stringer, error) { return s.Table1(ctx) })
+	run("3", func() (fmt.Stringer, error) { return s.Table3(ctx) })
 	run("5", func() (fmt.Stringer, error) { return s.Table5() })
 	run("6", func() (fmt.Stringer, error) { return s.Table6() })
-	run("7", func() (fmt.Stringer, error) { return s.Table7() })
+	run("7", func() (fmt.Stringer, error) { return s.Table7(ctx) })
 }

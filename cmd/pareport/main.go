@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"pasp/internal/dvfs"
@@ -23,6 +25,11 @@ func main() {
 	suite := flag.String("suite", "paper", "experiment scale: paper or quick")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
+
+	// An interrupt mid-reproduction cancels the in-flight campaign sweep at
+	// its next cell instead of leaving worker goroutines mid-grid.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	s, err := experiments.SuiteByName(*suite)
 	if err != nil {
@@ -55,14 +62,14 @@ func main() {
 	block(s.Table2())
 
 	section("Figure 1 — EP")
-	fig1, err := s.Figure1()
+	fig1, err := s.Figure1(ctx)
 	if err != nil {
 		die("figure 1", err)
 	}
 	block(fig1)
 
 	section("Figure 2 — FT")
-	ftCamp, err := s.MeasureFT()
+	ftCamp, err := s.MeasureFT(ctx)
 	if err != nil {
 		die("ft campaign", err)
 	}
@@ -101,7 +108,7 @@ func main() {
 	block(t6)
 
 	section("Table 7 — FP vs SP on LU")
-	t7, err := s.Table7()
+	t7, err := s.Table7(ctx)
 	if err != nil {
 		die("table 7", err)
 	}
@@ -159,9 +166,9 @@ func main() {
 	section("Extension kernels — CG, MG, IS, SP speedup surfaces")
 	for _, k := range []struct {
 		name    string
-		measure func() (*experiments.Campaign, error)
+		measure func(context.Context) (*experiments.Campaign, error)
 	}{{"CG", s.MeasureCG}, {"MG", s.MeasureMG}, {"IS", s.MeasureIS}, {"SP", s.MeasureSP}} {
-		camp, err := k.measure()
+		camp, err := k.measure(ctx)
 		if err != nil {
 			die(k.name, err)
 		}

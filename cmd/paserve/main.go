@@ -1,0 +1,136 @@
+// Command paserve serves the prediction pipeline over HTTP/JSON: measured
+// campaign cells, SP/FP model predictions, robustness sweeps, Perfetto
+// traces and the process metric snapshot.
+//
+// Usage:
+//
+//	paserve [-addr :8080] [-suite paper|quick|scale] [-engine goroutine|event]
+//	        [-max-inflight 4] [-retry-after 1] [-max-body 65536]
+//	        [-warm ft,ep] [-drain 10s]
+//
+// Endpoints:
+//
+//	POST /predict     {"kernel":"ft","n":4,"f":1400}        → one grid cell
+//	POST /sweep       {"kernel":"ft"}                        → the full grid
+//	POST /robustness  {"kernel":"ft","ns":[4],"magnitudes":[0,1]}
+//	POST /trace       {"kernel":"ft","n":4,"f":1400}        → Perfetto JSON
+//	GET  /healthz
+//	GET  /metrics     [?format=json]
+//
+// The first request for a kernel measures its campaign (bounded by
+// -max-inflight; identical concurrent requests coalesce onto one sweep);
+// later requests answer from the memoized campaign without admission
+// control. -warm pre-measures kernels before the listener opens so a load
+// test starts in the cache-hit regime. On SIGINT/SIGTERM the server stops
+// accepting connections and drains in-flight requests for up to -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pasp/internal/experiments"
+	"pasp/internal/mpi"
+	"pasp/internal/serve"
+)
+
+// run executes the server against args, writing human output to stdout. It
+// returns when the listener fails or a shutdown signal has been drained.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("paserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	suite := fs.String("suite", "paper", "kernel class scale: paper, quick or scale")
+	engine := fs.String("engine", "", "rank runtime override: goroutine or event (default: the suite platform's engine)")
+	maxInflight := fs.Int("max-inflight", 4, "maximum concurrently simulating requests (cache hits are unlimited)")
+	retryAfter := fs.Int("retry-after", 1, "Retry-After seconds on 429 responses")
+	maxBody := fs.Int64("max-body", 64<<10, "request body byte cap")
+	warm := fs.String("warm", "", "comma-separated kernels to measure before listening (e.g. ft,ep)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s, err := experiments.SuiteByName(*suite)
+	if err != nil {
+		return err
+	}
+	if *engine != "" {
+		e := mpi.Engine(*engine)
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		s.Platform.Engine = e
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *warm != "" {
+		for _, name := range strings.Split(*warm, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, err := s.MeasureKernel(ctx, name); err != nil {
+				return fmt.Errorf("paserve: warming %s: %w", name, err)
+			}
+			fmt.Fprintf(stdout, "paserve: warmed %s\n", name)
+		}
+	}
+
+	srv := serve.New(serve.Config{
+		Suite:         s,
+		SuiteName:     *suite,
+		MaxInFlight:   *maxInflight,
+		RetryAfterSec: *retryAfter,
+		MaxBodyBytes:  *maxBody,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "paserve: suite %s listening on %s\n", *suite, ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(stdout, "paserve: draining for up to %s\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("paserve: drain: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "paserve: drained, bye")
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "paserve: %v\n", err)
+		os.Exit(1)
+	}
+}

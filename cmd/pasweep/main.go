@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"pasp/internal/experiments"
@@ -24,6 +26,9 @@ func main() {
 	engine := flag.String("engine", "", "rank runtime override: goroutine or event (default: the suite platform's engine)")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	s, err := experiments.SuiteByName(*suite)
 	if err != nil {
@@ -43,7 +48,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pasweep: %v\n", err)
 		os.Exit(2)
 	}
-	camp, err := s.MeasureKernel(*bench)
+	camp, err := s.MeasureKernel(ctx, *bench)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pasweep: %v\n", err)
 		os.Exit(1)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	grid := cluster.PaperGrid()
 	ft := npb.FT{Nx: 32, Ny: 32, Nz: 32, Iters: 3, Scale: 32}
 
-	cells, err := cluster.Sweep(platform, grid, func(w mpi.World) (*mpi.Result, error) {
+	cells, err := cluster.Sweep(context.Background(), platform, grid, func(w mpi.World) (*mpi.Result, error) {
 		_, r, err := ft.Run(w)
 		return r, err
 	})

@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -154,6 +155,12 @@ type RunFunc func(w mpi.World) (*mpi.Result, error)
 // distribution never influences results, so the sweep's bytes are
 // identical at any GOMAXPROCS (pinned by TestSweepGOMAXPROCSDeterminism).
 //
+// A cancelled ctx stops the sweep at cell granularity: no new cell starts
+// once ctx.Done() is closed, in-flight cells finish (one simulation is the
+// abort latency), and the sweep returns ctx's error. Cancellation is how a
+// caller that went away — an HTTP client that disconnected, a drained
+// server — stops paying for the rest of a campaign it no longer wants.
+//
 // Under the event engine the frequency axis is swept by record/replay:
 // kernel control flow, data movement and message shapes do not depend on
 // the operating frequency, so the kernel executes for real once per rank
@@ -161,7 +168,7 @@ type RunFunc func(w mpi.World) (*mpi.Result, error)
 // stream) and the remaining frequencies re-time the recorded stream
 // through the same mpi timing paths — bit-identical to direct runs (see
 // mpi.Replay) at a fifth of the work on the paper's five-frequency grid.
-func Sweep(p Platform, g Grid, run RunFunc) ([]Cell, error) {
+func Sweep(ctx context.Context, p Platform, g Grid, run RunFunc) ([]Cell, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -179,18 +186,27 @@ func Sweep(p Platform, g Grid, run RunFunc) ([]Cell, error) {
 		// Replay path: one unit per rank count, so a unit's record run and
 		// its replays share a worker while independent rank counts spread
 		// across the pool.
-		sweepUnits(len(g.Ns), func(u int) {
+		sweepUnits(ctx, len(g.Ns), func(u int) {
 			base := u * len(g.MHz)
 			rec := mpi.NewRecording()
 			for j := 0; j < len(g.MHz); j++ {
+				if j > 0 && ctx.Err() != nil {
+					return
+				}
 				i := base + j
 				runCell(p, run, &cells[i], &errs[i], rec, j > 0)
 			}
 		})
 	} else {
-		sweepUnits(len(cells), func(i int) {
+		sweepUnits(ctx, len(cells), func(i int) {
 			runCell(p, run, &cells[i], &errs[i], nil, false)
 		})
+	}
+	// Cancellation trumps the per-cell surface: the cells a cancelled sweep
+	// never ran carry no errors, so without this check a half-swept grid
+	// could look like a success.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: sweep cancelled: %w", err)
 	}
 	// A failing sweep reports every broken cell, not just the first: a
 	// parameter that breaks several (N, MHz) configurations shows its whole
@@ -203,8 +219,9 @@ func Sweep(p Platform, g Grid, run RunFunc) ([]Cell, error) {
 
 // sweepUnits runs do(0..units-1) on up to GOMAXPROCS workers. Units are
 // handed out in order; each writes only its own cells, so the fan-out is
-// race-free and the results are scheduling-independent.
-func sweepUnits(units int, do func(int)) {
+// race-free and the results are scheduling-independent. A cancelled ctx
+// stops the hand-out; units already dispatched run to completion.
+func sweepUnits(ctx context.Context, units int, do func(int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > units {
 		workers = units
@@ -221,8 +238,13 @@ func sweepUnits(units int, do func(int)) {
 			}
 		}()
 	}
+dispatch:
 	for u := 0; u < units; u++ {
-		next <- u
+		select {
+		case next <- u:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -68,7 +69,7 @@ func TestGridValidateRejects(t *testing.T) {
 func TestSweepRunsEveryCell(t *testing.T) {
 	p := PentiumM()
 	g := Grid{Ns: []int{1, 2, 4}, MHz: []float64{600, 1400}}
-	cells, err := Sweep(p, g, func(w mpi.World) (*mpi.Result, error) {
+	cells, err := Sweep(context.Background(), p, g, func(w mpi.World) (*mpi.Result, error) {
 		return mpi.Run(w, func(c *mpi.Ctx) error {
 			return c.Compute(machine.W(1e6*float64(c.Size()), 0, 0, 0))
 		})
@@ -96,7 +97,7 @@ func TestSweepRunsEveryCell(t *testing.T) {
 
 func TestSweepPropagatesErrors(t *testing.T) {
 	boom := errors.New("kernel failed")
-	_, err := Sweep(PentiumM(), Grid{Ns: []int{1}, MHz: []float64{600}}, func(w mpi.World) (*mpi.Result, error) {
+	_, err := Sweep(context.Background(), PentiumM(), Grid{Ns: []int{1}, MHz: []float64{600}}, func(w mpi.World) (*mpi.Result, error) {
 		return nil, boom
 	})
 	if err == nil || !errors.Is(err, boom) {
@@ -108,7 +109,7 @@ func TestSweepDeterministicAcrossRuns(t *testing.T) {
 	p := PentiumM()
 	g := Grid{Ns: []int{1, 2}, MHz: []float64{600, 1000}}
 	run := func() []float64 {
-		cells, err := Sweep(p, g, func(w mpi.World) (*mpi.Result, error) {
+		cells, err := Sweep(context.Background(), p, g, func(w mpi.World) (*mpi.Result, error) {
 			return mpi.Run(w, func(c *mpi.Ctx) error {
 				if err := c.Compute(machine.W(1e7, 1e6, 0, 1e5)); err != nil {
 					return err
@@ -139,7 +140,7 @@ func TestSweepDeterministicAcrossRuns(t *testing.T) {
 func sweepBytes(t *testing.T, p Platform) string {
 	t.Helper()
 	g := Grid{Ns: []int{1, 2, 4}, MHz: []float64{600, 1000, 1400}}
-	cells, err := Sweep(p, g, func(w mpi.World) (*mpi.Result, error) {
+	cells, err := Sweep(context.Background(), p, g, func(w mpi.World) (*mpi.Result, error) {
 		return mpi.Run(w, func(c *mpi.Ctx) error {
 			c.SetPhase("work")
 			if err := c.Compute(machine.W(1e6, 1e5, 0, 1e4)); err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"pasp/internal/core"
 	"pasp/internal/units"
 )
@@ -58,8 +59,8 @@ func (s Suite) EDPFrom(name string, camp *Campaign, ns []int, mhz []float64) (*E
 
 // EDPForFT runs the FT campaign and scores the EDP predictions (the
 // abstract's headline claim, on the paper's communication-bound workload).
-func (s Suite) EDPForFT() (*EDPResult, error) {
-	camp, err := s.MeasureFT()
+func (s Suite) EDPForFT(ctx context.Context) (*EDPResult, error) {
+	camp, err := s.MeasureFT(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -67,8 +68,8 @@ func (s Suite) EDPForFT() (*EDPResult, error) {
 }
 
 // EDPForEP runs the EP campaign and scores the EDP predictions.
-func (s Suite) EDPForEP() (*EDPResult, error) {
-	camp, err := s.MeasureEP()
+func (s Suite) EDPForEP(ctx context.Context) (*EDPResult, error) {
+	camp, err := s.MeasureEP(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -78,8 +79,8 @@ func (s Suite) EDPForEP() (*EDPResult, error) {
 // SweetSpotFT finds the measured EDP-optimal configuration for FT and the
 // configuration the SP model would have recommended, demonstrating the
 // paper's motivating use case.
-func (s Suite) SweetSpotFT() (measured, predicted core.Candidate, err error) {
-	camp, err := s.MeasureFT()
+func (s Suite) SweetSpotFT(ctx context.Context) (measured, predicted core.Candidate, err error) {
+	camp, err := s.MeasureFT(ctx)
 	if err != nil {
 		return core.Candidate{}, core.Candidate{}, err
 	}

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -169,18 +170,27 @@ func (c *Campaign) Cell(n int, mhz float64) (*mpi.Result, error) {
 // measure sweeps the grid with the kernel and collects a campaign. It is
 // the uncached path; the MeasureXX entry points layer the campaign store on
 // top. Tests use it directly to prove cached and fresh campaigns agree.
-func (s Suite) measure(g cluster.Grid, run cluster.RunFunc) (*Campaign, error) {
-	cells, err := cluster.Sweep(s.Platform, g, run)
+func (s Suite) measure(ctx context.Context, g cluster.Grid, run cluster.RunFunc) (*Campaign, error) {
+	cells, err := cluster.Sweep(ctx, s.Platform, g, run)
 	if err != nil {
 		return nil, err
 	}
+	return NewCampaign(cells), nil
+}
+
+// NewCampaign assembles a campaign from already-measured cells exactly as a
+// fresh sweep would: Meas and the cell index are rebuilt from the cells in
+// order. Callers that sweep through cluster.Sweep directly (the GOMAXPROCS
+// determinism tests, hand-built grids) use it to get a Campaign with the
+// same derived state as a store-measured one.
+func NewCampaign(cells []cluster.Cell) *Campaign {
 	camp := &Campaign{Meas: core.NewMeasurements(), Cells: cells}
 	camp.indexOnce.Do(camp.buildIndex)
 	for _, c := range cells {
 		camp.Meas.SetTime(c.N, c.MHz, c.Res.Seconds)
 		camp.Meas.SetEnergy(c.N, c.MHz, c.Res.Joules)
 	}
-	return camp, nil
+	return camp
 }
 
 // RunEP adapts the EP class to a sweep.
@@ -202,18 +212,18 @@ func (s Suite) RunLU(w mpi.World) (*mpi.Result, error) {
 }
 
 // MeasureEP runs the EP campaign over the suite grid, memoized.
-func (s Suite) MeasureEP() (*Campaign, error) {
-	return s.measureCached("EP", s.EP, s.Grid, s.RunEP)
+func (s Suite) MeasureEP(ctx context.Context) (*Campaign, error) {
+	return s.measureCached(ctx, "EP", s.EP, s.Grid, s.RunEP)
 }
 
 // MeasureFT runs the FT campaign over the suite grid, memoized.
-func (s Suite) MeasureFT() (*Campaign, error) {
-	return s.measureCached("FT", s.FT, s.Grid, s.RunFT)
+func (s Suite) MeasureFT(ctx context.Context) (*Campaign, error) {
+	return s.measureCached(ctx, "FT", s.FT, s.Grid, s.RunFT)
 }
 
 // MeasureLU runs the LU campaign over the LU grid, memoized.
-func (s Suite) MeasureLU() (*Campaign, error) {
-	return s.measureCached("LU", s.LU, s.LUGrid, s.RunLU)
+func (s Suite) MeasureLU(ctx context.Context) (*Campaign, error) {
+	return s.measureCached(ctx, "LU", s.LU, s.LUGrid, s.RunLU)
 }
 
 // RunCG adapts the CG class to a sweep.
@@ -235,18 +245,18 @@ func (s Suite) RunIS(w mpi.World) (*mpi.Result, error) {
 }
 
 // MeasureCG runs the CG campaign over the suite grid, memoized.
-func (s Suite) MeasureCG() (*Campaign, error) {
-	return s.measureCached("CG", s.CG, s.Grid, s.RunCG)
+func (s Suite) MeasureCG(ctx context.Context) (*Campaign, error) {
+	return s.measureCached(ctx, "CG", s.CG, s.Grid, s.RunCG)
 }
 
 // MeasureMG runs the MG campaign over the suite grid, memoized.
-func (s Suite) MeasureMG() (*Campaign, error) {
-	return s.measureCached("MG", s.MG, s.Grid, s.RunMG)
+func (s Suite) MeasureMG(ctx context.Context) (*Campaign, error) {
+	return s.measureCached(ctx, "MG", s.MG, s.Grid, s.RunMG)
 }
 
 // MeasureIS runs the IS campaign over the suite grid, memoized.
-func (s Suite) MeasureIS() (*Campaign, error) {
-	return s.measureCached("IS", s.IS, s.Grid, s.RunIS)
+func (s Suite) MeasureIS(ctx context.Context) (*Campaign, error) {
+	return s.measureCached(ctx, "IS", s.IS, s.Grid, s.RunIS)
 }
 
 // RunSP adapts the SP class to a sweep.
@@ -256,6 +266,6 @@ func (s Suite) RunSP(w mpi.World) (*mpi.Result, error) {
 }
 
 // MeasureSP runs the SP campaign over the suite grid, memoized.
-func (s Suite) MeasureSP() (*Campaign, error) {
-	return s.measureCached("SP", s.SP, s.Grid, s.RunSP)
+func (s Suite) MeasureSP(ctx context.Context) (*Campaign, error) {
+	return s.measureCached(ctx, "SP", s.SP, s.Grid, s.RunSP)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -80,7 +81,7 @@ func TestPaperSuiteValid(t *testing.T) {
 // column of both is exact by construction.
 func TestTables1And3Shapes(t *testing.T) {
 	s := Quick()
-	camp, err := s.MeasureFT()
+	camp, err := s.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestTable6Shapes(t *testing.T) {
 // (memory-overlap, the paper's footnote 1) and bounded overall.
 func TestTable7Shapes(t *testing.T) {
 	s := Quick()
-	r, err := s.Table7()
+	r, err := s.Table7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestTable7Shapes(t *testing.T) {
 // E10: the EP observations of §4.2.
 func TestFigure1EPObservations(t *testing.T) {
 	s := Quick()
-	fig, err := s.Figure1()
+	fig, err := s.Figure1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestFigure1EPObservations(t *testing.T) {
 // E11: the FT observations of §4.3.
 func TestFigure2FTObservations(t *testing.T) {
 	s := Quick()
-	fig, err := s.Figure2()
+	fig, err := s.Figure2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestFigure2FTObservations(t *testing.T) {
 // E8: the abstract's claim — EDP predicted within single-digit percent.
 func TestEDPPredictionAccuracy(t *testing.T) {
 	s := Quick()
-	r, err := s.EDPForFT()
+	r, err := s.EDPForFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestEDPPredictionAccuracy(t *testing.T) {
 
 func TestSweetSpotRecommendation(t *testing.T) {
 	s := Quick()
-	camp, err := s.MeasureFT()
+	camp, err := s.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func TestTable2Rendering(t *testing.T) {
 
 func TestCampaignCellLookup(t *testing.T) {
 	s := Quick()
-	camp, err := s.MeasureEP()
+	camp, err := s.MeasureEP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,13 +336,13 @@ func TestExtensionKernelCampaigns(t *testing.T) {
 	s := Quick()
 	for _, tc := range []struct {
 		name    string
-		measure func() (*Campaign, error)
+		measure func(context.Context) (*Campaign, error)
 	}{
 		{"CG", s.MeasureCG},
 		{"MG", s.MeasureMG},
 		{"IS", s.MeasureIS},
 	} {
-		camp, err := tc.measure()
+		camp, err := tc.measure(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -365,7 +366,7 @@ func TestSPGeneralizesAcrossKernels(t *testing.T) {
 	s := Quick()
 	for _, tc := range []struct {
 		name    string
-		measure func() (*Campaign, error)
+		measure func(context.Context) (*Campaign, error)
 		maxErr  float64
 	}{
 		{"EP", s.MeasureEP, 0.01},
@@ -374,7 +375,7 @@ func TestSPGeneralizesAcrossKernels(t *testing.T) {
 		{"MG", s.MeasureMG, 0.15}, // agglomerated coarse levels violate Assumption 1 hardest
 		{"IS", s.MeasureIS, 0.15},
 	} {
-		camp, err := tc.measure()
+		camp, err := tc.measure(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -399,7 +400,7 @@ func TestSPGeneralizesAcrossKernels(t *testing.T) {
 // — it classifies each phase by frequency sensitivity.
 func TestSegmentModelOnFT(t *testing.T) {
 	s := Quick()
-	camp, err := s.MeasureFT()
+	camp, err := s.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +431,7 @@ func TestSegmentModelOnFT(t *testing.T) {
 // a bounded slowdown, without any hand-written phase list.
 func TestModelDrivenDVFS(t *testing.T) {
 	s := Quick()
-	camp, err := s.MeasureFT()
+	camp, err := s.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +465,7 @@ func TestModelDrivenDVFS(t *testing.T) {
 
 func TestPhaseTimesCoverAllCells(t *testing.T) {
 	s := Quick()
-	camp, err := s.MeasureFT()
+	camp, err := s.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -485,7 +486,7 @@ func TestPhaseTimesCoverAllCells(t *testing.T) {
 // baseline's EDP when executed.
 func TestEDPOptimalGears(t *testing.T) {
 	s := Quick()
-	camp, err := s.MeasureFT()
+	camp, err := s.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -517,7 +518,7 @@ func TestEDPOptimalGears(t *testing.T) {
 // scalability its fixed-size surface loses.
 func TestScaledSpeedup(t *testing.T) {
 	s := Quick()
-	ep, err := s.ScaledEP()
+	ep, err := s.ScaledEP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -530,7 +531,7 @@ func TestScaledSpeedup(t *testing.T) {
 		t.Errorf("EP scaled speedup at (4,1400) = %g, want ≈ %g", got, want)
 	}
 
-	mg, err := s.ScaledMG()
+	mg, err := s.ScaledMG(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -556,7 +557,7 @@ func TestExtrapolation(t *testing.T) {
 	s := Quick()
 	s.Grid = cluster.Grid{Ns: []int{1, 2, 4, 8, 16}, MHz: []float64{600, 1400}}
 	s.LUGrid = cluster.Grid{Ns: []int{1, 2, 4, 8}, MHz: []float64{600, 1400}}
-	lu, err := s.ExtrapolateLU()
+	lu, err := s.ExtrapolateLU(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -566,7 +567,7 @@ func TestExtrapolation(t *testing.T) {
 	if lu.MaxErr() > 0.25 {
 		t.Errorf("LU extrapolation max error %s; smooth overhead should extrapolate", stats.Percent(lu.MaxErr()))
 	}
-	ft, err := s.ExtrapolateFT()
+	ft, err := s.ExtrapolateFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -579,7 +580,7 @@ func TestExtrapolation(t *testing.T) {
 
 func TestEDPForEPNearExact(t *testing.T) {
 	s := Quick()
-	r, err := s.EDPForEP()
+	r, err := s.EDPForEP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -592,7 +593,7 @@ func TestEDPForEPNearExact(t *testing.T) {
 
 func TestSweetSpotFTDirect(t *testing.T) {
 	s := Quick()
-	measured, predicted, err := s.SweetSpotFT()
+	measured, predicted, err := s.SweetSpotFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -604,19 +605,19 @@ func TestSweetSpotFTDirect(t *testing.T) {
 func TestEDPAndTablesDirectEntryPoints(t *testing.T) {
 	// The convenience wrappers that run their own campaigns.
 	s := Quick()
-	if _, err := s.Table1(); err != nil {
+	if _, err := s.Table1(context.Background()); err != nil {
 		t.Errorf("Table1: %v", err)
 	}
-	if _, err := s.Table3(); err != nil {
+	if _, err := s.Table3(context.Background()); err != nil {
 		t.Errorf("Table3: %v", err)
 	}
-	if _, err := s.EDPForFT(); err != nil {
+	if _, err := s.EDPForFT(context.Background()); err != nil {
 		t.Errorf("EDPForFT: %v", err)
 	}
-	if _, err := s.Figure2(); err != nil {
+	if _, err := s.Figure2(context.Background()); err != nil {
 		t.Errorf("Figure2: %v", err)
 	}
-	if _, err := s.ScaledEP(); err != nil {
+	if _, err := s.ScaledEP(context.Background()); err != nil {
 		t.Errorf("ScaledEP: %v", err)
 	}
 }
@@ -650,7 +651,7 @@ func TestKernelRegistry(t *testing.T) {
 // grid within a similar band.
 func TestFPAppliedToFT(t *testing.T) {
 	s := Quick()
-	camp, err := s.MeasureFT()
+	camp, err := s.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pasp/internal/cluster"
@@ -73,12 +74,12 @@ func Extrapolate(kernel string, camp *Campaign, maxFitN, heldOutN int) (*Extrapo
 // Every cell is an independent deterministic simulation and cluster.Sweep
 // orders cells Ns-outer/MHz-inner, so concatenating the two campaigns
 // reproduces the extended-grid sweep cell for cell, bit-identically.
-func (s Suite) ExtrapolateLU() (*ExtrapolationResult, error) {
-	base, err := s.MeasureLU()
+func (s Suite) ExtrapolateLU(ctx context.Context) (*ExtrapolationResult, error) {
+	base, err := s.MeasureLU(ctx)
 	if err != nil {
 		return nil, err
 	}
-	held, err := s.measureCached("LU", s.LU, cluster.Grid{Ns: []int{16}, MHz: s.LUGrid.MHz}, s.RunLU)
+	held, err := s.measureCached(ctx, "LU", s.LU, cluster.Grid{Ns: []int{16}, MHz: s.LUGrid.MHz}, s.RunLU)
 	if err != nil {
 		return nil, err
 	}
@@ -105,8 +106,8 @@ func mergeCampaigns(parts ...*Campaign) *Campaign {
 // ExtrapolateFT runs the same experiment on FT, where the transpose
 // alltoall crosses the fabric's contention knee between 8 and 16 nodes —
 // the regime change no smooth overhead model can see from below.
-func (s Suite) ExtrapolateFT() (*ExtrapolationResult, error) {
-	camp, err := s.MeasureFT()
+func (s Suite) ExtrapolateFT(ctx context.Context) (*ExtrapolationResult, error) {
+	camp, err := s.MeasureFT(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,5 +1,7 @@
 package experiments
 
+import "context"
+
 // Figure is one of the paper's two-panel figures: the execution-time
 // surface (panel a) and the two-dimensional power-aware speedup surface
 // (panel b) over the (N, MHz) grid.
@@ -19,8 +21,8 @@ func (f *Figure) String() string {
 // Expected shapes (paper §4.2): time falls linearly with both N and f;
 // speedup at the base frequency is ≈ N; speedup on 1 processor is ≈ f/f0;
 // the combined speedup is ≈ their product.
-func (s Suite) Figure1() (*Figure, error) {
-	camp, err := s.MeasureEP()
+func (s Suite) Figure1(ctx context.Context) (*Figure, error) {
+	camp, err := s.MeasureEP(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -31,8 +33,8 @@ func (s Suite) Figure1() (*Figure, error) {
 // Expected shapes (paper §4.3): time *increases* from 1 to 2 processors;
 // speedup flattens toward 16 processors; the benefit of frequency scaling
 // diminishes as N grows.
-func (s Suite) Figure2() (*Figure, error) {
-	camp, err := s.MeasureFT()
+func (s Suite) Figure2(ctx context.Context) (*Figure, error) {
+	camp, err := s.MeasureFT(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"pasp/internal/stats"
@@ -17,7 +18,7 @@ func TestPaperGolden(t *testing.T) {
 	s := Paper()
 
 	// EP: Figure 1 headline cells.
-	epFig, err := s.Figure1()
+	epFig, err := s.Figure1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestPaperGolden(t *testing.T) {
 	check("EP speedup (16,1400)", at(epFig.Speedup, 16, 1400), 37.29, 0.01)
 
 	// FT: Figure 2 + Tables 1 and 3 headline values.
-	ftCamp, err := s.MeasureFT()
+	ftCamp, err := s.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestPaperGolden(t *testing.T) {
 	}
 	check("LU ON-chip share", t5.Work.OnChip()/t5.Work.Total(), 0.988, 0.002)
 
-	luCamp, err := s.MeasureLU()
+	luCamp, err := s.MeasureLU(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -111,7 +112,7 @@ type RobustnessResult struct {
 // simulations (each scaled platform is a distinct campaign-store identity,
 // and single cells are cheaper run directly), so repeated sweeps re-derive
 // — and therefore actually test — the harness's determinism.
-func (s Suite) Robustness(spec RobustnessSpec) (*RobustnessResult, error) {
+func (s Suite) Robustness(ctx context.Context, spec RobustnessSpec) (*RobustnessResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,7 +133,7 @@ func (s Suite) Robustness(spec RobustnessSpec) (*RobustnessResult, error) {
 				n, spec.Kernel, k.Grid.Ns)
 		}
 	}
-	camp, err := k.Measure()
+	camp, err := k.Measure(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestRobustnessSpecValidate(t *testing.T) {
 
 func TestRobustnessRejectsOffGridN(t *testing.T) {
 	s := Quick()
-	_, err := s.Robustness(RobustnessSpec{
+	_, err := s.Robustness(context.Background(), RobustnessSpec{
 		Kernel:     "ft",
 		Ns:         []int{16}, // quick grid stops at 4
 		Magnitudes: []float64{0, 1},
@@ -43,7 +44,7 @@ func TestRobustnessRejectsOffGridN(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "campaign grid") {
 		t.Fatalf("off-grid N accepted: %v", err)
 	}
-	if _, err := s.Robustness(RobustnessSpec{
+	if _, err := s.Robustness(context.Background(), RobustnessSpec{
 		Kernel:     "nope",
 		Ns:         []int{2},
 		Magnitudes: []float64{1},
@@ -61,7 +62,7 @@ func TestRobustnessQuick(t *testing.T) {
 		Magnitudes: []float64{0, 0.5, 1},
 		Faults:     JitterOnlyFaults(7),
 	}
-	a, err := s.Robustness(spec)
+	a, err := s.Robustness(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestRobustnessQuick(t *testing.T) {
 		}
 	}
 	// Determinism: the whole sweep re-runs to identical numbers.
-	b, err := s.Robustness(spec)
+	b, err := s.Robustness(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestRobustnessQuick(t *testing.T) {
 	// A different seed perturbs differently.
 	spec2 := spec
 	spec2.Faults = JitterOnlyFaults(8)
-	c, err := s.Robustness(spec2)
+	c, err := s.Robustness(context.Background(), spec2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestRobustnessDefaultFaultsFullMix(t *testing.T) {
 		Magnitudes: []float64{0, 1},
 		Faults:     DefaultRobustnessFaults(11),
 	}
-	res, err := s.Robustness(spec)
+	res, err := s.Robustness(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestRobustnessFTAtScale(t *testing.T) {
 		Magnitudes: []float64{0, 0.5, 1},
 		Faults:     JitterOnlyFaults(1),
 	}
-	a, err := s.Robustness(spec)
+	a, err := s.Robustness(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestRobustnessFTAtScale(t *testing.T) {
 			}
 		}
 	}
-	b, err := s.Robustness(spec)
+	b, err := s.Robustness(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pasp/internal/mpi"
@@ -32,8 +33,8 @@ func (r *ScaledResult) String() string {
 
 // scaledSweep measures T_N(N·w, f) over the grid, given a constructor that
 // returns the kernel runner for a workload multiplier.
-func (s Suite) scaledSweep(name string, runAt func(mult int) func(mpi.World) (*mpi.Result, error),
-	fixedMeasure func() (*Campaign, error)) (*ScaledResult, error) {
+func (s Suite) scaledSweep(ctx context.Context, name string, runAt func(mult int) func(mpi.World) (*mpi.Result, error),
+	fixedMeasure func(context.Context) (*Campaign, error)) (*ScaledResult, error) {
 	// Base: one unit of work on one processor at the base frequency.
 	w1, err := s.Platform.World(1, s.Grid.MHz[0])
 	if err != nil {
@@ -64,7 +65,7 @@ func (s Suite) scaledSweep(name string, runAt func(mult int) func(mpi.World) (*m
 		}
 	}
 
-	camp, err := fixedMeasure()
+	camp, err := fixedMeasure(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -79,8 +80,8 @@ func (s Suite) scaledSweep(name string, runAt func(mult int) func(mpi.World) (*m
 // ScaledEP evaluates fixed-time scaling for EP: the workload doubles with
 // every doubling of N (ScaleLog + log₂N), and the scaled speedup is the
 // clean N·f/f0 product — Gustafson's best case.
-func (s Suite) ScaledEP() (*ScaledResult, error) {
-	return s.scaledSweep("EP", func(mult int) func(mpi.World) (*mpi.Result, error) {
+func (s Suite) ScaledEP(ctx context.Context) (*ScaledResult, error) {
+	return s.scaledSweep(ctx, "EP", func(mult int) func(mpi.World) (*mpi.Result, error) {
 		extra := 0
 		for m := mult; m > 1; m >>= 1 {
 			extra++
@@ -98,8 +99,8 @@ func (s Suite) ScaledEP() (*ScaledResult, error) {
 // while the ghost faces grow only as volume^(2/3), so the scaled surface
 // recovers the scalability the fixed-size surface loses — the Sun–Ni
 // memory-bounded argument on this substrate.
-func (s Suite) ScaledMG() (*ScaledResult, error) {
-	return s.scaledSweep("MG", func(mult int) func(mpi.World) (*mpi.Result, error) {
+func (s Suite) ScaledMG(ctx context.Context) (*ScaledResult, error) {
+	return s.scaledSweep(ctx, "MG", func(mult int) func(mpi.World) (*mpi.Result, error) {
 		mg := s.MG
 		mg.Scale = mg.Scale * float64(mult)
 		return func(w mpi.World) (*mpi.Result, error) {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -23,6 +25,25 @@ import (
 // Variant platforms are naturally distinct keys: the ablations mutate a
 // copy of Suite.Platform (FlowConcurrency, MsgCPUIns, BusDrop, ...) and the
 // fingerprint of the modified struct no longer matches the stock one.
+//
+// Measurement is singleflighted per entry with caller-cancellation
+// semantics, which is what lets paserve coalesce a storm of identical
+// requests onto one simulation:
+//
+//   - The first caller of an unmeasured entry becomes the *leader* and runs
+//     the sweep; concurrent callers for the same key become *waiters* and
+//     block until the leader finishes.
+//   - Every caller passes its own context. The sweep itself runs under an
+//     internal context that is cancelled only when every interested caller
+//     has gone away — one impatient waiter leaving never aborts a
+//     measurement others still want.
+//   - A caller whose context is cancelled returns that context's error
+//     immediately (before the leader even starts, if the context arrives
+//     dead); if it was the last interested caller the in-flight sweep stops
+//     at its next cell boundary.
+//   - A sweep that aborts on cancellation is *not* cached: the entry resets
+//     and the next caller measures afresh. Genuine measurement errors are
+//     cached exactly as the pre-context store cached them.
 
 // campaignKey identifies one campaign by content, not by call site.
 type campaignKey struct {
@@ -31,18 +52,28 @@ type campaignKey struct {
 	platform string // machine, network and power models plus MaxNodes
 }
 
-// storeEntry is one memoized campaign; once guards the single measurement.
+// flight is one in-progress measurement attempt of an entry. Its fields are
+// guarded by the owning entry's mutex; ctx/cancel control the sweep and
+// finished is closed when the attempt's outcome has been recorded.
+type flight struct {
+	ctx      context.Context
+	cancel   context.CancelFunc
+	finished chan struct{}
+	waiters  int // callers (leader included) still interested in this attempt
+}
+
+// storeEntry is one memoized campaign slot.
 type storeEntry struct {
-	once sync.Once
-	camp *Campaign
-	err  error
+	mu     sync.Mutex
+	done   bool
+	camp   *Campaign
+	err    error
+	flight *flight // non-nil while a measurement attempt is in progress
 }
 
 // campaignStore is the process-wide cache. A mutex guards the map; each
-// entry's sync.Once guards its measurement, so two goroutines asking for
-// the same key concurrently trigger exactly one sweep and both block on it
-// (the singleflight pattern) while campaigns under different keys measure
-// concurrently.
+// entry serializes its own measurement (see storeEntry.get), so campaigns
+// under different keys measure concurrently.
 var campaignStore = struct {
 	mu sync.Mutex
 	m  map[campaignKey]*storeEntry
@@ -63,8 +94,9 @@ func storeKey(kernel string, params any, g cluster.Grid, p cluster.Platform) cam
 // measureCached returns the memoized campaign for (kernel, params, grid,
 // platform), sweeping the grid at most once per process. params must be the
 // kernel's full parameter struct so that two classes of the same kernel
-// cannot collide.
-func (s Suite) measureCached(kernel string, params any, g cluster.Grid, run cluster.RunFunc) (*Campaign, error) {
+// cannot collide. ctx bounds this caller's interest only — see the
+// singleflight contract at the top of the file.
+func (s Suite) measureCached(ctx context.Context, kernel string, params any, g cluster.Grid, run cluster.RunFunc) (*Campaign, error) {
 	key := storeKey(kernel, params, g, s.Platform)
 	campaignStore.mu.Lock()
 	e, ok := campaignStore.m[key]
@@ -83,13 +115,116 @@ func (s Suite) measureCached(kernel string, params any, g cluster.Grid, run clus
 	} else {
 		obs.Default().Counter("store.misses").Inc()
 	}
-	e.once.Do(func() {
-		e.camp, e.err = s.measure(g, run)
-		if e.err == nil {
-			recordCampaignSpan(kernel, e.camp)
+	return e.get(ctx, func(mctx context.Context) (*Campaign, error) {
+		camp, err := s.measure(mctx, g, run)
+		if err == nil {
+			recordCampaignSpan(kernel, camp)
 		}
+		return camp, err
 	})
-	return e.camp, e.err
+}
+
+// peekCached reports the memoized campaign for the key if — and only if —
+// its measurement has already completed. It never joins or starts a flight,
+// so servers can answer cache hits without consuming an admission slot.
+func (s Suite) peekCached(kernel string, params any, g cluster.Grid) (*Campaign, bool) {
+	key := storeKey(kernel, params, g, s.Platform)
+	campaignStore.mu.Lock()
+	e, ok := campaignStore.m[key]
+	campaignStore.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.done || e.err != nil {
+		return nil, false
+	}
+	return e.camp, true
+}
+
+// isCancellation reports whether err is (or wraps) a context cancellation —
+// the class of measurement failure the store must not cache, because it
+// says nothing about the campaign, only about the callers who asked for it.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// get returns the entry's campaign, measuring it with measure if needed.
+// Exactly one caller at a time runs measure (the leader); the rest wait.
+func (e *storeEntry) get(ctx context.Context, measure func(context.Context) (*Campaign, error)) (*Campaign, error) {
+	e.mu.Lock()
+	for {
+		if e.done {
+			e.mu.Unlock()
+			return e.camp, e.err
+		}
+		// A dead context never starts, joins or waits on a flight: the
+		// cancellation-before-leader-starts case aborts here with zero
+		// simulation work.
+		if err := ctx.Err(); err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		if e.flight == nil {
+			f := &flight{finished: make(chan struct{}), waiters: 1}
+			f.ctx, f.cancel = context.WithCancel(context.Background())
+			e.flight = f
+			e.mu.Unlock()
+			// The leader is about to block inside measure, so its own
+			// context is watched from the side: if it dies mid-sweep the
+			// leader's interest is withdrawn exactly like a waiter's, and
+			// the sweep keeps running only while someone still wants it.
+			stop := context.AfterFunc(ctx, func() { e.abandon(f) })
+			camp, err := measure(f.ctx)
+			if stop() {
+				e.abandon(f)
+			}
+			f.cancel()
+			e.mu.Lock()
+			e.flight = nil
+			if err == nil || !isCancellation(err) {
+				e.done, e.camp, e.err = true, camp, err
+			}
+			close(f.finished)
+			if e.done {
+				e.mu.Unlock()
+				return e.camp, e.err
+			}
+			// The sweep was abandoned. If this leader's own context is the
+			// one that died, report it; otherwise (every waiter left but the
+			// leader is still interested) loop and lead a fresh attempt.
+			if cerr := ctx.Err(); cerr != nil {
+				e.mu.Unlock()
+				return nil, cerr
+			}
+			continue
+		}
+		f := e.flight
+		f.waiters++
+		obs.Default().Counter("store.coalesced").Inc()
+		e.mu.Unlock()
+		select {
+		case <-f.finished:
+			e.mu.Lock()
+			// Either the entry is done now, or the attempt was abandoned and
+			// this waiter races to become the next leader.
+		case <-ctx.Done():
+			e.abandon(f)
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// abandon withdraws one caller's interest in a flight; the last withdrawal
+// cancels the measurement context, stopping the sweep at its next cell.
+func (e *storeEntry) abandon(f *flight) {
+	e.mu.Lock()
+	f.waiters--
+	if f.waiters == 0 {
+		f.cancel()
+	}
+	e.mu.Unlock()
 }
 
 // recordCampaignSpan reports a freshly measured campaign to the global

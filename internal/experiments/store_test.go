@@ -1,8 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"pasp/internal/mpi"
 	"pasp/internal/obs"
 )
 
@@ -11,11 +17,11 @@ import (
 // once.
 func TestStoreReturnsSharedCampaign(t *testing.T) {
 	s := Quick()
-	a, err := s.MeasureFT()
+	a, err := s.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.MeasureFT()
+	b, err := s.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,11 +35,11 @@ func TestStoreReturnsSharedCampaign(t *testing.T) {
 // and recompute nothing that changes a reproduced number.
 func TestStoreMatchesFreshMeasurement(t *testing.T) {
 	s := Quick()
-	cached, err := s.MeasureFT()
+	cached, err := s.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := s.measure(s.Grid, s.RunFT)
+	fresh, err := s.measure(context.Background(), s.Grid, s.RunFT)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,21 +70,21 @@ var storeKeyTrial float64
 // ablation benchmarks rely on.
 func TestStoreKeysOnPlatformContent(t *testing.T) {
 	s := Quick()
-	if _, err := s.MeasureFT(); err != nil {
+	if _, err := s.MeasureFT(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	before := CampaignStoreSize()
 	storeKeyTrial++
 	variant := s
 	variant.Platform.Net.MsgCPUIns = 100 * storeKeyTrial
-	vc, err := variant.MeasureFT()
+	vc, err := variant.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if CampaignStoreSize() != before+1 {
 		t.Errorf("store size %d after measuring a platform variant, want %d", CampaignStoreSize(), before+1)
 	}
-	stock, err := s.MeasureFT()
+	stock, err := s.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +97,7 @@ func TestStoreKeysOnPlatformContent(t *testing.T) {
 // the campaign a single extended-grid sweep would have produced.
 func TestMergeCampaigns(t *testing.T) {
 	s := Quick()
-	a, err := s.MeasureFT()
+	a, err := s.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +139,7 @@ func TestStoreHitMissCounters(t *testing.T) {
 	variant := Quick()
 	variant.Platform.Net.MsgCPUIns = 7777 + storeObsTrial
 	before := obs.Default().Snapshot()
-	if _, err := variant.MeasureFT(); err != nil {
+	if _, err := variant.MeasureFT(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	d := obs.Default().Snapshot().Delta(before)
@@ -145,7 +151,7 @@ func TestStoreHitMissCounters(t *testing.T) {
 	}
 	const reuses = 3
 	for i := 0; i < reuses; i++ {
-		if _, err := variant.MeasureFT(); err != nil {
+		if _, err := variant.MeasureFT(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -169,7 +175,7 @@ func TestStoreCampaignSpan(t *testing.T) {
 	storeObsTrial++
 	variant := Quick()
 	variant.Platform.Net.MsgCPUIns = 7777 + storeObsTrial
-	camp, err := variant.MeasureFT()
+	camp, err := variant.MeasureFT(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +194,7 @@ func TestStoreCampaignSpan(t *testing.T) {
 	if spans[0].End != total {
 		t.Errorf("span end = %g, want summed cell seconds %g", spans[0].End, total)
 	}
-	if _, err := variant.MeasureFT(); err != nil {
+	if _, err := variant.MeasureFT(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(rec.Spans()); got != 1 {
@@ -239,5 +245,75 @@ func TestRunKernelObserved(t *testing.T) {
 	}
 	if rec.Metrics().Snapshot().Counter("mpi.runs") != 1 { //palint:ignore floateq -- exact integer counter
 		t.Error("observed run did not count on the recorder registry")
+	}
+}
+
+// cancelTrial gives each cancellation test invocation its own store key
+// (the kernel-name component), for the same -count=2 reason as
+// storeKeyTrial.
+var cancelTrial atomic.Int64
+
+// TestStoreCancelledBeforeLeaderStarts pins the zero-work abort: a caller
+// whose context is already dead when it reaches the store returns that
+// context's error without running a single simulation, and the entry stays
+// measurable for the next live caller.
+func TestStoreCancelledBeforeLeaderStarts(t *testing.T) {
+	s := Quick()
+	name := fmt.Sprintf("CANCEL%d", cancelTrial.Add(1))
+	var runs atomic.Int64
+	run := func(w mpi.World) (*mpi.Result, error) {
+		runs.Add(1)
+		return s.RunEP(w)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.measureCached(ctx, name, s.EP, s.Grid, run); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-context measure returned %v, want context.Canceled", err)
+	}
+	if got := runs.Load(); got != 0 {
+		t.Fatalf("dead-context measure ran %d simulations, want 0", got)
+	}
+
+	camp, err := s.measureCached(context.Background(), name, s.EP, s.Grid, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(s.Grid.Ns) * len(s.Grid.MHz); len(camp.Cells) != want {
+		t.Fatalf("follow-up measure produced %d cells, want %d", len(camp.Cells), want)
+	}
+}
+
+// TestStoreAbandonedFlightRemeasures pins that a sweep cancelled mid-flight
+// is not cached: the leader reports the cancellation, and the next caller
+// measures afresh and succeeds.
+func TestStoreAbandonedFlightRemeasures(t *testing.T) {
+	s := Quick()
+	name := fmt.Sprintf("CANCEL%d", cancelTrial.Add(1))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	blocking := func(w mpi.World) (*mpi.Result, error) {
+		once.Do(func() { close(started) })
+		<-release
+		return s.RunEP(w)
+	}
+	go func() {
+		<-started
+		cancel()       // withdraw the only caller's interest...
+		close(release) // ...then let the in-flight cells drain
+	}()
+	if _, err := s.measureCached(ctx, name, s.EP, s.Grid, blocking); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled leader returned %v, want context.Canceled", err)
+	}
+
+	camp, err := s.measureCached(context.Background(), name, s.EP, s.Grid, s.RunEP)
+	if err != nil {
+		t.Fatalf("re-measure after abandoned flight: %v", err)
+	}
+	if want := len(s.Grid.Ns) * len(s.Grid.MHz); len(camp.Cells) != want {
+		t.Fatalf("re-measure produced %d cells, want %d", len(camp.Cells), want)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"pasp/internal/cluster"
@@ -18,8 +19,8 @@ import (
 // processor-count and frequency speedups (the Eq. 3 generalization of
 // Amdahl's law). The entries are relative errors against the measured
 // speedup; the paper reports up to 78%, 45% on average at 16 nodes.
-func (s Suite) Table1() (*ErrorGrid, error) {
-	camp, err := s.MeasureFT()
+func (s Suite) Table1(ctx context.Context) (*ErrorGrid, error) {
+	camp, err := s.MeasureFT(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -50,8 +51,8 @@ func (s Suite) Table2() string {
 // Table3 reproduces the FT prediction errors of the simplified
 // parameterization (Eqs. 16–18): fit from the base-frequency column and the
 // one-processor row, predict everywhere. The paper reports ≤ ~3%.
-func (s Suite) Table3() (*ErrorGrid, error) {
-	camp, err := s.MeasureFT()
+func (s Suite) Table3(ctx context.Context) (*ErrorGrid, error) {
+	camp, err := s.MeasureFT(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -218,8 +219,8 @@ func (r *Table7Result) String() string {
 // parameterization composed from counters, LMbench latencies and MPPTEST
 // message times, against the simplified parameterization fitted from
 // whole-program measurements.
-func (s Suite) Table7() (*Table7Result, error) {
-	camp, err := s.MeasureLU()
+func (s Suite) Table7(ctx context.Context) (*Table7Result, error) {
+	camp, err := s.MeasureLU(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -78,6 +78,21 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value returns the stored value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Add shifts the gauge by v (negative to decrease) in one lock-free CAS
+// loop — the up/down instrument for in-flight request tracking, where Set
+// from concurrent goroutines would lose updates.
+//
+//palint:hotpath
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Histogram counts observations into fixed buckets: bucket i counts values
 // v ≤ Bounds[i] (cumulative-free, one bucket per observation), with one
 // implicit overflow bucket for v > Bounds[len-1]. Observation is lock-free.

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"pasp/internal/experiments"
+	"pasp/internal/obs"
+)
+
+// fuzzHandler lazily builds one warmed quick-suite server shared by every
+// fuzz execution: FT is pre-measured so the valid seed inputs answer from
+// the peek path and the fuzzer spends its time on the decode boundary, not
+// on simulations.
+var fuzzHandler = sync.OnceValue(func() http.Handler {
+	s := experiments.Quick()
+	if _, err := s.MeasureKernel(context.Background(), "ft"); err != nil {
+		panic(err)
+	}
+	srv := New(Config{Suite: s, SuiteName: "quick", MaxInFlight: 2, Registry: obs.NewRegistry()})
+	return srv.Handler()
+})
+
+// FuzzPredictRequest pins the input-boundary contract of POST /predict:
+// any body whatsoever is answered — malformed JSON, NaN/Inf/negative
+// numbers, unknown fields, trailing garbage, huge payloads — and the
+// answer is never a 5xx and never a panic. Bad inputs map to 400 (shape),
+// 404 (unknown kernel / off-grid cell) or 413-as-400 (oversized).
+func FuzzPredictRequest(f *testing.F) {
+	seeds := []string{
+		`{"kernel":"ft","n":4,"f":1400}`,
+		`{"kernel":"ft","n":4,"f":"1.4ghz"}`,
+		`{"kernel":"ep","n":1,"f":"600mhz"}`,
+		`{"kernel":"ft","n":-1,"f":1400}`,
+		`{"kernel":"ft","n":4,"f":-600}`,
+		`{"kernel":"ft","n":4,"f":0}`,
+		`{"kernel":"ft","n":4,"f":NaN}`,
+		`{"kernel":"ft","n":4,"f":"nan"}`,
+		`{"kernel":"ft","n":4,"f":"+inf"}`,
+		`{"kernel":"ft","n":4,"f":1e309}`,
+		`{"kernel":"ft","n":99999999,"f":1400}`,
+		`{"kernel":"zz","n":4,"f":1400}`,
+		`{"kernel":"ft","n":4,"f":1400,"extra":true}`,
+		`{"kernel":"ft","n":4,"f":1400}{"kernel":"ft"}`,
+		`{"kernel":"ft","n":4.5,"f":1400}`,
+		`[1,2,3]`,
+		`null`,
+		`"ft"`,
+		``,
+		`}{`,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	h := fuzzHandler()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("body %q answered %d:\n%s", body, rec.Code, rec.Body.Bytes())
+		}
+		if rec.Code != http.StatusOK && rec.Body.Len() == 0 {
+			t.Fatalf("body %q answered %d with an empty error payload", body, rec.Code)
+		}
+	})
+}
+
+// FuzzParseGear pins ParseGear's contract: it never panics, and whenever
+// it accepts an input the result is finite and strictly positive — the
+// property that keeps non-physical frequencies out of the model layer.
+func FuzzParseGear(f *testing.F) {
+	for _, s := range []string{
+		"1400", "1400mhz", "1.4ghz", " 1.4 GHz ", "0.6ghz", "600",
+		"", " ", "mhz", "ghz", "-1", "0", "nan", "inf", "-inf", "1e309",
+		"1,400", "fast", "1400mhz extra", "0x10", "１４００",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseGear(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			t.Fatalf("ParseGear(%q) accepted non-physical %v", s, v)
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseGear parses a frequency gear into megahertz. It accepts the repo's
+// CLI conventions — "1.4ghz", "1400mhz" or a bare number taken as MHz —
+// case-insensitively and with surrounding whitespace. The result is always
+// finite and positive; everything else (NaN, Inf, zero, negative, empty,
+// trailing garbage) is an error, so a request decoder built on ParseGear
+// can never let a non-physical frequency into the model layer.
+func ParseGear(s string) (float64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	scale := 1.0
+	switch {
+	case strings.HasSuffix(t, "ghz"):
+		t, scale = strings.TrimSuffix(t, "ghz"), 1000
+	case strings.HasSuffix(t, "mhz"):
+		t = strings.TrimSuffix(t, "mhz")
+	}
+	t = strings.TrimSpace(t)
+	if t == "" {
+		return 0, fmt.Errorf("serve: empty frequency %q", s)
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: bad frequency %q (want e.g. 1.4ghz, 1400mhz or 1400)", s)
+	}
+	v *= scale
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return 0, fmt.Errorf("serve: non-physical frequency %q", s)
+	}
+	return v, nil
+}
+
+// Gear is a frequency in a JSON request: either a number (megahertz) or a
+// string in any ParseGear form. The zero value is invalid, so a request
+// that omits the field fails validation instead of defaulting silently.
+type Gear struct {
+	// MHz is the parsed frequency in megahertz; 0 means absent.
+	MHz float64
+}
+
+// UnmarshalJSON accepts 1400, "1400", "1400mhz" or "1.4ghz".
+func (g *Gear) UnmarshalJSON(data []byte) error {
+	s := strings.TrimSpace(string(data))
+	if s == "null" {
+		return fmt.Errorf("serve: frequency must not be null")
+	}
+	if strings.HasPrefix(s, `"`) {
+		var str string
+		if err := json.Unmarshal(data, &str); err != nil {
+			return err
+		}
+		mhz, err := ParseGear(str)
+		if err != nil {
+			return err
+		}
+		g.MHz = mhz
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	// encoding/json already rejects the NaN/Inf literals, so only range
+	// needs checking here.
+	if v <= 0 {
+		return fmt.Errorf("serve: non-physical frequency %s", s)
+	}
+	g.MHz = v
+	return nil
+}
+
+// MarshalJSON renders the gear as its megahertz number.
+func (g Gear) MarshalJSON() ([]byte, error) {
+	return json.Marshal(g.MHz)
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRunLoadReport drives the load harness against a trivial server and
+// checks the aggregate accounting: every scheduled request is accounted
+// for, status classes add up, and the percentiles are ordered.
+func TestRunLoadReport(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	cfg := LoadConfig{
+		BaseURL:  ts.URL,
+		QPS:      400,
+		Duration: 250 * time.Millisecond,
+		Seed:     9,
+		Targets: []Target{
+			{Name: "ok", Method: http.MethodGet, Path: "/", Weight: 3},
+			{Name: "missing", Method: http.MethodGet, Path: "/missing", Weight: 1},
+		},
+	}
+	rep, err := RunLoad(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 100 // round(400 QPS × 0.25 s)
+	if rep.Requests != total {
+		t.Fatalf("requests = %d, want %d", rep.Requests, total)
+	}
+	if rep.Transport != 0 {
+		t.Fatalf("transport errors = %d, want 0", rep.Transport)
+	}
+	if got := rep.Status["200"] + rep.Status["404"]; got != total {
+		t.Fatalf("status counts sum to %d, want %d (%v)", got, total, rep.Status)
+	}
+	if rep.Non2xx != rep.Status["404"] || rep.Non2xx == 0 {
+		t.Fatalf("non-2xx = %d, want the 404 count %d (mix must hit both targets)",
+			rep.Non2xx, rep.Status["404"])
+	}
+	if rep.Status5xx != 0 {
+		t.Fatalf("5xx = %d, want 0", rep.Status5xx)
+	}
+	if rep.P50Ms > rep.P99Ms || rep.P99Ms > rep.MaxMs || rep.MaxMs <= 0 {
+		t.Fatalf("percentiles out of order: p50 %g, p99 %g, max %g", rep.P50Ms, rep.P99Ms, rep.MaxMs)
+	}
+
+	// The target split is a pure function of (seed, index): recompute it.
+	wantPerTarget := map[string]int{}
+	totalWeight := 0
+	for _, tg := range cfg.Targets {
+		totalWeight += tg.Weight
+	}
+	for i := 0; i < total; i++ {
+		wantPerTarget[pick(cfg.Targets, totalWeight, cfg.Seed, uint64(i)).Name]++
+	}
+	got := map[string]int{}
+	for _, tg := range rep.Targets {
+		got[tg.Name] = tg.Requests
+	}
+	for name, want := range wantPerTarget {
+		if got[name] != want {
+			t.Fatalf("target %s got %d requests, want the deterministic %d", name, got[name], want)
+		}
+	}
+}
+
+// TestRunLoadDeterministicSchedule pins that two runs with the same seed
+// issue the identical request sequence (the report's per-target split),
+// and a different seed a different one.
+func TestRunLoadDeterministicSchedule(t *testing.T) {
+	targets := []Target{
+		{Name: "a", Method: http.MethodGet, Path: "/a", Weight: 1},
+		{Name: "b", Method: http.MethodGet, Path: "/b", Weight: 1},
+	}
+	seq := func(seed uint64) []string {
+		out := make([]string, 64)
+		for i := range out {
+			out[i] = pick(targets, 2, seed, uint64(i)).Name
+		}
+		return out
+	}
+	a1, a2, b := seq(1), seq(1), seq(2)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	same := true
+	for i := range a1 {
+		if a1[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced the identical 64-request schedule")
+	}
+}
+
+func TestRunLoadConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := RunLoad(ctx, LoadConfig{BaseURL: "x", QPS: 0, Duration: time.Second,
+		Targets: []Target{{Name: "a", Weight: 1}}}); err == nil {
+		t.Fatal("zero QPS accepted")
+	}
+	if _, err := RunLoad(ctx, LoadConfig{BaseURL: "x", QPS: 1, Duration: time.Second}); err == nil {
+		t.Fatal("empty target list accepted")
+	}
+	if _, err := RunLoad(ctx, LoadConfig{BaseURL: "x", QPS: 1, Duration: time.Second,
+		Targets: []Target{{Name: "a", Weight: 0}}}); err == nil {
+		t.Fatal("zero-weight target accepted")
+	}
+}
+
+// TestRunLoadCancellation stops a long run early via its context and
+// checks the harness returns promptly with partial accounting.
+func TestRunLoadCancellation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	rep, err := RunLoad(ctx, LoadConfig{
+		BaseURL:  ts.URL,
+		QPS:      100,
+		Duration: time.Hour,
+		Targets:  []Target{{Name: "ok", Method: http.MethodGet, Path: "/", Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Requests > 30 {
+		t.Fatalf("cancelled run issued %d requests, want a handful", rep.Requests)
+	}
+}

@@ -1,0 +1,537 @@
+// Package serve exposes the prediction pipeline as an HTTP/JSON service:
+// measured campaigns, SP/FP model predictions, robustness sweeps and
+// Perfetto traces, all computed on demand and memoized by the process-wide
+// campaign store.
+//
+// The server's concurrency model has two tiers. Requests answerable from an
+// already-measured campaign (the steady-state regime) take a lock-free peek
+// at the store and bypass admission entirely, so cache hits stay cheap at
+// thousands of QPS. Requests that need simulation first acquire one of a
+// bounded set of slots — a full house answers 429 with Retry-After instead
+// of queueing unboundedly — and then join the store's per-entry
+// singleflight, so any number of concurrent identical requests cost one
+// sweep. The caller's context travels into cluster.Sweep; when every
+// interested request has gone away the sweep itself is cancelled.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pasp/internal/cluster"
+	"pasp/internal/experiments"
+	"pasp/internal/faults"
+	"pasp/internal/obs"
+	"pasp/internal/stats"
+)
+
+// statusClientClosed is the non-standard status reported when the client
+// cancelled the request before the answer was ready (nginx's 499
+// convention). The connection is gone, so the code is only visible in the
+// metrics — it keeps abandoned requests out of the 5xx error budget.
+const statusClientClosed = 499
+
+// Config parameterizes a Server. The zero value of every field has a
+// usable default.
+type Config struct {
+	// Suite supplies the platform, grids and kernel classes.
+	Suite experiments.Suite
+	// SuiteName labels the suite in /healthz ("paper", "quick", "scale").
+	SuiteName string
+	// MaxInFlight bounds concurrently *simulating* requests — cache hits
+	// are not admission-controlled. Default 4.
+	MaxInFlight int
+	// RetryAfterSec is the Retry-After hint on 429 responses. Default 1.
+	RetryAfterSec int
+	// MaxBodyBytes caps request bodies. Default 64 KiB.
+	MaxBodyBytes int64
+	// Registry receives the server's metrics. Default obs.Default(), which
+	// also carries the campaign store's hit/miss/coalesced counters, so one
+	// /metrics scrape shows the whole pipeline.
+	Registry *obs.Registry
+}
+
+// Server is the HTTP frontend. Create one with New and mount Handler.
+type Server struct {
+	suite     experiments.Suite
+	suiteName string
+	kernels   map[string]experiments.Kernel
+	reg       *obs.Registry
+	// slots is the admission semaphore: held while a request is entitled to
+	// run (or wait on) a simulation, never by peek-served cache hits.
+	slots      chan struct{}
+	retryAfter string
+	maxBody    int64
+	fits       fitCache
+}
+
+// New builds a server over cfg, applying defaults for zero fields.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4
+	}
+	if cfg.RetryAfterSec <= 0 {
+		cfg.RetryAfterSec = 1
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 10
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if cfg.SuiteName == "" {
+		cfg.SuiteName = "custom"
+	}
+	return &Server{
+		suite:      cfg.Suite,
+		suiteName:  cfg.SuiteName,
+		kernels:    cfg.Suite.Kernels(),
+		reg:        cfg.Registry,
+		slots:      make(chan struct{}, cfg.MaxInFlight),
+		retryAfter: fmt.Sprintf("%d", cfg.RetryAfterSec),
+		maxBody:    cfg.MaxBodyBytes,
+	}
+}
+
+// Handler returns the server's routed, instrumented handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.instrument("predict", http.MethodPost, s.handlePredict))
+	mux.HandleFunc("/sweep", s.instrument("sweep", http.MethodPost, s.handleSweep))
+	mux.HandleFunc("/robustness", s.instrument("robustness", http.MethodPost, s.handleRobustness))
+	mux.HandleFunc("/trace", s.instrument("trace", http.MethodPost, s.handleTrace))
+	mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
+	return mux
+}
+
+// statusWriter records the response status for the status-class counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(c int) {
+	if w.code == 0 {
+		w.code = c
+	}
+	w.ResponseWriter.WriteHeader(c)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps h with the per-endpoint plumbing: method enforcement,
+// the request-body byte cap, and the serve.<name>.{requests,inflight,
+// seconds,status.Nxx} instruments.
+func (s *Server) instrument(name, method string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.reg.Counter("serve." + name + ".requests")
+	inflight := s.reg.Gauge("serve." + name + ".inflight")
+	latency := s.reg.Histogram("serve."+name+".seconds", obs.SecondsBuckets)
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(sw, http.StatusMethodNotAllowed,
+				fmt.Errorf("serve: %s %s (the endpoint takes %s)", r.Method, r.URL.Path, method))
+			s.reg.Counter(fmt.Sprintf("serve.%s.status.%dxx", name, sw.code/100)).Inc()
+			return
+		}
+		requests.Inc()
+		inflight.Add(1)
+		// Request latency is wall-clock by definition: it measures this
+		// process, not the simulated cluster.
+		start := time.Now() //palint:ignore detsource -- serving latency is host time, not virtual time
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		h(sw, r)
+		latency.Observe(time.Since(start).Seconds()) //palint:ignore detsource -- serving latency is host time, not virtual time
+		inflight.Add(-1)
+		s.reg.Counter(fmt.Sprintf("serve.%s.status.%dxx", name, sw.code/100)).Inc()
+	}
+}
+
+// acquire takes an admission slot, or answers 429 + Retry-After and
+// reports false when MaxInFlight simulations are already running.
+func (s *Server) acquire(w http.ResponseWriter) bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		s.reg.Counter("serve.rejected").Inc()
+		w.Header().Set("Retry-After", s.retryAfter)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("serve: %d simulations already in flight", cap(s.slots)))
+		return false
+	}
+}
+
+// release returns an admission slot.
+func (s *Server) release() { <-s.slots }
+
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// writeRunError maps a measurement failure to a status: the client taking
+// its context away is 499 (its problem, not ours); anything else is 500.
+func writeRunError(w http.ResponseWriter, err error) {
+	if isCtxErr(err) {
+		writeError(w, statusClientClosed, fmt.Errorf("serve: client cancelled: %w", err))
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
+}
+
+// kernel resolves the request's kernel name, answering 404 on miss.
+func (s *Server) kernel(w http.ResponseWriter, name string) (experiments.Kernel, bool) {
+	k, ok := s.kernels[name]
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("serve: unknown kernel %q (have %v)", name, s.suite.KernelNames()))
+	}
+	return k, ok
+}
+
+// onGrid reports whether (n, mhz) is a cell of g.
+func onGrid(g cluster.Grid, n int, mhz float64) bool {
+	foundN := false
+	for _, gn := range g.Ns {
+		if gn == n {
+			foundN = true
+			break
+		}
+	}
+	if !foundN {
+		return false
+	}
+	for _, f := range g.MHz {
+		if f == mhz { //palint:ignore floateq -- grid membership: gears are discrete identity values (ParseGear round-trips them exactly), not measurements
+			return true
+		}
+	}
+	return false
+}
+
+// campaign returns the kernel's measured campaign: peek-served from the
+// store when already measured (counted on hits, no admission slot), else
+// measured under an admission slot with the request's context. On failure
+// the response has been written and ok is false.
+func (s *Server) campaign(w http.ResponseWriter, r *http.Request, k experiments.Kernel, hits *obs.Counter) (*experiments.Campaign, bool) {
+	if camp, ok := k.Peek(); ok {
+		hits.Inc()
+		return camp, true
+	}
+	if !s.acquire(w) {
+		return nil, false
+	}
+	defer s.release()
+	camp, err := k.Measure(r.Context())
+	if err != nil {
+		writeRunError(w, err)
+		return nil, false
+	}
+	return camp, true
+}
+
+// PredictResponse is the answer for one configuration. The fields are a
+// deterministic function of the measured campaign and the fitted models —
+// no timestamps, engine tags or pointers — which is what lets the contract
+// goldens demand byte-identical bodies across engines and GOMAXPROCS.
+type PredictResponse struct {
+	Kernel string  `json:"kernel"`
+	N      int     `json:"n"`
+	MHz    float64 `json:"mhz"`
+	// Measured values of the cell.
+	Seconds float64 `json:"seconds"`
+	Joules  float64 `json:"joules"`
+	Watts   float64 `json:"watts"`
+	EDP     float64 `json:"edp"`
+	Speedup float64 `json:"speedup"`
+	// SP-model predictions (Eq. 18) and their relative error.
+	SPSeconds float64 `json:"sp_seconds"`
+	SPSpeedup float64 `json:"sp_speedup"`
+	SPErr     float64 `json:"sp_err"`
+	// FP-model predictions, present only where the full parameterization is
+	// fittable for this kernel (it needs per-N message statistics).
+	FPSeconds *float64 `json:"fp_seconds,omitempty"`
+	FPErr     *float64 `json:"fp_err,omitempty"`
+}
+
+// predictRow assembles one PredictResponse from a measured campaign.
+func (s *Server) predictRow(k experiments.Kernel, camp *experiments.Campaign, n int, mhz float64) (PredictResponse, error) {
+	res, err := camp.Cell(n, mhz)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	speedup, err := camp.Meas.Speedup(n, mhz)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	f := s.fits.fit(s.suite, k, camp)
+	if f.spErr != nil {
+		return PredictResponse{}, f.spErr
+	}
+	spT, err := f.sp.PredictTime(n, mhz)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	spS, err := f.sp.PredictSpeedup(n, mhz)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	row := PredictResponse{
+		Kernel:    k.Name,
+		N:         n,
+		MHz:       mhz,
+		Seconds:   res.Seconds,
+		Joules:    res.Joules,
+		Watts:     res.AvgWatts(),
+		EDP:       res.EDP(),
+		Speedup:   speedup,
+		SPSeconds: spT,
+		SPSpeedup: spS,
+		SPErr:     stats.RelError(spT, res.Seconds),
+	}
+	if f.fpErr == nil {
+		if fpT, err := f.fp.PredictTime(n, mhz); err == nil {
+			v := float64(fpT)
+			e := stats.RelError(v, res.Seconds)
+			row.FPSeconds, row.FPErr = &v, &e
+		}
+	}
+	return row, nil
+}
+
+// handlePredict answers POST /predict: one kernel configuration.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := decode(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	k, ok := s.kernel(w, req.Kernel)
+	if !ok {
+		return
+	}
+	if !onGrid(k.Grid, req.N, req.F.MHz) {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("serve: (N=%d, f=%g MHz) is not on %s's campaign grid (Ns %v, MHz %v)",
+				req.N, req.F.MHz, k.Name, k.Grid.Ns, k.Grid.MHz))
+		return
+	}
+	camp, ok := s.campaign(w, r, k, s.reg.Counter("serve.predict.cache_hits"))
+	if !ok {
+		return
+	}
+	row, err := s.predictRow(k, camp, req.N, req.F.MHz)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, row)
+}
+
+// SweepResponse is the answer for a kernel's full campaign grid, rows in
+// sweep order (N-major, frequency-minor — exactly the cell order of
+// cluster.Sweep).
+type SweepResponse struct {
+	Kernel string            `json:"kernel"`
+	Rows   []PredictResponse `json:"rows"`
+}
+
+// handleSweep answers POST /sweep: every cell of the kernel's grid.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decode(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	k, ok := s.kernel(w, req.Kernel)
+	if !ok {
+		return
+	}
+	camp, ok := s.campaign(w, r, k, s.reg.Counter("serve.sweep.cache_hits"))
+	if !ok {
+		return
+	}
+	resp := SweepResponse{Kernel: k.Name, Rows: make([]PredictResponse, 0, len(camp.Cells))}
+	for _, cell := range camp.Cells {
+		row, err := s.predictRow(k, camp, cell.N, cell.MHz)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RobustnessResponse is the answer for a perturbation sweep. Matrices are
+// indexed [magnitude][n], mirroring experiments.RobustnessResult.
+type RobustnessResponse struct {
+	Kernel     string      `json:"kernel"`
+	BaseMHz    float64     `json:"base_mhz"`
+	Ns         []int       `json:"ns"`
+	Magnitudes []float64   `json:"magnitudes"`
+	MeasSec    [][]float64 `json:"meas_sec"`
+	SPErr      [][]float64 `json:"sp_err"`
+	FPErr      [][]float64 `json:"fp_err"`
+	FaultSec   [][]float64 `json:"fault_sec"`
+	Retries    [][]int     `json:"retries"`
+}
+
+// handleRobustness answers POST /robustness: fit on the clean campaign,
+// score against perturbed measurements. The perturbed cells are fresh
+// simulations, so the request always holds an admission slot.
+func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
+	var req RobustnessRequest
+	if err := decode(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	k, ok := s.kernel(w, req.Kernel)
+	if !ok {
+		return
+	}
+	cfg := experiments.DefaultRobustnessFaults(req.Seed)
+	if req.Chaos != "" {
+		var err error
+		cfg, err = faults.ParseSpec(req.Chaos)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	spec := experiments.RobustnessSpec{
+		Kernel:     req.Kernel,
+		Ns:         req.Ns,
+		Magnitudes: req.Magnitudes,
+		Faults:     cfg,
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, n := range spec.Ns {
+		if !onGrid(k.Grid, n, k.Grid.MHz[0]) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("serve: robustness N=%d is not on %s's campaign grid %v", n, k.Name, k.Grid.Ns))
+			return
+		}
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	res, err := s.suite.Robustness(r.Context(), spec)
+	if err != nil {
+		writeRunError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RobustnessResponse{
+		Kernel:     res.Spec.Kernel,
+		BaseMHz:    res.BaseMHz,
+		Ns:         res.Spec.Ns,
+		Magnitudes: res.Spec.Magnitudes,
+		MeasSec:    res.MeasSec,
+		SPErr:      res.SPErr,
+		FPErr:      res.FPErr,
+		FaultSec:   res.FaultSec,
+		Retries:    res.Retries,
+	})
+}
+
+// handleTrace answers POST /trace: one observed run exported as validated
+// Chrome trace-event JSON (open the body in ui.perfetto.dev). The run is a
+// fresh simulation at any (n, f) the platform supports — not limited to
+// the campaign grid — so it always holds an admission slot.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	var req TraceRequest
+	if err := decode(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, ok := s.kernel(w, req.Kernel); !ok {
+		return
+	}
+	cfg, err := faults.ParseSpec(req.Chaos)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	st := s.suite
+	st.Platform.Faults = cfg
+	res, err := st.RunKernelOnce(req.Kernel, req.N, req.F.MHz)
+	if err != nil {
+		// The platform rejecting the configuration (too many nodes, no such
+		// operating point) is the client's asking, not a server fault.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	data := obs.ChromeTrace(res.Trace, "paserve "+req.Kernel)
+	if _, err := obs.ValidateChromeTrace(data); err != nil {
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("serve: refusing to send invalid trace: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// healthBody is the /healthz payload.
+type healthBody struct {
+	Status string `json:"status"`
+	Suite  string `json:"suite"`
+}
+
+// handleHealthz answers GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthBody{Status: "ok", Suite: s.suiteName})
+}
+
+// handleMetrics answers GET /metrics: the registry snapshot as the obs
+// text exposition, or JSON with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		data, err := snap.JSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, snap.Text())
+}
