@@ -129,35 +129,53 @@ fuzz:
 	$(GO) test -fuzz=FuzzPredictRequest -fuzztime=$(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz=FuzzParseGear -fuzztime=$(FUZZTIME) ./internal/serve/
 
-# Serving smoke: start paserve on the quick suite with FT pre-warmed, then
-# drive it with paload in two strict phases — the cache-hit regime at 1000
-# QPS (the throughput floor the serving layer promises) and a 10 s mixed
-# blend at 200 QPS. -strict fails the target on any transport error or
-# non-2xx response (429s included: a warmed quick-suite server must never
-# shed this load). The /metrics scrape and the paload JSON report are the
-# artifacts; the final SIGTERM exercises the graceful-drain path, and the
-# server's exit status certifies it.
+# Serving smoke: start paserve on the quick suite with FT pre-warmed and
+# full telemetry on (wide events to $(SERVEEVENTS), serve spans to
+# $(SERVETRACE)), then drive it with paload in two strict phases — the
+# cache-hit regime at 1000 QPS (the throughput floor the serving layer
+# promises) and a 10 s mixed blend at 200 QPS. -strict fails the target on
+# any transport error, non-2xx response (429s included: a warmed
+# quick-suite server must never shed this load), or request-ID echo
+# mismatch. The two phases use distinct seeds so their deterministic
+# request IDs stay disjoint — pastat -strict treats a duplicate ID as a
+# finding. After the graceful drain, pastat closes the loop offline: the
+# wide-event log must satisfy a loose SLO, pass the telemetry-integrity
+# checks, and the Perfetto trace must validate. The /metrics and
+# /debug/requests scrapes, the paload JSON report, the event log, the trace
+# and the pastat report are the artifacts.
 SERVEADDR ?= 127.0.0.1:18080
 LOADJSON ?= load.json
 SERVEMETRICS ?= serve-metrics.txt
+SERVEEVENTS ?= serve-events.jsonl
+SERVETRACE ?= serve-trace.json
+SERVEDEBUG ?= debug-requests.txt
+PASTATREPORT ?= pastat-report.txt
 
 serve-smoke:
 	$(GO) build -o paserve.bin ./cmd/paserve
 	$(GO) build -o paload.bin ./cmd/paload
-	@./paserve.bin -addr $(SERVEADDR) -suite quick -warm ft & \
+	$(GO) build -o pastat.bin ./cmd/pastat
+	@rm -f $(SERVEEVENTS); \
+	./paserve.bin -addr $(SERVEADDR) -suite quick -warm ft \
+		-events $(SERVEEVENTS) -trace $(SERVETRACE) -ring 512 & \
 	pid=$$!; \
 	trap 'kill $$pid 2>/dev/null' EXIT; \
 	up=0; for i in $$(seq 1 100); do \
 		curl -fsS http://$(SERVEADDR)/healthz >/dev/null 2>&1 && { up=1; break; }; \
 		sleep 0.2; done; \
 	[ $$up -eq 1 ] || { echo "paserve did not come up on $(SERVEADDR)"; exit 1; }; \
-	./paload.bin -url http://$(SERVEADDR) -qps 1000 -duration 5s \
+	./paload.bin -url http://$(SERVEADDR) -qps 1000 -duration 5s -seed 1 \
 		-mix predict -kernel ft -n 4 -f 1400mhz -strict -json $(LOADJSON) || exit 1; \
-	./paload.bin -url http://$(SERVEADDR) -qps 200 -duration 10s \
+	./paload.bin -url http://$(SERVEADDR) -qps 200 -duration 10s -seed 2 \
 		-mix quick -kernel ft -n 4 -f 1400mhz -strict || exit 1; \
 	curl -fsS http://$(SERVEADDR)/metrics > $(SERVEMETRICS) || exit 1; \
+	curl -fsS http://$(SERVEADDR)/debug/requests > $(SERVEDEBUG) || exit 1; \
 	trap - EXIT; \
 	kill -TERM $$pid && wait $$pid || exit 1; \
+	./pastat.bin -events $(SERVEEVENTS) -strict \
+		-slo p99=2s,err_rate=0.001 -validate-trace $(SERVETRACE) \
+		> $(PASTATREPORT); status=$$?; cat $(PASTATREPORT); \
+	[ $$status -eq 0 ] || exit 1; \
 	echo "serve-smoke OK"
 
 verify: build test lint fmt-check race

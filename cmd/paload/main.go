@@ -14,8 +14,13 @@
 // PRNG, the same construction as the fault injector — so two runs with the
 // same flags issue the identical request sequence.
 //
+// Every request carries a deterministic X-Request-ID (a pure function of
+// seed and request index) and the harness asserts the server echoes each ID
+// exactly once; mismatches and duplicates land in the report.
+//
 // With -strict the exit status is 1 unless every request completed with a
-// 2xx status and zero transport errors: the CI smoke gate.
+// 2xx status, zero transport errors, and every request ID echoed exactly
+// once: the CI smoke gate.
 package main
 
 import (
@@ -120,9 +125,9 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "report written to %s\n", *jsonOut)
 	}
 
-	if *strict && (rep.Transport > 0 || rep.Non2xx > 0) {
-		return fmt.Errorf("paload: strict run saw %d transport error(s) and %d non-2xx response(s)",
-			rep.Transport, rep.Non2xx)
+	if *strict && (rep.Transport > 0 || rep.Non2xx > 0 || rep.IDMismatches > 0 || rep.IDDuplicates > 0) {
+		return fmt.Errorf("paload: strict run saw %d transport error(s), %d non-2xx response(s), %d request-id mismatch(es), %d duplicate id(s)",
+			rep.Transport, rep.Non2xx, rep.IDMismatches, rep.IDDuplicates)
 	}
 	return nil
 }

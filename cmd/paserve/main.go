@@ -7,15 +7,17 @@
 //	paserve [-addr :8080] [-suite paper|quick|scale] [-engine goroutine|event]
 //	        [-max-inflight 4] [-retry-after 1] [-max-body 65536]
 //	        [-warm ft,ep] [-drain 10s]
+//	        [-events events.jsonl] [-ring 256] [-trace serve-trace.json]
 //
 // Endpoints:
 //
-//	POST /predict     {"kernel":"ft","n":4,"f":1400}        → one grid cell
-//	POST /sweep       {"kernel":"ft"}                        → the full grid
-//	POST /robustness  {"kernel":"ft","ns":[4],"magnitudes":[0,1]}
-//	POST /trace       {"kernel":"ft","n":4,"f":1400}        → Perfetto JSON
+//	POST /predict        {"kernel":"ft","n":4,"f":1400}     → one grid cell
+//	POST /sweep          {"kernel":"ft"}                     → the full grid
+//	POST /robustness     {"kernel":"ft","ns":[4],"magnitudes":[0,1]}
+//	POST /trace          {"kernel":"ft","n":4,"f":1400}     → Perfetto JSON
 //	GET  /healthz
-//	GET  /metrics     [?format=json]
+//	GET  /metrics        [?format=json]
+//	GET  /debug/requests [?format=json]   (with -events or -ring)
 //
 // The first request for a kernel measures its campaign (bounded by
 // -max-inflight; identical concurrent requests coalesce onto one sweep);
@@ -23,6 +25,12 @@
 // control. -warm pre-measures kernels before the listener opens so a load
 // test starts in the cache-hit regime. On SIGINT/SIGTERM the server stops
 // accepting connections and drains in-flight requests for up to -drain.
+//
+// Telemetry: -events appends one wide JSON event per request (the format
+// cmd/pastat analyzes) and enables /debug/requests over the last -ring
+// events; -ring alone enables the debug endpoint without a file. -trace
+// writes, at shutdown, a Perfetto trace of every request span with the
+// campaign spans of the simulations they triggered nested inside.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 
 	"pasp/internal/experiments"
 	"pasp/internal/mpi"
+	"pasp/internal/obs"
 	"pasp/internal/serve"
 )
 
@@ -56,6 +65,9 @@ func run(args []string, stdout io.Writer) error {
 	maxBody := fs.Int64("max-body", 64<<10, "request body byte cap")
 	warm := fs.String("warm", "", "comma-separated kernels to measure before listening (e.g. ft,ep)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	events := fs.String("events", "", "append one wide JSON event per request to this file")
+	ring := fs.Int("ring", 0, "events retained for /debug/requests (0: default 256; enables the endpoint even without -events)")
+	traceOut := fs.String("trace", "", "write a Perfetto trace of request + simulation spans here at shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +82,27 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		s.Platform.Engine = e
+	}
+
+	// Telemetry sinks are wired before warming so even warm-up simulations
+	// land in the trace (as root campaign spans — no request led them).
+	var eventLog *obs.EventLog
+	if *events != "" || *ring > 0 {
+		var sink io.Writer
+		if *events != "" {
+			f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("paserve: opening event log: %w", err)
+			}
+			defer f.Close()
+			sink = f
+		}
+		eventLog = obs.NewEventLog(sink, *ring)
+	}
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder()
+		obs.SetGlobal(rec)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -94,6 +127,8 @@ func run(args []string, stdout io.Writer) error {
 		MaxInFlight:   *maxInflight,
 		RetryAfterSec: *retryAfter,
 		MaxBodyBytes:  *maxBody,
+		Events:        eventLog,
+		Trace:         rec,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -121,7 +156,30 @@ func run(args []string, stdout io.Writer) error {
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if rec != nil {
+		if err := writeServeTrace(rec, *traceOut, stdout); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintln(stdout, "paserve: drained, bye")
+	return nil
+}
+
+// writeServeTrace exports the recorder's request and campaign spans as a
+// validated Perfetto trace. Campaign spans run on the simulator's virtual
+// clock, so they are rebased under the wall-clock request spans that
+// triggered them before export.
+func writeServeTrace(rec *obs.Recorder, path string, stdout io.Writer) error {
+	spans := obs.NestSpans(rec.Spans())
+	data := obs.SpansChromeTrace(spans, "paserve")
+	n, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		return fmt.Errorf("paserve: refusing to write invalid trace: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("paserve: writing trace: %w", err)
+	}
+	fmt.Fprintf(stdout, "paserve: wrote %d trace events to %s\n", n, path)
 	return nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"pasp/internal/faults"
 	"pasp/internal/machine"
 	"pasp/internal/mpi"
+	"pasp/internal/obs"
 	"pasp/internal/power"
 	"pasp/internal/simnet"
 	"pasp/internal/units"
@@ -206,6 +207,11 @@ func Sweep(ctx context.Context, p Platform, g Grid, run RunFunc) ([]Cell, error)
 	// never ran carry no errors, so without this check a half-swept grid
 	// could look like a success.
 	if err := ctx.Err(); err != nil {
+		// The request ID (when the sweep ran on behalf of a serving
+		// request) names which caller's cancellation killed the work.
+		if id := obs.RequestIDFrom(ctx); id != "" {
+			return nil, fmt.Errorf("cluster: sweep cancelled (request %s): %w", id, err)
+		}
 		return nil, fmt.Errorf("cluster: sweep cancelled: %w", err)
 	}
 	// A failing sweep reports every broken cell, not just the first: a

@@ -60,6 +60,11 @@ type flight struct {
 	cancel   context.CancelFunc
 	finished chan struct{}
 	waiters  int // callers (leader included) still interested in this attempt
+	// leader is the request ID of the caller that started this attempt
+	// (empty outside the serving path). Coalesced waiters surface it in
+	// their wide events so a slow request can be traced to the one
+	// simulation every rider shared.
+	leader string
 }
 
 // storeEntry is one memoized campaign slot.
@@ -118,7 +123,7 @@ func (s Suite) measureCached(ctx context.Context, kernel string, params any, g c
 	return e.get(ctx, func(mctx context.Context) (*Campaign, error) {
 		camp, err := s.measure(mctx, g, run)
 		if err == nil {
-			recordCampaignSpan(kernel, camp)
+			recordCampaignSpan(mctx, kernel, camp)
 		}
 		return camp, err
 	})
@@ -153,9 +158,16 @@ func isCancellation(err error) bool {
 // get returns the entry's campaign, measuring it with measure if needed.
 // Exactly one caller at a time runs measure (the leader); the rest wait.
 func (e *storeEntry) get(ctx context.Context, measure func(context.Context) (*Campaign, error)) (*Campaign, error) {
+	fi := obs.FlightInfoFrom(ctx)
 	e.mu.Lock()
 	for {
 		if e.done {
+			// Only callers that never led or coalesced report "done": a
+			// waiter whose flight completed re-enters this branch, and its
+			// event must keep saying which leader it rode.
+			if fi != nil && fi.Mode == obs.FlightNone {
+				fi.Mode = obs.FlightDone
+			}
 			e.mu.Unlock()
 			return e.camp, e.err
 		}
@@ -167,9 +179,19 @@ func (e *storeEntry) get(ctx context.Context, measure func(context.Context) (*Ca
 			return nil, err
 		}
 		if e.flight == nil {
-			f := &flight{finished: make(chan struct{}), waiters: 1}
-			f.ctx, f.cancel = context.WithCancel(context.Background())
+			f := &flight{finished: make(chan struct{}), waiters: 1, leader: obs.RequestIDFrom(ctx)}
+			// The measurement context is detached from any one caller's
+			// lifetime (cancellation is interest-counted, not inherited),
+			// but it inherits the leader's request identity and span parent
+			// so the sweep's error messages and the recorded campaign span
+			// attribute the simulation to the request that started it.
+			mctx := obs.WithRequestID(context.Background(), f.leader)
+			mctx = obs.WithSpanParent(mctx, obs.SpanParentFrom(ctx))
+			f.ctx, f.cancel = context.WithCancel(mctx)
 			e.flight = f
+			if fi != nil {
+				fi.Mode = obs.FlightLed
+			}
 			e.mu.Unlock()
 			// The leader is about to block inside measure, so its own
 			// context is watched from the side: if it dies mid-sweep the
@@ -202,6 +224,9 @@ func (e *storeEntry) get(ctx context.Context, measure func(context.Context) (*Ca
 		}
 		f := e.flight
 		f.waiters++
+		if fi != nil {
+			fi.Mode, fi.Leader = obs.FlightCoalesced, f.leader
+		}
 		obs.Default().Counter("store.coalesced").Inc()
 		e.mu.Unlock()
 		select {
@@ -228,10 +253,14 @@ func (e *storeEntry) abandon(f *flight) {
 }
 
 // recordCampaignSpan reports a freshly measured campaign to the global
-// observer when one is installed (patrace/pachaos). Campaigns have no
-// single virtual clock, so the span covers [0, summed cell seconds] —
-// deterministic per platform. The nil-observer path is one atomic load.
-func recordCampaignSpan(kernel string, camp *Campaign) {
+// observer when one is installed (patrace/pachaos/paserve). Campaigns have
+// no single virtual clock, so the span covers [0, summed cell seconds] —
+// deterministic per platform. When the measurement context carries a span
+// parent (a serving request span), the campaign span nests under it and is
+// tagged with the leading request's ID, so a Perfetto request track shows
+// which simulation a slow request paid for. The nil-observer path is one
+// atomic load.
+func recordCampaignSpan(ctx context.Context, kernel string, camp *Campaign) {
 	g := obs.Global()
 	if g == nil {
 		return
@@ -240,9 +269,14 @@ func recordCampaignSpan(kernel string, camp *Campaign) {
 	for _, c := range camp.Cells {
 		total += c.Res.Seconds
 	}
-	id := g.StartSpan(-1, "campaign:"+kernel, 0,
+	attrs := []obs.Attr{
 		obs.F("cells", float64(len(camp.Cells))),
-		obs.F("virtual_seconds", total))
+		obs.F("virtual_seconds", total),
+	}
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		attrs = append(attrs, obs.A("request_id", id))
+	}
+	id := g.StartSpan(obs.SpanParentFrom(ctx), "campaign:"+kernel, 0, attrs...)
 	g.EndSpan(id, total)
 	g.Metrics().Counter("campaigns.measured").Inc()
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"pasp/internal/mpi"
 	"pasp/internal/obs"
@@ -315,5 +316,77 @@ func TestStoreAbandonedFlightRemeasures(t *testing.T) {
 	}
 	if want := len(s.Grid.Ns) * len(s.Grid.MHz); len(camp.Cells) != want {
 		t.Fatalf("re-measure produced %d cells, want %d", len(camp.Cells), want)
+	}
+}
+
+// TestStoreFlightAnnotation pins the serving layer's attribution contract:
+// the store fills the caller's FlightInfo with how the campaign was
+// obtained — led, coalesced (with the leader's request ID), or already
+// done — and the measurement context carries the leader's request ID.
+func TestStoreFlightAnnotation(t *testing.T) {
+	e := &storeEntry{}
+	camp := &Campaign{}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var leaderCtxID atomic.Value
+
+	var lead obs.FlightInfo
+	lctx := obs.WithFlightInfo(obs.WithRequestID(context.Background(), "req-leader"), &lead)
+	ldone := make(chan error, 1)
+	go func() {
+		_, err := e.get(lctx, func(mctx context.Context) (*Campaign, error) {
+			leaderCtxID.Store(obs.RequestIDFrom(mctx))
+			close(started)
+			<-release
+			return camp, nil
+		})
+		ldone <- err
+	}()
+	<-started
+
+	var ride obs.FlightInfo
+	wctx := obs.WithFlightInfo(obs.WithRequestID(context.Background(), "req-waiter"), &ride)
+	wdone := make(chan error, 1)
+	go func() {
+		_, err := e.get(wctx, func(context.Context) (*Campaign, error) {
+			t.Error("a waiter ran the measurement")
+			return nil, nil
+		})
+		wdone <- err
+	}()
+	// Wait for the waiter to register on the flight before releasing it.
+	for {
+		e.mu.Lock()
+		joined := e.flight != nil && e.flight.waiters == 2
+		e.mu.Unlock()
+		if joined {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-ldone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if err := <-wdone; err != nil {
+		t.Fatalf("waiter: %v", err)
+	}
+
+	if lead.Mode != obs.FlightLed {
+		t.Errorf("leader mode = %q, want led", lead.Mode)
+	}
+	if ride.Mode != obs.FlightCoalesced || ride.Leader != "req-leader" {
+		t.Errorf("waiter = %q/%q, want coalesced/req-leader", ride.Mode, ride.Leader)
+	}
+	if got := leaderCtxID.Load(); got != "req-leader" {
+		t.Errorf("measurement context carried request ID %v, want req-leader", got)
+	}
+
+	var after obs.FlightInfo
+	if _, err := e.get(obs.WithFlightInfo(context.Background(), &after), nil); err != nil {
+		t.Fatalf("post-completion get: %v", err)
+	}
+	if after.Mode != obs.FlightDone {
+		t.Errorf("post-completion mode = %q, want done", after.Mode)
 	}
 }

@@ -108,6 +108,44 @@ func SpansChromeTrace(spans []Span, processName string) []byte {
 	return b.Bytes()
 }
 
+// NestSpans rebases spans recorded on a different clock than their parent
+// so the exported X events nest visually. The serving layer's request
+// spans run on the server's wall clock while the campaign spans the store
+// records run on the simulator's virtual clock (starting at zero); a
+// campaign span exported as-is would render at the origin instead of
+// inside the request that triggered it. NestSpans shifts any span that
+// starts before its parent to the parent's (already rebased) start,
+// propagating the shift to its own descendants, and returns a new slice —
+// the input is not modified. Parents must precede children in the slice,
+// which is the order Recorder.Spans returns.
+func NestSpans(spans []Span) []Span {
+	out := append([]Span(nil), spans...)
+	idx := make(map[int]int, len(out))
+	for i, s := range out {
+		idx[s.ID] = i
+	}
+	shift := make([]float64, len(out))
+	for i := range out {
+		s := &out[i]
+		if s.Parent < 0 {
+			continue
+		}
+		p, ok := idx[s.Parent]
+		if !ok || p >= i {
+			continue
+		}
+		shift[i] = shift[p]
+		if s.Start+shift[i] < out[p].Start+shift[p] {
+			shift[i] = out[p].Start + shift[p] - s.Start
+		}
+	}
+	for i := range out {
+		out[i].Start += shift[i]
+		out[i].End += shift[i]
+	}
+	return out
+}
+
 // chromeEvent is the schema subset ValidateChromeTrace checks.
 type chromeEvent struct {
 	Ph   string          `json:"ph"`

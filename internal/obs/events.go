@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// The wide-event log is the serving layer's per-request telemetry: one
+// canonical structured record per HTTP request, carrying the full timing
+// breakdown (admission wait, store peek, coalesce wait, sweep seconds,
+// model fit, response encode), the outcome and the cache disposition. It
+// follows the package's nil-injector discipline — a nil *EventLog is
+// bit-transparent: every method no-ops, so a server built without -events
+// behaves byte-for-byte like one that predates the log.
+//
+// Events render as JSON lines with a fixed, hand-built field order (the
+// same technique as ChromeTrace), so identical event sequences produce
+// identical bytes regardless of GOMAXPROCS or map iteration, and the hot
+// path reuses one scratch buffer per log — recording an event allocates
+// nothing in steady state.
+
+// Event is one wide, request-scoped telemetry record. Stage fields tile
+// the request: consecutive wall-clock stamps mean DecodeS + PeekS +
+// AdmissionS + CoalesceS + SweepS + FitS + EncodeS + OtherS == TotalS (up
+// to float addition), which is what lets pastat attribute a latency
+// percentile to a named stage instead of guessing.
+type Event struct {
+	// Seq is the log-assigned sequence number; T is seconds since the
+	// log's epoch on the log's clock (wall by default, injectable in
+	// tests).
+	Seq uint64  `json:"seq"`
+	T   float64 `json:"t"`
+	// ID is the request ID (inbound X-Request-ID or server-generated).
+	ID string `json:"id"`
+	// Target names the endpoint ("predict", "sweep", "healthz", ...).
+	Target string `json:"target"`
+	// Kernel, N and MHz identify the asked-for configuration where the
+	// endpoint has one (zero values are omitted).
+	Kernel string  `json:"kernel,omitempty"`
+	N      int     `json:"n,omitempty"`
+	MHz    float64 `json:"mhz,omitempty"`
+	// Status is the HTTP status written (499 for client-cancelled).
+	Status int `json:"status"`
+	// Cache is the campaign disposition: "hit" (peek-served), "miss"
+	// (this request led the simulation), "coalesced" (rode another
+	// request's flight), or empty for endpoints that never touch the
+	// store.
+	Cache string `json:"cache,omitempty"`
+	// Leader is the request ID of the flight leader whose simulation a
+	// coalesced request rode; set only when Cache == "coalesced".
+	Leader string `json:"leader,omitempty"`
+	// The stage breakdown, in pipeline order, wall-clock seconds.
+	DecodeS    float64 `json:"decode_s"`
+	PeekS      float64 `json:"peek_s"`
+	AdmissionS float64 `json:"admission_s"`
+	CoalesceS  float64 `json:"coalesce_s"`
+	SweepS     float64 `json:"sweep_s"`
+	FitS       float64 `json:"fit_s"`
+	EncodeS    float64 `json:"encode_s"`
+	// OtherS closes the books: TotalS minus the tracked stages (router,
+	// header writes, instrumentation) — never negative.
+	OtherS float64 `json:"other_s"`
+	// TotalS is the measured request latency.
+	TotalS float64 `json:"total_s"`
+	// Err carries the error body's message for non-2xx outcomes.
+	Err string `json:"err,omitempty"`
+}
+
+// StageNames lists the stage fields in pipeline order; Stages returns the
+// matching values. The two are index-aligned so analyzers can iterate the
+// breakdown without reflection.
+var StageNames = []string{"decode", "peek", "admission", "coalesce", "sweep", "fit", "encode", "other"}
+
+// Stages returns the stage durations in StageNames order.
+func (e *Event) Stages() [8]float64 {
+	return [8]float64{e.DecodeS, e.PeekS, e.AdmissionS, e.CoalesceS, e.SweepS, e.FitS, e.EncodeS, e.OtherS}
+}
+
+// StageSum returns the sum of all stage fields — the quantity the serving
+// acceptance check compares against TotalS.
+func (e *Event) StageSum() float64 {
+	s := 0.0
+	for _, v := range e.Stages() {
+		s += v
+	}
+	return s
+}
+
+// Dominant returns the largest stage's name and its fraction of TotalS
+// (fraction 0 when the event has no measured time).
+func (e *Event) Dominant() (string, float64) {
+	vals := e.Stages()
+	best := 0
+	for i, v := range vals {
+		if v > vals[best] {
+			best = i
+		}
+	}
+	frac := 0.0
+	if e.TotalS > 0 {
+		frac = vals[best] / e.TotalS
+	}
+	return StageNames[best], frac
+}
+
+// appendFloat renders v shortest-exact, the same convention as the metric
+// expositions, so event bytes round-trip and stay deterministic.
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendStr appends a JSON string literal. The fast path covers the IDs
+// and stage names the serving layer emits (no escapes); anything needing
+// escaping takes the encoding/json slow path.
+func appendStr(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x7f {
+			enc, err := json.Marshal(s)
+			if err != nil {
+				return append(b, `""`...)
+			}
+			return append(b, enc...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// AppendJSON appends the event as one JSON object in canonical field
+// order (no trailing newline). The order is fixed by this function, not by
+// a marshaller, so two identical events always render identical bytes.
+func (e *Event) AppendJSON(b []byte) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `,"t":`...)
+	b = appendFloat(b, e.T)
+	b = append(b, `,"id":`...)
+	b = appendStr(b, e.ID)
+	b = append(b, `,"target":`...)
+	b = appendStr(b, e.Target)
+	if e.Kernel != "" {
+		b = append(b, `,"kernel":`...)
+		b = appendStr(b, e.Kernel)
+	}
+	if e.N != 0 {
+		b = append(b, `,"n":`...)
+		b = strconv.AppendInt(b, int64(e.N), 10)
+	}
+	if e.MHz != 0 {
+		b = append(b, `,"mhz":`...)
+		b = appendFloat(b, e.MHz)
+	}
+	b = append(b, `,"status":`...)
+	b = strconv.AppendInt(b, int64(e.Status), 10)
+	if e.Cache != "" {
+		b = append(b, `,"cache":`...)
+		b = appendStr(b, e.Cache)
+	}
+	if e.Leader != "" {
+		b = append(b, `,"leader":`...)
+		b = appendStr(b, e.Leader)
+	}
+	stages := e.Stages()
+	for i, name := range StageNames {
+		b = append(b, `,"`...)
+		b = append(b, name...)
+		b = append(b, `_s":`...)
+		b = appendFloat(b, stages[i])
+	}
+	b = append(b, `,"total_s":`...)
+	b = appendFloat(b, e.TotalS)
+	if e.Err != "" {
+		b = append(b, `,"err":`...)
+		b = appendStr(b, e.Err)
+	}
+	return append(b, '}')
+}
+
+// EventLog collects wide events: each Record renders the event as one JSON
+// line to the sink (when one is configured) and retains the event in a
+// fixed-size ring for live introspection (/debug/requests). A nil log is
+// bit-transparent; Record on a nil log is a single pointer test.
+type EventLog struct {
+	mu    sync.Mutex
+	w     io.Writer
+	clock func() float64
+	buf   []byte
+	ring  []Event
+	next  int
+	total uint64
+}
+
+// DefaultEventRing is the ring capacity NewEventLog applies when the
+// caller passes ring <= 0.
+const DefaultEventRing = 256
+
+// NewEventLog returns a log writing JSON lines to w (nil for ring-only
+// operation) and retaining the last ring events. The clock starts at zero
+// on creation and advances with the wall clock; tests override it with
+// SetClock for byte-deterministic output.
+func NewEventLog(w io.Writer, ring int) *EventLog {
+	if ring <= 0 {
+		ring = DefaultEventRing
+	}
+	epoch := time.Now() //palint:ignore detsource -- event timestamps are wall-clock telemetry, not simulation output
+	return &EventLog{
+		w:     w,
+		clock: func() float64 { return time.Since(epoch).Seconds() }, //palint:ignore detsource -- event timestamps are wall-clock telemetry, not simulation output
+		buf:   make([]byte, 0, 512),
+		ring:  make([]Event, 0, ring),
+	}
+}
+
+// SetClock replaces the log's clock (seconds since epoch). Tests inject a
+// counter here so rendered bytes are a pure function of the events.
+func (l *EventLog) SetClock(fn func() float64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.clock = fn
+	l.mu.Unlock()
+}
+
+// Record stamps e with the next sequence number and the log's clock, then
+// appends it to the sink and the ring. Safe from any goroutine; no-op on a
+// nil log. The scratch buffer is reused, so steady-state recording does
+// not allocate.
+func (l *EventLog) Record(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	e.Seq = l.total
+	e.T = l.clock()
+	l.total++
+	l.buf = e.AppendJSON(l.buf[:0])
+	l.buf = append(l.buf, '\n')
+	if l.w != nil {
+		l.w.Write(l.buf) //palint:ignore droppederr -- a failing telemetry sink must never fail the request it describes
+	}
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next] = e
+	}
+	l.next = (l.next + 1) % cap(l.ring)
+	l.mu.Unlock()
+}
+
+// Total reports how many events have been recorded over the log's
+// lifetime (not just the ring's retention window). Zero on a nil log.
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot copies the retained events out of the ring, oldest first.
+// Empty on a nil log.
+func (l *EventLog) Snapshot() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.ring))
+	if len(l.ring) < cap(l.ring) {
+		// The ring has not wrapped yet: entries sit in record order.
+		return append(out, l.ring...)
+	}
+	out = append(out, l.ring[l.next:]...)
+	return append(out, l.ring[:l.next]...)
+}
+
+// ParseEvents reads a wide-event log (one JSON object per line, as
+// EventLog writes) and returns the events in file order. Blank lines are
+// skipped; a malformed line is an error carrying its line number, so a
+// truncated or corrupted log fails loudly instead of silently shortening
+// the analysis.
+func ParseEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(text, &e); err != nil {
+			return nil, fmt.Errorf("obs: event log line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading event log: %w", err)
+	}
+	return out, nil
+}

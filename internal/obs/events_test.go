@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testEvents returns a small deterministic event sequence exercising every
+// field class: omitted optionals, escapes, all stages.
+func testEvents() []Event {
+	return []Event{
+		{ID: "0000000000000001", Target: "predict", Kernel: "ft", N: 4, MHz: 1400,
+			Status: 200, Cache: "miss", DecodeS: 0.001, PeekS: 0.0005, AdmissionS: 0.0001,
+			SweepS: 1.25, FitS: 0.01, EncodeS: 0.002, OtherS: 0.0004, TotalS: 1.264},
+		{ID: "0000000000000002", Target: "predict", Kernel: "ft", N: 4, MHz: 1400,
+			Status: 200, Cache: "coalesced", Leader: "0000000000000001",
+			CoalesceS: 1.2, OtherS: 0.064, TotalS: 1.264},
+		{ID: "weird \"id\"\n", Target: "healthz", Status: 200, TotalS: 0.0001, OtherS: 0.0001},
+		{ID: "0000000000000004", Target: "sweep", Kernel: "ep", Status: 500,
+			Err: `serve: boom "quoted"`, TotalS: 0.5, OtherS: 0.5},
+	}
+}
+
+// record runs the fixed sequence through a fresh log with a deterministic
+// clock and returns the rendered bytes.
+func recordAll(t *testing.T) []byte {
+	t.Helper()
+	var sink bytes.Buffer
+	l := NewEventLog(&sink, 8)
+	tick := 0.0
+	l.SetClock(func() float64 { tick += 0.5; return tick })
+	for _, e := range testEvents() {
+		l.Record(e)
+	}
+	return sink.Bytes()
+}
+
+// TestEventLogByteDeterminism pins the wide-event contract: with the clock
+// injected, the rendered bytes are a pure function of the event sequence —
+// identical across GOMAXPROCS settings and repeat runs.
+func TestEventLogByteDeterminism(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var want []byte
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		got := recordAll(t)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("GOMAXPROCS=%d rendered different bytes:\n%s\nvs\n%s", procs, got, want)
+		}
+	}
+	// Spot-check the canonical field order and the escape slow path.
+	lines := strings.Split(strings.TrimSpace(string(want)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], `{"seq":0,"t":0.5,"id":"0000000000000001","target":"predict","kernel":"ft","n":4,"mhz":1400,"status":200,"cache":"miss",`) {
+		t.Errorf("line 0 field order: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], `"id":"weird \"id\"\n"`) {
+		t.Errorf("line 2 did not escape the id: %s", lines[2])
+	}
+	if !strings.Contains(lines[1], `"leader":"0000000000000001"`) {
+		t.Errorf("line 1 lost the leader: %s", lines[1])
+	}
+}
+
+// TestEventRoundTrip proves ParseEvents inverts Record for every field.
+func TestEventRoundTrip(t *testing.T) {
+	data := recordAll(t)
+	got, err := ParseEvents(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testEvents()
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w := want[i]
+		w.Seq = uint64(i)
+		w.T = 0.5 * float64(i+1)
+		if got[i] != w {
+			t.Errorf("event %d round-tripped to %+v, want %+v", i, got[i], w)
+		}
+	}
+}
+
+// TestParseEventsReportsLine pins the loud-failure contract on corrupt logs.
+func TestParseEventsReportsLine(t *testing.T) {
+	_, err := ParseEvents(strings.NewReader("{\"seq\":0,\"id\":\"a\"}\n\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("corrupt line error = %v, want line 3", err)
+	}
+}
+
+// TestEventLogRingWraparound proves Snapshot returns the last K events
+// oldest-first once the ring has wrapped.
+func TestEventLogRingWraparound(t *testing.T) {
+	l := NewEventLog(nil, 4)
+	for i := 0; i < 10; i++ {
+		l.Record(Event{Target: "t", Status: 200})
+	}
+	if got := l.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	snap := l.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot kept %d events, want 4", len(snap))
+	}
+	for i, e := range snap {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Errorf("snapshot[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+// TestEventLogConcurrentWriters drives Record from many goroutines; the
+// race detector enforces safety, and every sequence number must appear
+// exactly once in the sink.
+func TestEventLogConcurrentWriters(t *testing.T) {
+	var sink bytes.Buffer
+	l := NewEventLog(&sink, 16)
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Record(Event{ID: fmt.Sprintf("w%d-%d", w, i), Target: "t", Status: 200})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := l.Total(); got != writers*per {
+		t.Fatalf("Total = %d, want %d", got, writers*per)
+	}
+	events, err := ParseEvents(bytes.NewReader(sink.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range events {
+		if seen[e.Seq] {
+			t.Fatalf("sequence %d emitted twice", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	if len(seen) != writers*per {
+		t.Fatalf("sink has %d events, want %d", len(seen), writers*per)
+	}
+}
+
+// TestNilEventLogTransparent pins the nil-injector contract: every method
+// of a nil log no-ops.
+func TestNilEventLogTransparent(t *testing.T) {
+	var l *EventLog
+	l.Record(Event{Target: "t"})
+	l.SetClock(func() float64 { return 0 })
+	if l.Total() != 0 {
+		t.Error("nil log has a nonzero total")
+	}
+	if snap := l.Snapshot(); snap != nil {
+		t.Errorf("nil log snapshot = %v, want nil", snap)
+	}
+}
+
+// TestEventRecordAllocs pins the hot-path budget: steady-state recording
+// into a warm log reuses the scratch buffer and ring slots, so a Record
+// costs zero heap allocations.
+func TestEventRecordAllocs(t *testing.T) {
+	l := NewEventLog(nil, 8)
+	e := Event{ID: "0000000000000001", Target: "predict", Kernel: "ft", N: 4, MHz: 1400,
+		Status: 200, Cache: "hit", PeekS: 0.0001, FitS: 0.001, EncodeS: 0.0002, TotalS: 0.0013}
+	for i := 0; i < 16; i++ {
+		l.Record(e) // warm the ring and grow the scratch buffer
+	}
+	if avg := testing.AllocsPerRun(100, func() { l.Record(e) }); avg > 0 {
+		t.Errorf("Record allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestEventStageAccounting pins the Stages/StageSum/Dominant helpers.
+func TestEventStageAccounting(t *testing.T) {
+	e := Event{DecodeS: 0.125, SweepS: 0.5, FitS: 0.25, OtherS: 0.125, TotalS: 1.0}
+	if got := e.StageSum(); got != 1.0 { //palint:ignore floateq -- power-of-two addends sum exactly
+		t.Errorf("StageSum = %g, want 1", got)
+	}
+	name, frac := e.Dominant()
+	if name != "sweep" || frac != 0.5 { //palint:ignore floateq -- exact division of exact inputs
+		t.Errorf("Dominant = %s %g, want sweep 0.5", name, frac)
+	}
+	if len(StageNames) != len(e.Stages()) {
+		t.Fatalf("StageNames (%d) and Stages (%d) disagree", len(StageNames), len(e.Stages()))
+	}
+}

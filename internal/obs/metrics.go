@@ -126,6 +126,33 @@ func (h *Histogram) ObserveN(v float64, n int64) {
 	}
 }
 
+// Quantile returns an upper bound on the q-quantile of the observations:
+// the upper bound of the first bucket at which the cumulative count
+// reaches q·n. Observations in the overflow bucket report +Inf. ok is
+// false when the histogram is empty — the caller's signal to fall back to
+// a configured default (the adaptive Retry-After path).
+func (h *Histogram) Quantile(q float64) (v float64, ok bool) {
+	n := h.n.Load()
+	if n <= 0 {
+		return 0, false
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i], true
+			}
+			return math.Inf(1), true
+		}
+	}
+	return math.Inf(1), true
+}
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()

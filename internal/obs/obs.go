@@ -119,11 +119,30 @@ func (r *Recorder) Metrics() *Registry { return r.reg }
 // StartSpan opens a span under parent (-1 for a root) and returns its ID.
 // Safe from any goroutine; campaign code calls it around cached measures.
 func (r *Recorder) StartSpan(parent int, name string, start float64, attrs ...Attr) int {
+	return r.StartSpanAt(parent, name, -1, start, attrs...)
+}
+
+// StartSpanAt is StartSpan with an explicit track: rank selects the
+// exporter track the span renders on (-1 for track 0). The serving layer
+// uses it to spread concurrent request spans across tracks so overlapping
+// requests stay readable in Perfetto.
+func (r *Recorder) StartSpanAt(parent int, name string, rank int, start float64, attrs ...Attr) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	id := len(r.spans)
-	r.spans = append(r.spans, Span{ID: id, Parent: parent, Name: name, Rank: -1, Start: start, Attrs: attrs})
+	r.spans = append(r.spans, Span{ID: id, Parent: parent, Name: name, Rank: rank, Start: start, Attrs: attrs})
 	return id
+}
+
+// AddSpanAttrs appends attributes to an already-started span — outcomes
+// that are only known at the end (status codes, cache dispositions).
+// Unknown IDs are ignored.
+func (r *Recorder) AddSpanAttrs(id int, attrs ...Attr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id >= 0 && id < len(r.spans) {
+		r.spans[id].Attrs = append(r.spans[id].Attrs, attrs...)
+	}
 }
 
 // EndSpan closes the span at end. Unknown IDs are ignored.

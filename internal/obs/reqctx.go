@@ -1,0 +1,87 @@
+package obs
+
+import "context"
+
+// Request-scoped propagation. The serving layer stamps every HTTP request
+// with an ID and threads it through the measurement pipeline via context:
+// handler → campaign store → cluster.Sweep. The helpers live here rather
+// than in the serve package because the store (internal/experiments) and
+// the sweep (internal/cluster) already depend on obs and must not import
+// the HTTP layer.
+
+// ctxKey is the private key space for the package's context values.
+type ctxKey int
+
+const (
+	ctxRequestID ctxKey = iota + 1
+	ctxFlightInfo
+	ctxSpanParent
+)
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxRequestID, id)
+}
+
+// RequestIDFrom returns the context's request ID, or "" when none is set.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxRequestID).(string)
+	return id
+}
+
+// FlightMode classifies how a store caller obtained its campaign.
+type FlightMode string
+
+const (
+	// FlightNone: the caller never reached the store's flight machinery.
+	FlightNone FlightMode = ""
+	// FlightLed: the caller was the leader — its context's request paid
+	// for the simulation.
+	FlightLed FlightMode = "led"
+	// FlightCoalesced: the caller rode another request's in-progress
+	// flight; Leader names that request.
+	FlightCoalesced FlightMode = "coalesced"
+	// FlightDone: the entry was already measured when the caller arrived.
+	FlightDone FlightMode = "done"
+)
+
+// FlightInfo is the store's per-caller annotation slot. A caller that
+// wants to know how its campaign was obtained places a *FlightInfo in the
+// context via WithFlightInfo; the store fills it in. Fields are written
+// only from the caller's own goroutine (under the entry lock), so reading
+// them after the store call returns is race-free.
+type FlightInfo struct {
+	// Mode says whether this caller led, coalesced or found the entry
+	// measured.
+	Mode FlightMode
+	// Leader is the request ID of the flight leader when Mode is
+	// FlightCoalesced — which request's simulation this caller rode.
+	Leader string
+}
+
+// WithFlightInfo returns a context carrying the annotation slot.
+func WithFlightInfo(ctx context.Context, fi *FlightInfo) context.Context {
+	return context.WithValue(ctx, ctxFlightInfo, fi)
+}
+
+// FlightInfoFrom returns the context's annotation slot, or nil.
+func FlightInfoFrom(ctx context.Context) *FlightInfo {
+	fi, _ := ctx.Value(ctxFlightInfo).(*FlightInfo)
+	return fi
+}
+
+// WithSpanParent returns a context carrying a recorder span ID under which
+// downstream layers should parent the spans they record — how a serving
+// request span comes to enclose the campaign span its simulation produced.
+func WithSpanParent(ctx context.Context, id int) context.Context {
+	return context.WithValue(ctx, ctxSpanParent, id)
+}
+
+// SpanParentFrom returns the context's parent span ID, or -1 (a root)
+// when none is set.
+func SpanParentFrom(ctx context.Context) int {
+	if id, ok := ctx.Value(ctxSpanParent).(int); ok {
+		return id
+	}
+	return -1
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantile pins the bucket-walk semantics the adaptive
+// Retry-After hint relies on: empty histograms report not-ok, observed
+// values report the covering bucket's upper bound, overflow reports +Inf.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{1, 2, 4})
+	if _, ok := h.Quantile(0.5); ok {
+		t.Fatal("empty histogram reported a quantile")
+	}
+	for _, v := range []float64{0.5, 1.5, 1.5, 3} {
+		h.Observe(v)
+	}
+	if q, ok := h.Quantile(0.5); !ok || q != 2 {
+		t.Errorf("p50 = %g (ok=%v), want 2", q, ok)
+	}
+	if q, ok := h.Quantile(0.01); !ok || q != 1 {
+		t.Errorf("p1 = %g (ok=%v), want 1", q, ok)
+	}
+	if q, ok := h.Quantile(1); !ok || q != 4 {
+		t.Errorf("p100 = %g (ok=%v), want 4", q, ok)
+	}
+	h.Observe(100)
+	if q, ok := h.Quantile(1); !ok || !math.IsInf(q, 1) {
+		t.Errorf("p100 with overflow = %g (ok=%v), want +Inf", q, ok)
+	}
+}
+
+// TestNestSpans pins the cross-clock rebasing: a virtual-clock child
+// starting before its wall-clock parent is shifted to the parent's start,
+// and the shift propagates to the child's own descendants; unrelated and
+// already-nested spans are untouched, as is the input slice.
+func TestNestSpans(t *testing.T) {
+	spans := []Span{
+		{ID: 0, Parent: -1, Name: "req:predict", Start: 10, End: 12},
+		{ID: 1, Parent: 0, Name: "campaign:ft", Start: 0, End: 3},
+		{ID: 2, Parent: 1, Name: "run", Start: 1, End: 2},
+		{ID: 3, Parent: -1, Name: "req:healthz", Start: 11, End: 11.5},
+		{ID: 4, Parent: 0, Name: "already-inside", Start: 10.5, End: 11},
+	}
+	orig := append([]Span(nil), spans...)
+	out := NestSpans(spans)
+	for i := range spans {
+		//palint:ignore floateq -- asserting the input is untouched, bit for bit
+		if spans[i].Start != orig[i].Start || spans[i].End != orig[i].End {
+			t.Fatalf("NestSpans mutated its input at %d", i)
+		}
+	}
+	want := []struct{ start, end float64 }{
+		{10, 12},   // root request unchanged
+		{10, 13},   // campaign shifted to the request's start
+		{11, 12},   // grandchild carries the parent's shift
+		{11, 11.5}, // unrelated root unchanged
+		{10.5, 11}, // child already inside its parent: no shift
+	}
+	for i, w := range want {
+		//palint:ignore floateq -- the shifts are exact float additions of exact inputs
+		if out[i].Start != w.start || out[i].End != w.end {
+			t.Errorf("span %d (%s) = [%g, %g], want [%g, %g]",
+				i, out[i].Name, out[i].Start, out[i].End, w.start, w.end)
+		}
+	}
+}
+
+// TestRequestContextHelpers pins the context round-trips and their
+// defaults.
+func TestRequestContextHelpers(t *testing.T) {
+	ctx := context.Background()
+	if id := RequestIDFrom(ctx); id != "" {
+		t.Errorf("empty context has request ID %q", id)
+	}
+	if p := SpanParentFrom(ctx); p != -1 {
+		t.Errorf("empty context has span parent %d, want -1", p)
+	}
+	if fi := FlightInfoFrom(ctx); fi != nil {
+		t.Errorf("empty context has flight info %v", fi)
+	}
+	var fi FlightInfo
+	ctx = WithFlightInfo(WithSpanParent(WithRequestID(ctx, "req-1"), 7), &fi)
+	if id := RequestIDFrom(ctx); id != "req-1" {
+		t.Errorf("request ID = %q, want req-1", id)
+	}
+	if p := SpanParentFrom(ctx); p != 7 {
+		t.Errorf("span parent = %d, want 7", p)
+	}
+	if got := FlightInfoFrom(ctx); got != &fi {
+		t.Error("flight info did not round-trip")
+	}
+}
+
+// TestStartSpanAtAndAddSpanAttrs pins the explicit-track span API the
+// serving layer uses for request spans.
+func TestStartSpanAtAndAddSpanAttrs(t *testing.T) {
+	r := NewRecorder()
+	id := r.StartSpanAt(-1, "req:predict", 3, 1.5, A("request_id", "r1"))
+	r.AddSpanAttrs(id, F("status", 200))
+	r.AddSpanAttrs(999) // unknown IDs are ignored
+	r.EndSpan(id, 2.5)
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Rank != 3 || s.Start != 1.5 || s.End != 2.5 {
+		t.Errorf("span = rank %d [%g, %g], want rank 3 [1.5, 2.5]", s.Rank, s.Start, s.End)
+	}
+	if len(s.Attrs) != 2 || s.Attrs[1].Key != "status" || s.Attrs[1].Value != "200" {
+		t.Errorf("attrs = %v, want request_id + status", s.Attrs)
+	}
+}

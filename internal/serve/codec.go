@@ -120,7 +120,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(data, '\n'))
 }
 
-// writeError renders err as the uniform JSON error payload.
+// writeError renders err as the uniform JSON error payload. When w is the
+// instrumented statusWriter, the message is also captured for the request's
+// wide event, so the event log explains its non-2xx statuses.
 func writeError(w http.ResponseWriter, status int, err error) {
+	if sw, ok := w.(*statusWriter); ok && sw.errMsg == "" {
+		sw.errMsg = err.Error()
+	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }

@@ -71,6 +71,12 @@ type LoadReport struct {
 	OfferedQPS  float64        `json:"offered_qps"`
 	AchievedQPS float64        `json:"achieved_qps"`
 	Targets     []TargetStats  `json:"targets"`
+	// IDMismatches counts responses whose X-Request-ID echo differs from
+	// the deterministic ID the harness sent; IDDuplicates counts echoed IDs
+	// seen on more than one response. Either being nonzero means request
+	// attribution in the server's telemetry cannot be trusted.
+	IDMismatches int `json:"id_mismatches"`
+	IDDuplicates int `json:"id_duplicates"`
 }
 
 // String renders the report as the human summary paload prints.
@@ -90,6 +96,9 @@ func (r *LoadReport) String() string {
 	if r.Transport > 0 {
 		fmt.Fprintf(&b, "transport errors: %d\n", r.Transport)
 	}
+	if r.IDMismatches > 0 || r.IDDuplicates > 0 {
+		fmt.Fprintf(&b, "request-id mismatches: %d, duplicates: %d\n", r.IDMismatches, r.IDDuplicates)
+	}
 	for _, t := range r.Targets {
 		fmt.Fprintf(&b, "target %s: %d\n", t.Name, t.Requests)
 	}
@@ -104,6 +113,18 @@ func splitmix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
+}
+
+// loadRequestID derives request i's deterministic X-Request-ID as a
+// counter stream from a per-seed origin. Mixing the seed through
+// splitmix64 first (with the high bit as a domain tag, keeping it off the
+// target-pick stream, which hashes seed^i directly) scatters different
+// seeds' origins across the full 64-bit space — xor-ing a small seed into
+// the counter would merely permute one shared stream, so two runs with
+// different seeds would repeat each other's IDs. The "load-" prefix marks
+// harness-issued IDs in the server's event log.
+func loadRequestID(seed, i uint64) string {
+	return "load-" + hexID(splitmix64(splitmix64(seed|1<<63)+i))
 }
 
 // pick maps request index i onto the weighted target list.
@@ -167,13 +188,16 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	spacing := time.Duration(float64(time.Second) / cfg.QPS)
 
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		status    = map[string]int{}
-		transport int
-		perTarget = map[string]int{}
-		wg        sync.WaitGroup
-		sem       = make(chan struct{}, conc)
+		mu         sync.Mutex
+		latencies  []time.Duration
+		status     = map[string]int{}
+		transport  int
+		perTarget  = map[string]int{}
+		seenIDs    = map[string]int{}
+		mismatches int
+		duplicates int
+		wg         sync.WaitGroup
+		sem        = make(chan struct{}, conc)
 	)
 
 	// The pacing clock is host wall time on purpose: the harness measures
@@ -198,13 +222,17 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			break
 		}
 		t := pick(cfg.Targets, totalWeight, cfg.Seed, uint64(i))
+		id := loadRequestID(cfg.Seed, uint64(i))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
 			req, err := http.NewRequestWithContext(ctx, t.Method, cfg.BaseURL+t.Path, bytes.NewReader(t.Body))
-			if err == nil && t.Body != nil {
-				req.Header.Set("Content-Type", "application/json")
+			if err == nil {
+				req.Header.Set("X-Request-ID", id)
+				if t.Body != nil {
+					req.Header.Set("Content-Type", "application/json")
+				}
 			}
 			var resp *http.Response
 			sent := time.Now() //palint:ignore detsource -- measuring real request latency
@@ -223,6 +251,17 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 			resp.Body.Close()
 			latencies = append(latencies, elapsed)
 			status[fmt.Sprintf("%d", resp.StatusCode)]++
+			// The server must echo the ID it was handed, exactly once: a
+			// mismatch means attribution is broken, a duplicate means two
+			// responses claim the same request.
+			echo := resp.Header.Get("X-Request-ID")
+			if echo != id {
+				mismatches++
+			}
+			seenIDs[echo]++
+			if seenIDs[echo] == 2 {
+				duplicates++
+			}
 		}()
 	}
 	wg.Wait()
@@ -230,14 +269,16 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	rep := &LoadReport{
-		Requests:   len(latencies) + transport,
-		Transport:  transport,
-		Status:     status,
-		P50Ms:      quantileMs(latencies, 0.50),
-		P99Ms:      quantileMs(latencies, 0.99),
-		MaxMs:      quantileMs(latencies, 1.00),
-		ElapsedSec: elapsed.Seconds(),
-		OfferedQPS: cfg.QPS,
+		Requests:     len(latencies) + transport,
+		Transport:    transport,
+		Status:       status,
+		P50Ms:        quantileMs(latencies, 0.50),
+		P99Ms:        quantileMs(latencies, 0.99),
+		MaxMs:        quantileMs(latencies, 1.00),
+		ElapsedSec:   elapsed.Seconds(),
+		OfferedQPS:   cfg.QPS,
+		IDMismatches: mismatches,
+		IDDuplicates: duplicates,
 	}
 	if rep.ElapsedSec > 0 {
 		rep.AchievedQPS = float64(rep.Requests) / rep.ElapsedSec

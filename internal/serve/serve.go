@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"pasp/internal/cluster"
@@ -52,6 +53,14 @@ type Config struct {
 	// also carries the campaign store's hit/miss/coalesced counters, so one
 	// /metrics scrape shows the whole pipeline.
 	Registry *obs.Registry
+	// Events receives one wide event per request and backs /debug/requests.
+	// nil (the default) disables per-request event telemetry entirely —
+	// responses and the remaining instruments are byte-identical either way.
+	Events *obs.EventLog
+	// Trace receives one span per request, under which the campaign spans
+	// of any simulations the request triggered nest (via the store's global
+	// recorder). nil disables request spans.
+	Trace *obs.Recorder
 }
 
 // Server is the HTTP frontend. Create one with New and mount Handler.
@@ -66,6 +75,17 @@ type Server struct {
 	retryAfter string
 	maxBody    int64
 	fits       fitCache
+	events     *obs.EventLog
+	trace      *obs.Recorder
+	// epoch anchors request-span timestamps and the uptime gauge; idSeed
+	// and idSeq key the splitmix64 request-ID stream; spanSeq spreads
+	// request spans across exporter tracks; flights feeds the adaptive
+	// Retry-After hint with led-flight durations.
+	epoch   time.Time
+	idSeed  uint64
+	idSeq   atomic.Uint64
+	spanSeq atomic.Uint64
+	flights *obs.Histogram
 }
 
 // New builds a server over cfg, applying defaults for zero fields.
@@ -85,6 +105,7 @@ func New(cfg Config) *Server {
 	if cfg.SuiteName == "" {
 		cfg.SuiteName = "custom"
 	}
+	epoch := time.Now() //palint:ignore detsource -- the server's epoch is host time by definition
 	return &Server{
 		suite:      cfg.Suite,
 		suiteName:  cfg.SuiteName,
@@ -93,6 +114,11 @@ func New(cfg Config) *Server {
 		slots:      make(chan struct{}, cfg.MaxInFlight),
 		retryAfter: fmt.Sprintf("%d", cfg.RetryAfterSec),
 		maxBody:    cfg.MaxBodyBytes,
+		events:     cfg.Events,
+		trace:      cfg.Trace,
+		epoch:      epoch,
+		idSeed:     splitmix64(uint64(epoch.UnixNano())),
+		flights:    cfg.Registry.Histogram("serve.flight.seconds", flightBuckets),
 	}
 }
 
@@ -105,13 +131,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/trace", s.instrument("trace", http.MethodPost, s.handleTrace))
 	mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
+	mux.HandleFunc("/debug/requests", s.instrument("debug.requests", http.MethodGet, s.handleDebugRequests))
 	return mux
 }
 
-// statusWriter records the response status for the status-class counters.
+// statusWriter records the response status for the status-class counters
+// and the error message (set by writeError) for the wide event.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code   int
+	errMsg string
 }
 
 func (w *statusWriter) WriteHeader(c int) {
@@ -129,14 +158,20 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // instrument wraps h with the per-endpoint plumbing: method enforcement,
-// the request-body byte cap, and the serve.<name>.{requests,inflight,
-// seconds,status.Nxx} instruments.
+// the request-body byte cap, request-ID assignment and propagation, the
+// serve.<name>.{requests,inflight,seconds,status.Nxx} instruments, and —
+// when the server carries an event log or trace recorder — the reqTrack
+// accumulating the request's wide event and span.
 func (s *Server) instrument(name, method string, h http.HandlerFunc) http.HandlerFunc {
 	requests := s.reg.Counter("serve." + name + ".requests")
 	inflight := s.reg.Gauge("serve." + name + ".inflight")
 	latency := s.reg.Histogram("serve."+name+".seconds", obs.SecondsBuckets)
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
+		// Every response echoes the request's ID — the client's handle for
+		// correlating its own logs with the server's wide events.
+		id := s.requestID(r)
+		sw.Header().Set("X-Request-ID", id)
 		if r.Method != method {
 			w.Header().Set("Allow", method)
 			writeError(sw, http.StatusMethodNotAllowed,
@@ -149,25 +184,47 @@ func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handle
 		// Request latency is wall-clock by definition: it measures this
 		// process, not the simulated cluster.
 		start := time.Now() //palint:ignore detsource -- serving latency is host time, not virtual time
+		ctx := obs.WithRequestID(r.Context(), id)
+		var t *reqTrack
+		if s.events != nil || s.trace != nil {
+			t = &reqTrack{start: start, last: start, spanID: -1}
+			t.ev.ID = id
+			t.ev.Target = name
+			if s.trace != nil {
+				track := int(s.spanSeq.Add(1)-1) % requestTracks
+				t.spanID = s.trace.StartSpanAt(-1, "req:"+name, track,
+					start.Sub(s.epoch).Seconds(), obs.A("request_id", id))
+				// The campaign span of any simulation this request leads
+				// nests under the request span (recordCampaignSpan reads
+				// the parent from the measurement context).
+				ctx = obs.WithSpanParent(ctx, t.spanID)
+			}
+			ctx = withTrack(ctx, t)
+		}
+		r = r.WithContext(ctx)
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 		}
 		h(sw, r)
-		latency.Observe(time.Since(start).Seconds()) //palint:ignore detsource -- serving latency is host time, not virtual time
+		elapsed := time.Since(start) //palint:ignore detsource -- serving latency is host time, not virtual time
+		latency.Observe(elapsed.Seconds())
 		inflight.Add(-1)
 		s.reg.Counter(fmt.Sprintf("serve.%s.status.%dxx", name, sw.code/100)).Inc()
+		s.finishRequest(t, sw, elapsed)
 	}
 }
 
 // acquire takes an admission slot, or answers 429 + Retry-After and
-// reports false when MaxInFlight simulations are already running.
+// reports false when MaxInFlight simulations are already running. The
+// Retry-After value adapts to how long this server's flights actually take
+// (see retryAfterHint).
 func (s *Server) acquire(w http.ResponseWriter) bool {
 	select {
 	case s.slots <- struct{}{}:
 		return true
 	default:
 		s.reg.Counter("serve.rejected").Inc()
-		w.Header().Set("Retry-After", s.retryAfter)
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("serve: %d simulations already in flight", cap(s.slots)))
 		return false
@@ -227,15 +284,44 @@ func onGrid(g cluster.Grid, n int, mhz float64) bool {
 // measured under an admission slot with the request's context. On failure
 // the response has been written and ok is false.
 func (s *Server) campaign(w http.ResponseWriter, r *http.Request, k experiments.Kernel, hits *obs.Counter) (*experiments.Campaign, bool) {
+	t := trackFrom(r.Context())
 	if camp, ok := k.Peek(); ok {
 		hits.Inc()
+		t.lap(stagePeek)
+		t.setCache("hit", "")
 		return camp, true
 	}
+	t.lap(stagePeek)
 	if !s.acquire(w) {
 		return nil, false
 	}
+	t.lap(stageAdmission)
 	defer s.release()
-	camp, err := k.Measure(r.Context())
+	// The flight annotation slot tells us afterwards whether this request
+	// led the simulation, coalesced onto another request's flight, or found
+	// the entry measured — which decides both the event's cache disposition
+	// and which stage the elapsed time belongs to.
+	var fi obs.FlightInfo
+	ctx := obs.WithFlightInfo(r.Context(), &fi)
+	begin := time.Now() //palint:ignore detsource -- flight duration is host time feeding the Retry-After hint
+	camp, err := k.Measure(ctx)
+	d := time.Since(begin) //palint:ignore detsource -- flight duration is host time feeding the Retry-After hint
+	switch fi.Mode {
+	case obs.FlightCoalesced:
+		t.addStage(stageCoalesce, d)
+		t.setCache("coalesced", fi.Leader)
+	case obs.FlightDone:
+		// Measured between the peek and the store call — a hit in all but
+		// timing; the (tiny) wait is store bookkeeping, charged to peek.
+		t.addStage(stagePeek, d)
+		t.setCache("hit", "")
+	default:
+		t.addStage(stageSweep, d)
+		t.setCache("miss", "")
+		if err == nil {
+			s.flights.Observe(d.Seconds())
+		}
+	}
 	if err != nil {
 		writeRunError(w, err)
 		return nil, false
@@ -314,6 +400,7 @@ func (s *Server) predictRow(k experiments.Kernel, camp *experiments.Campaign, n 
 
 // handlePredict answers POST /predict: one kernel configuration.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	t := trackFrom(r.Context())
 	var req PredictRequest
 	if err := decode(r.Body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -333,16 +420,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				req.N, req.F.MHz, k.Name, k.Grid.Ns, k.Grid.MHz))
 		return
 	}
+	t.lap(stageDecode)
+	t.setConfig(k.Name, req.N, req.F.MHz)
 	camp, ok := s.campaign(w, r, k, s.reg.Counter("serve.predict.cache_hits"))
 	if !ok {
 		return
 	}
 	row, err := s.predictRow(k, camp, req.N, req.F.MHz)
+	t.lap(stageFit)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, row)
+	t.lap(stageEncode)
 }
 
 // SweepResponse is the answer for a kernel's full campaign grid, rows in
@@ -355,6 +446,7 @@ type SweepResponse struct {
 
 // handleSweep answers POST /sweep: every cell of the kernel's grid.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	t := trackFrom(r.Context())
 	var req SweepRequest
 	if err := decode(r.Body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -368,6 +460,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	t.lap(stageDecode)
+	t.setConfig(k.Name, 0, 0)
 	camp, ok := s.campaign(w, r, k, s.reg.Counter("serve.sweep.cache_hits"))
 	if !ok {
 		return
@@ -381,7 +475,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Rows = append(resp.Rows, row)
 	}
+	t.lap(stageFit)
 	writeJSON(w, http.StatusOK, resp)
+	t.lap(stageEncode)
 }
 
 // RobustnessResponse is the answer for a perturbation sweep. Matrices are
@@ -437,15 +533,21 @@ func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	t := trackFrom(r.Context())
+	t.lap(stageDecode)
+	t.setConfig(k.Name, 0, 0)
 	if !s.acquire(w) {
 		return
 	}
+	t.lap(stageAdmission)
 	defer s.release()
 	res, err := s.suite.Robustness(r.Context(), spec)
+	t.lap(stageSweep)
 	if err != nil {
 		writeRunError(w, err)
 		return
 	}
+	defer t.lap(stageEncode)
 	writeJSON(w, http.StatusOK, RobustnessResponse{
 		Kernel:     res.Spec.Kernel,
 		BaseMHz:    res.BaseMHz,
@@ -481,13 +583,18 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	t := trackFrom(r.Context())
+	t.lap(stageDecode)
+	t.setConfig(req.Kernel, req.N, req.F.MHz)
 	if !s.acquire(w) {
 		return
 	}
+	t.lap(stageAdmission)
 	defer s.release()
 	st := s.suite
 	st.Platform.Faults = cfg
 	res, err := st.RunKernelOnce(req.Kernel, req.N, req.F.MHz)
+	t.lap(stageSweep)
 	if err != nil {
 		// The platform rejecting the configuration (too many nodes, no such
 		// operating point) is the client's asking, not a server fault.
@@ -503,6 +610,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
+	t.lap(stageEncode)
 }
 
 // healthBody is the /healthz payload.
@@ -517,8 +625,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics answers GET /metrics: the registry snapshot as the obs
-// text exposition, or JSON with ?format=json.
+// text exposition, or JSON with ?format=json. Go runtime gauges are
+// refreshed on every scrape.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.runtimeGauges()
 	snap := s.reg.Snapshot()
 	if r.URL.Query().Get("format") == "json" {
 		data, err := snap.JSON()

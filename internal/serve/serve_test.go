@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -254,8 +256,17 @@ func TestAdmissionFullHouse(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("full house = %d (%s), want 429", resp.StatusCode, body)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "3" {
-		t.Fatalf("Retry-After = %q, want 3", ra)
+	// The warm request led a flight, so the hint is adaptive: ceil of the
+	// median led-flight duration, at least 1 s — not the configured
+	// fallback (TestRetryAfterFallsBackWhenUnmeasured pins that case).
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	if want, ok := reg.Histogram("serve.flight.seconds", nil).Quantile(0.5); !ok {
+		t.Fatal("warm flight was not observed in serve.flight.seconds")
+	} else if expect := int(math.Ceil(want)); ra != expect && !(want < 1 && ra == 1) {
+		t.Fatalf("Retry-After = %d, want ceil(median flight) = %d", ra, expect)
 	}
 	if got := reg.Counter("serve.rejected").Value(); got != 1 {
 		t.Fatalf("serve.rejected = %g, want 1", got)
